@@ -1,0 +1,147 @@
+// Command approxsort is the demonstration CLI: it sorts a dataset with the
+// approx-refine mechanism on hybrid precise/approximate memory and prints
+// the full per-stage report — the quickest way to see the paper's pipeline
+// end to end. With -plan it first consults the Section 4.3 cost-model
+// planner and reports whether the hybrid execution is predicted to win.
+//
+// Usage:
+//
+//	go run ./cmd/approxsort [-n N] [-T 0.055] [-alg msd] [-bits 6]
+//	                        [-dist uniform|sorted|reverse|zipf|fewdistinct]
+//	                        [-exactlis] [-plan]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/histsort"
+	"approxsort/internal/sorts"
+	"approxsort/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("approxsort: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("approxsort", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	n := fs.Int("n", 1000000, "number of records")
+	t := fs.Float64("T", 0.055, "approximate-memory target half-width (0.025=precise .. 0.125=no guard band)")
+	algName := fs.String("alg", "msd", "quicksort|mergesort|lsd|msd|histlsd|histmsd")
+	bits := fs.Int("bits", 6, "radix digit width")
+	dist := fs.String("dist", "uniform", "key distribution: uniform|sorted|reverse|zipf|fewdistinct")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	exactLIS := fs.Bool("exactlis", false, "use the exact-LIS refine variant (ablation)")
+	plan := fs.Bool("plan", false, "consult the Section 4.3 planner before sorting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+
+	var alg sorts.Algorithm
+	switch *algName {
+	case "quicksort":
+		alg = sorts.Quicksort{}
+	case "mergesort":
+		alg = sorts.Mergesort{}
+	case "lsd":
+		alg = sorts.LSD{Bits: *bits}
+	case "msd":
+		alg = sorts.MSD{Bits: *bits}
+	case "histlsd":
+		alg = histsort.HistLSD{Bits: *bits}
+	case "histmsd":
+		alg = histsort.HistMSD{Bits: *bits}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	var keys []uint32
+	switch *dist {
+	case "uniform":
+		keys = dataset.Uniform(*n, *seed)
+	case "sorted":
+		keys = dataset.Sorted(*n)
+	case "reverse":
+		keys = dataset.Reverse(*n)
+	case "zipf":
+		keys = dataset.Zipf(*n, 1024, 1.2, *seed)
+	case "fewdistinct":
+		keys = dataset.FewDistinct(*n, 16, *seed)
+	default:
+		return fmt.Errorf("unknown distribution %q", *dist)
+	}
+
+	cfg := core.Config{
+		Algorithm:         alg,
+		T:                 *t,
+		Seed:              *seed,
+		MeasureSortedness: true,
+		ExactLIS:          *exactLIS,
+	}
+
+	if *plan {
+		p, err := core.Planner{Config: cfg}.Plan(keys)
+		if err != nil {
+			fmt.Fprintf(stdout, "planner unavailable (%v); proceeding with hybrid run\n\n", err)
+		} else {
+			fmt.Fprintf(stdout, "planner (pilot %d records): p(t)=%.3f, predicted Rem~=%d, predicted WR=%.2f%%\n",
+				p.PilotSize, p.P, p.PredictedRem, 100*p.PredictedWR)
+			if p.UseHybrid {
+				fmt.Fprint(stdout, "verdict: approx-refine should beat the precise-only sort\n\n")
+			} else {
+				fmt.Fprint(stdout, "verdict: precise-only sorting predicted cheaper; running hybrid anyway for the report\n\n")
+			}
+		}
+	}
+
+	res, err := core.Run(keys, cfg)
+	if err != nil {
+		return err
+	}
+	r := res.Report
+
+	fmt.Fprintf(stdout, "approx-refine: %s over %d %s keys at T=%.3f\n\n", r.Algorithm, r.N, *dist, *t)
+	tab := stats.NewTable("stage", "approx writes", "approx ns", "precise writes", "precise ns")
+	addStage := func(name string, b core.StageBreakdown) {
+		tab.AddRow(name, b.Approx.Writes, b.Approx.WriteNanos, b.Precise.Writes, b.Precise.WriteNanos)
+	}
+	addStage("approx preparation", r.Prep)
+	addStage("approx stage (sort)", r.ApproxSort)
+	addStage("refine 1: find LIS~/REM", r.RefineFind)
+	addStage("refine 2: sort REMID", r.RefineSort)
+	addStage("refine 3: merge", r.RefineMerge)
+	if err := tab.Write(stdout); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "\npost-approx sortedness: Rem=%d (%.2f%%), Rem~=%d (%.2f%%), error rate %.3f%%\n",
+		r.PostApproxRem, 100*float64(r.PostApproxRem)/float64(maxInt(r.N, 1)),
+		r.RemTilde, 100*r.RemTildeRatio(), 100*r.PostApproxErrorRate)
+	fmt.Fprintf(stdout, "total write latency: hybrid %.3f ms vs precise-only %.3f ms\n",
+		r.Total().WriteNanos()/1e6, r.Baseline.WriteNanos/1e6)
+	fmt.Fprintf(stdout, "write reduction (Eq. 2): %.2f%%   access-time reduction: %.2f%%\n",
+		100*r.WriteReduction(), 100*r.AccessTimeReduction())
+	fmt.Fprintf(stdout, "output precise and fully sorted: %v\n", r.Sorted)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultishSmall(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5000", "-alg", "quicksort"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"approx-refine: Quicksort",
+		"approx preparation",
+		"refine 3: merge",
+		"fully sorted: true",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithPlanAndExactLIS(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "20000", "-alg", "msd", "-bits", "3", "-plan", "-exactlis"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "planner (pilot") || !strings.Contains(s, "verdict:") {
+		t.Errorf("planner output missing:\n%s", s)
+	}
+	if !strings.Contains(s, "fully sorted: true") {
+		t.Error("exact-LIS run not sorted")
+	}
+}
+
+func TestRunDistributions(t *testing.T) {
+	for _, dist := range []string{"sorted", "reverse", "zipf", "fewdistinct"} {
+		var out strings.Builder
+		if err := run([]string{"-n", "2000", "-dist", dist, "-alg", "histlsd"}, &out); err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if !strings.Contains(out.String(), "fully sorted: true") {
+			t.Errorf("%s: not sorted", dist)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-alg", "bogosort"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-dist", "nope"}, &out); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("zero -n accepted")
+	}
+}

@@ -1,0 +1,64 @@
+// Command histstudy regenerates the Appendix B evaluation (Figure 15):
+// approx-refine write reduction vs T for the histogram-based LSD/MSD
+// radix sorts (after Polychroniou and Ross), which write each record once
+// per pass instead of twice.
+//
+// Usage:
+//
+//	go run ./cmd/histstudy [-n N] [-seed S] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"approxsort/internal/experiments"
+	"approxsort/internal/mlc"
+	"approxsort/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("histstudy: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("histstudy", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	n := fs.Int("n", 100000, "number of records (paper: 16M)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+
+	fmt.Fprintf(stdout, "Figure 15: approx-refine write reduction, histogram-based radix (%d records)\n\n", *n)
+	rows, err := experiments.Fig15(mlc.StandardTs(false), *n, *seed)
+	if err != nil {
+		return err
+	}
+	tab := stats.NewTable("algorithm", "T", "WR measured", "Rem~/n", "sorted")
+	for _, r := range rows {
+		tab.AddRow(r.Algorithm, r.T, r.WriteReduction, r.RemTildeRatio, r.Sorted)
+	}
+	if csvErr := func() error {
+		if *csv {
+			return tab.WriteCSV(stdout)
+		}
+		return tab.Write(stdout)
+	}(); csvErr != nil {
+		return csvErr
+	}
+	fmt.Fprintln(stdout, "\nPaper: peaks at T=0.055-0.06; ~10% for 3-bit, ~5% for 6-bit - smaller")
+	fmt.Fprintln(stdout, "than queue-bucket radix because the baseline already writes half as much.")
+	return nil
+}

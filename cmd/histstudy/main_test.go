@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 15", "3-bit hist-LSD", "6-bit hist-MSD", "WR measured"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "false") {
+		t.Error("a row reports unsorted output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "-1"}, &out); err == nil {
+		t.Error("negative -n accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Command mlcstudy regenerates Figure 2 of the paper: the impact of the
+// target-range half-width T on MLC write performance (average P&V pulse
+// count, panel a) and accuracy (2-bit cell and 32-bit word error rates,
+// panel b), via Monte-Carlo simulation of the exact cell model. With
+// -density it instead sweeps the cell-density axis (SLC / 4-level /
+// 16-level at fixed guard fractions).
+//
+// Usage:
+//
+//	go run ./cmd/mlcstudy [-words N] [-seed S] [-csv] [-density]
+//
+// The paper's campaign writes 1e8 cells (= 6.25M words); the default here
+// is 200k words, which resolves every trend in the figure. Raise -words
+// for tighter error bars.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"approxsort/internal/experiments"
+	"approxsort/internal/mlc"
+	"approxsort/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mlcstudy: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mlcstudy", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	words := fs.Int("words", 200000, "32-bit word writes per T point")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	density := fs.Bool("density", false, "sweep cell density (SLC/4-level/16-level) at fixed guard fractions instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *words <= 0 {
+		return fmt.Errorf("-words must be positive, got %d", *words)
+	}
+
+	if *density {
+		return densityStudy(stdout, *words, *seed, *csv)
+	}
+
+	fmt.Fprintf(stdout, "Figure 2: MLC write performance and accuracy vs T (%d words/point)\n\n", *words)
+	rows := experiments.Fig2(*words, *seed, true)
+	tab := stats.NewTable("T", "avg#P (2a)", "p(t)", "cellErr (2b)", "wordErr (2b)", "writeReduction")
+	for _, r := range rows {
+		tab.AddRow(r.T, r.AvgP, r.PRatio(), r.CellErrorRate, r.WordErrorRate, r.WriteReduction())
+	}
+	if err := emit(tab, stdout, *csv); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "\nPaper anchors: avg#P ~2.98 at T=0.025 (Table 2); ~50% latency reduction")
+	fmt.Fprintln(stdout, "at T=0.1 (Section 2.2); errors negligible below T~0.05, steep past 0.06.")
+	return nil
+}
+
+// densityStudy sweeps the Sampson density axis: cells with more levels
+// store more bits but demand tighter absolute targets, costing pulses and
+// reliability at the same relative guard fraction.
+func densityStudy(stdout io.Writer, words int, seed uint64, csv bool) error {
+	fmt.Fprintf(stdout, "Cell-density study: SLC vs 4-level vs 16-level at fixed guard fractions (%d words/point)\n\n", words)
+	tab := stats.NewTable("levels", "bits/cell", "guardFrac", "T", "avg#P", "cellErr", "wordErr")
+	for _, levels := range []int{2, 4, 16} {
+		for _, f := range []float64{0.2, 0.4, 0.6, 0.8} {
+			p := mlc.GuardFraction(levels, f)
+			s := mlc.MonteCarlo(p, words, seed)
+			tab.AddRow(levels, p.BitsPerCell(), f, p.T, s.AvgP, s.CellErrorRate, s.WordErrorRate)
+		}
+	}
+	if err := emit(tab, stdout, csv); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "\nDenser cells: fewer cells per word but more P&V pulses and higher error")
+	fmt.Fprintln(stdout, "rates at the same guard fraction - the trade-off behind approximate MLC.")
+	fmt.Fprintln(stdout, "Note: the default drift magnitude (~0.034) exceeds a 16-level band's")
+	fmt.Fprintln(stdout, "half-width (1/32), so 16-level cells are unusable without scrubbing -")
+	fmt.Fprintln(stdout, "one reason 2-bit MLC is the industry default the paper adopts.")
+	return nil
+}
+
+func emit(tab *stats.Table, w io.Writer, csv bool) error {
+	if csv {
+		return tab.WriteCSV(w)
+	}
+	return tab.Write(w)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig2(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-words", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 2", "avg#P", "0.0250", "0.1240"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-words", "500", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T,avg#P (2a),p(t)") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunDensity(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-words", "500", "-density"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Cell-density", "levels", "16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("density output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-words", "0"}, &out); err == nil {
+		t.Error("-words 0 accepted")
+	}
+	if err := run([]string{"-nosuchflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

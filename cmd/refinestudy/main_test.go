@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig11(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "11", "-n", "3000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 11", "3-bit LSD", "refine share", "Mergesort"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The normalization row itself must read 1.0000 for approx.
+	if !strings.Contains(s, "3-bit LSD  1.0000") {
+		t.Errorf("3-bit LSD approx not normalized to 1:\n%s", s)
+	}
+}
+
+func TestRunMemsimWithSeq(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-memsim", "-n", "3000", "-seq", "0.6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "sequential-write factor 0.60") {
+		t.Error("-seq not reported")
+	}
+	if !strings.Contains(s, "latency-sum reduction") {
+		t.Error("metric column missing")
+	}
+}
+
+func TestRunRobust(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-robust", "-n", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"uniform", "zipf", "fewdistinct", "true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("robustness output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "false") {
+		t.Error("a robustness row reports unsorted output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no mode selected but no error")
+	}
+	if err := run([]string{"-fig", "9", "-n", "0"}, &out); err == nil {
+		t.Error("zero -n accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Command sortstudy regenerates the Section 3 study of sorting in
+// approximate memory only:
+//
+//	-fig 4     error rate, Rem ratio and write reduction vs T for
+//	           quicksort, mergesort, LSD and MSD (Figure 4)
+//	-table 3   Rem ratios at T ∈ {0.03, 0.055, 0.1} (Table 3)
+//	-fig 5|6|7 sequence-shape plots after sorting at T = 0.03 / 0.055 /
+//	           0.1 (Figures 5–7); -fig 5 honours an explicit -T
+//	-measures  all disorder measures side by side (Section 3.3's case
+//	           for Rem)
+//
+// Usage:
+//
+//	go run ./cmd/sortstudy -fig 4 [-n N] [-bits 6] [-seed S] [-csv]
+//	go run ./cmd/sortstudy -table 3 [-n N]
+//	go run ./cmd/sortstudy -fig 6 [-n N]
+//	go run ./cmd/sortstudy -measures [-n N]
+//
+// The paper's Figure 4 uses 16M keys and Figures 5–7 use 160K; defaults
+// here are scaled down (see EXPERIMENTS.md) and adjustable via -n.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"approxsort/internal/experiments"
+	"approxsort/internal/mlc"
+	"approxsort/internal/sorts"
+	"approxsort/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sortstudy: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sortstudy", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	fig := fs.Int("fig", 0, "figure to regenerate: 4, or 5|6|7 (shape plots)")
+	table := fs.Int("table", 0, "table to regenerate: 3")
+	measures := fs.Bool("measures", false, "compare all disorder measures (Section 3.3's choice of Rem)")
+	n := fs.Int("n", 100000, "number of keys (paper: 16M for Fig 4, 160K for Figs 5-7)")
+	tFlag := fs.Float64("T", 0.055, "target half-width for -fig 5")
+	bits := fs.Int("bits", 6, "radix digit width for LSD/MSD")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+
+	algs := []sorts.Algorithm{
+		sorts.LSD{Bits: *bits}, sorts.MSD{Bits: *bits},
+		sorts.Quicksort{}, sorts.Mergesort{},
+	}
+
+	switch {
+	case *fig == 4:
+		fmt.Fprintf(stdout, "Figure 4: sorting %d keys in approximate memory only\n\n", *n)
+		rows := experiments.Fig4(algs, mlc.StandardTs(false), *n, *seed)
+		return emitSortOnly(stdout, rows, *csv)
+	case *table == 3:
+		fmt.Fprintf(stdout, "Table 3: Rem ratio after sorting %d keys in approximate memory\n\n", *n)
+		rows := experiments.Fig4(algs, []float64{0.03, 0.055, 0.1}, *n, *seed)
+		if err := emitSortOnly(stdout, rows, *csv); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "\nPaper (16M keys): T=0.03 ~0%; T=0.055 QS 1.92% LSD 1.02% MSD 1.00%")
+		fmt.Fprintln(stdout, "Mergesort 55.8%; T=0.1 QS 96.9% LSD 95.7% MSD 83.8% Mergesort 99.9%.")
+		return nil
+	case *fig >= 5 && *fig <= 7:
+		t := *tFlag
+		switch *fig {
+		case 6:
+			t = 0.055
+		case 7:
+			t = 0.1
+		}
+		if *fig == 5 && t == 0.055 {
+			t = 0.03 // Figure 5's published precision unless -T overrides
+		}
+		fmt.Fprintf(stdout, "Figures 5-7: shape of X after sorting %d keys at T=%.3f\n", *n, t)
+		for _, alg := range algs {
+			fmt.Fprintf(stdout, "\n%s:\n", alg.Name())
+			xs := experiments.Shape(alg, t, *n, *seed)
+			if err := stats.ScatterPlot(stdout, xs, 16, 72); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *measures:
+		fmt.Fprintf(stdout, "Disorder-measure comparison (Section 3.3) on quicksort output, %d keys\n\n", *n)
+		rows := experiments.MeasureComparison(sorts.Quicksort{}, mlc.StandardTs(false), *n, *seed)
+		tab := stats.NewTable("T", "Rem", "Ham", "Dis", "Runs", "Inv", "Osc", "Max")
+		for _, r := range rows {
+			tab.AddRow(r.T, r.Rem, r.Ham, r.Dis, r.Runs, r.Inv, r.Osc, r.Max)
+		}
+		if err := emit(tab, stdout, *csv); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "\nRem counts exactly the records the refine stage must re-sort; Inv and")
+		fmt.Fprintln(stdout, "Osc explode quadratically and Dis/Max saturate after one far-flung error.")
+		return nil
+	default:
+		return fmt.Errorf("choose one of: -fig 4, -table 3, -fig 5|6|7, -measures")
+	}
+}
+
+func emitSortOnly(stdout io.Writer, rows []experiments.SortOnlyRow, csv bool) error {
+	tab := stats.NewTable("algorithm", "T", "errorRate (4a)", "remRatio (4b)", "writeReduction (4c)")
+	for _, r := range rows {
+		tab.AddRow(r.Algorithm, r.T, r.ErrorRate, r.RemRatio, r.WriteReduction)
+	}
+	return emit(tab, stdout, csv)
+}
+
+func emit(tab *stats.Table, w io.Writer, csv bool) error {
+	if csv {
+		return tab.WriteCSV(w)
+	}
+	return tab.Write(w)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "3", "-n", "3000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Table 3", "Quicksort", "Mergesort", "6-bit LSD", "remRatio"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig4CSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "4", "-n", "1000", "-csv", "-bits", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "algorithm,T,") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(out.String(), "4-bit LSD") {
+		t.Error("-bits 4 not honoured")
+	}
+}
+
+func TestRunShapes(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "6", "-n", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "T=0.055") {
+		t.Error("-fig 6 should plot at T=0.055")
+	}
+	if strings.Count(s, "x: index, y: key value") != 4 {
+		t.Error("expected four scatter plots")
+	}
+}
+
+func TestRunMeasures(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-measures", "-n", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Rem", "Ham", "Osc"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("measures output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no mode selected but no error")
+	}
+	if err := run([]string{"-fig", "4", "-n", "-5"}, &out); err == nil {
+		t.Error("negative -n accepted")
+	}
+}

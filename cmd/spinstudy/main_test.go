@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig12(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "12", "-n", "3000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 12", "saving/write", "Mergesort", "1.00e-07"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig13(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "13", "-n", "3000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "energySaving") {
+		t.Error("energy column missing")
+	}
+	if strings.Contains(out.String(), "false") {
+		t.Error("an approx-refine row reports unsorted output")
+	}
+}
+
+func TestRunFig14(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "14", "-n", "3000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "33% saving/write") {
+		t.Error("operating point missing from header")
+	}
+	if !strings.Contains(s, "3-bit LSD  1.0000") {
+		t.Errorf("normalization row wrong:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no figure selected but no error")
+	}
+	if err := run([]string{"-fig", "12", "-n", "0"}, &out); err == nil {
+		t.Error("zero -n accepted")
+	}
+}

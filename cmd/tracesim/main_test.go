@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.bin")
+	var out strings.Builder
+	if err := run([]string{"-record", path, "-n", "2000", "-alg", "lsd"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "captured") || !strings.Contains(out.String(), "6-bit LSD") {
+		t.Errorf("record output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-replay", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"replayed", "CPU-visible", "L1", "queue-full"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("replay output missing %q", want)
+		}
+	}
+}
+
+func TestReplayWithSeqDiscount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.bin")
+	var out strings.Builder
+	if err := run([]string{"-record", path, "-n", "1000", "-alg", "mergesort"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-replay", path, "-seq", "0.6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "row-buffer hits") {
+		t.Error("seq stats missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no mode but no error")
+	}
+	if err := run([]string{"-record", filepath.Join(t.TempDir(), "x"), "-alg", "bogo"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-record", filepath.Join(t.TempDir(), "x"), "-n", "0"}, &out); err == nil {
+		t.Error("zero -n accepted")
+	}
+	if err := run([]string{"-replay", "/does/not/exist"}, &out); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package approxsort_test
+
+// Integration coverage for the runnable examples: each one is built and
+// executed with `go run`, and its success markers are checked, so the
+// examples can never rot. Skipped with -short (they sort up to 2M records).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"write reduction", "output verified: fully sorted"}},
+		{"./examples/dbsort", []string{"top 5 orders", "cross-check vs precise sort: identical"}},
+		{"./examples/tradeoff", []string{"sorted enough for top-k?", "refine or lower T"}},
+		{"./examples/energysaver", []string{"total energy saving", "recommended:"}},
+		{"./examples/groupby", []string{"top products", "cross-check vs hash aggregation: identical"}},
+		{"./examples/diskorder", []string{"merge pass", "output file verified: fully sorted"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", tc.dir, want, out)
+				}
+			}
+		})
+	}
+}

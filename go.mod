@@ -1,0 +1,3 @@
+module approxsort
+
+go 1.22

@@ -1,0 +1,136 @@
+package adaptive
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+)
+
+func sortIDsVia(keys []uint32, order []uint32) []uint32 {
+	space := mem.NewPreciseSpace()
+	ids := space.Alloc(len(order))
+	mem.Load(ids, order)
+	NaturalMergesortIDs(ids, len(order), func(id uint32) uint32 { return keys[id] }, space)
+	return mem.ReadAll(ids)
+}
+
+func checkSorted(t *testing.T, keys []uint32, got []uint32) {
+	t.Helper()
+	seen := make([]bool, len(keys))
+	prev := uint32(0)
+	for i, id := range got {
+		if int(id) >= len(keys) || seen[id] {
+			t.Fatalf("output not a permutation at %d", i)
+		}
+		seen[id] = true
+		if k := keys[id]; i > 0 && k < prev {
+			t.Fatalf("order violated at %d", i)
+		} else {
+			prev = k
+		}
+	}
+}
+
+func TestNaturalMergesortRandom(t *testing.T) {
+	keys := dataset.Uniform(1000, 1)
+	got := sortIDsVia(keys, dataset.IDs(1000))
+	checkSorted(t, keys, got)
+}
+
+func TestNaturalMergesortOddRunCounts(t *testing.T) {
+	// Construct inputs with exactly r runs for r in 1..7 to exercise the
+	// odd-leftover bookkeeping.
+	for r := 1; r <= 7; r++ {
+		n := 20 * r
+		keys := make([]uint32, n)
+		for run := 0; run < r; run++ {
+			for i := 0; i < 20; i++ {
+				// Later runs start lower so each run boundary is a
+				// strict descent.
+				keys[run*20+i] = uint32((r-run)*1000 + i)
+			}
+		}
+		got := sortIDsVia(keys, dataset.IDs(n))
+		checkSorted(t, keys, got)
+	}
+}
+
+func TestNaturalMergesortAlreadySortedWritesNothing(t *testing.T) {
+	keys := dataset.Sorted(500)
+	space := mem.NewPreciseSpace()
+	ids := space.Alloc(500)
+	mem.Load(ids, dataset.IDs(500))
+	space.ResetStats()
+	NaturalMergesortIDs(ids, 500, func(id uint32) uint32 { return keys[id] }, space)
+	if w := space.Stats().Writes; w != 0 {
+		t.Errorf("adaptive sort of sorted input wrote %d words, want 0", w)
+	}
+}
+
+func TestNaturalMergesortQuick(t *testing.T) {
+	f := func(keys []uint32) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		if len(keys) > 300 {
+			keys = keys[:300]
+		}
+		got := sortIDsVia(keys, dataset.IDs(len(keys)))
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, id := range got {
+			if keys[id] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdaptiveRefineCostsAtLeast3n verifies the paper's Section 4.2 claim
+// motivating the heuristic: on a nearly sorted (but not sorted) order the
+// adaptive refine still pays ≥ 3n writes (≥ n merge traffic + 2n output).
+func TestAdaptiveRefineCostsAtLeast3n(t *testing.T) {
+	const n = 4096
+	keys := dataset.Uniform(n, 3)
+	// Build a nearly sorted ID order: sort, then perturb a few entries.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	for s := 0; s < 20; s++ {
+		i, j := (s*211)%n, (s*409+7)%n
+		order[i], order[j] = order[j], order[i]
+	}
+
+	space := mem.NewPreciseSpace()
+	key0 := space.Alloc(n)
+	mem.Load(key0, keys)
+	id := space.Alloc(n)
+	for i, o := range order {
+		id.Set(i, uint32(o))
+	}
+	finalKey, finalID := space.Alloc(n), space.Alloc(n)
+	space.ResetStats()
+	RefineAdaptive(key0, id, space, finalKey, finalID)
+	if w := space.Stats().Writes; w < 3*n {
+		t.Errorf("adaptive refine wrote %d words, expected >= 3n = %d", w, 3*n)
+	}
+
+	// And the output must be precisely sorted.
+	out := mem.PeekAll(finalKey)
+	want := append([]uint32(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("adaptive refine output wrong at %d", i)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package cache implements the write-through cache hierarchy of the
+// paper's simulator (Table 1): 32 KB L1, 2 MB 4-way L2, 32 MB 8-way L3
+// with 10 ns access latency, all LRU with 64-byte lines. Write-through
+// means every data write proceeds to main memory; the hierarchy only
+// filters reads, which is the modelling assumption the paper's
+// write-latency accounting rests on (Section 3.2).
+package cache
+
+import "fmt"
+
+// LineBytes is the cache line size used throughout (64 B).
+const LineBytes = 64
+
+// Cache is one set-associative, LRU, write-through cache level.
+type Cache struct {
+	ways   int
+	sets   int
+	tags   [][]uint64 // tags[set] ordered most- to least-recently used
+	hits   uint64
+	misses uint64
+}
+
+// New returns a cache of the given total size and associativity with
+// 64-byte lines. It panics if the geometry is inconsistent (programming
+// error).
+func New(sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*LineBytes) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry size=%d ways=%d", sizeBytes, ways))
+	}
+	sets := sizeBytes / (ways * LineBytes)
+	c := &Cache{ways: ways, sets: sets, tags: make([][]uint64, sets)}
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, 0, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(addr uint64) (int, uint64) {
+	line := addr / LineBytes
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// Access looks up addr, allocating the line (and evicting LRU) on a miss.
+// It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	si, tag := c.set(addr)
+	set := c.tags[si]
+	for i, t := range set {
+		if t == tag {
+			// Move to front (most recently used).
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.tags[si] = set
+	return false
+}
+
+// Touch updates the line's recency if present but does not allocate — the
+// write-through, no-write-allocate policy for stores.
+func (c *Cache) Touch(addr uint64) bool {
+	si, tag := c.set(addr)
+	set := c.tags[si]
+	for i, t := range set {
+		if t == tag {
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Level access latencies. Table 1 specifies only the L3 latency (10 ns);
+// the L1/L2 values are the conventional magnitudes for those sizes and
+// only matter for the total-access-time metric, never for write latency.
+const (
+	L1Nanos = 1.0
+	L2Nanos = 4.0
+	L3Nanos = 10.0
+)
+
+// Hierarchy is the three-level write-through hierarchy of Table 1.
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+}
+
+// NewHierarchy returns the Table 1 configuration: 32 KB 8-way L1,
+// 2 MB 4-way L2, 32 MB 8-way L3.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1: New(32<<10, 8),
+		L2: New(2<<20, 4),
+		L3: New(32<<20, 8),
+	}
+}
+
+// Read services a load: it returns the level that hit (1–3) and the
+// accumulated latency, or level 0 when the access misses everywhere and
+// must go to memory (the returned latency then counts the traversal cost
+// of all three levels).
+func (h *Hierarchy) Read(addr uint64) (level int, nanos float64) {
+	if h.L1.Access(addr) {
+		return 1, L1Nanos
+	}
+	if h.L2.Access(addr) {
+		return 2, L1Nanos + L2Nanos
+	}
+	if h.L3.Access(addr) {
+		return 3, L1Nanos + L2Nanos + L3Nanos
+	}
+	return 0, L1Nanos + L2Nanos + L3Nanos
+}
+
+// Write services a store under write-through/no-write-allocate: present
+// lines refresh their recency, nothing is allocated, and the store always
+// proceeds to memory (the caller forwards it to the PCM simulator).
+func (h *Hierarchy) Write(addr uint64) {
+	h.L1.Touch(addr)
+	h.L2.Touch(addr)
+	h.L3.Touch(addr)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sort"
+
+	"approxsort/internal/mem"
+)
+
+// findREMExact is the exact alternative to findREM: it computes a true
+// longest non-decreasing subsequence of the key view Key0[ID[i]] via
+// patience sorting with predecessor links, and returns the complement as
+// REMID. Rem is minimal by construction — never larger than findREM's
+// Rem~ — but the bookkeeping costs Θ(n) intermediate precise writes (the
+// predecessor and tail-index arrays) on top of the scan, which is exactly
+// the overhead the paper's O(n)/Rem~-write heuristic exists to avoid
+// (Section 4.2: "classical algorithms ... introduce at least 2n
+// intermediate outputs"). Exposed for the DESIGN.md §7 ablation and for
+// callers that want the smallest possible remainder sort.
+func findREMExact(key0, id, remID mem.Words, precise mem.Space) int {
+	n := id.Len()
+	if n < 2 {
+		return 0
+	}
+	// Patience state, charged to precise memory like any other refine
+	// bookkeeping: parent[i] is the index (into the ID order) of the
+	// element preceding i in the best subsequence ending at i; tailIdx[k]
+	// is the index whose key currently ends the best length-(k+1)
+	// subsequence.
+	parent := precise.Alloc(n)
+	tailIdx := precise.Alloc(n)
+	// tailKeys mirrors the tail keys host-side to keep the binary search
+	// from re-reading Key0 logarithmically per element; each value was
+	// already read (and charged) once when its element was processed.
+	tailKeys := make([]uint32, 0, 64)
+
+	for i := 0; i < n; i++ {
+		k := key0.Get(int(id.Get(i)))
+		// First tail strictly greater than k (non-decreasing LIS).
+		pos := sort.Search(len(tailKeys), func(j int) bool { return tailKeys[j] > k })
+		if pos == len(tailKeys) {
+			tailKeys = append(tailKeys, k)
+		} else {
+			tailKeys[pos] = k
+		}
+		tailIdx.Set(pos, uint32(i))
+		if pos > 0 {
+			parent.Set(i, tailIdx.Get(pos-1))
+		} else {
+			parent.Set(i, uint32(n)) // sentinel: no predecessor
+		}
+	}
+
+	// Walk the predecessor chain to mark LIS membership.
+	inLIS := make([]bool, n)
+	cur := int(tailIdx.Get(len(tailKeys) - 1))
+	for cur != n {
+		inLIS[cur] = true
+		cur = int(parent.Get(cur))
+	}
+
+	rem := 0
+	for i := 0; i < n; i++ {
+		if !inLIS[i] {
+			remID.Set(rem, id.Get(i))
+			rem++
+		}
+	}
+	return rem
+}

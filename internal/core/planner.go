@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"approxsort/internal/mlc"
+)
+
+// Planner implements the switch decision sketched at the end of
+// Section 4.3: "With obtaining WR in the cost analysis, we can decide
+// whether the approx-refine approach on the hybrid memory is better than
+// the sorting algorithm on precise memory only, and switch between the two
+// approaches accordingly."
+//
+// Rem~ and p(t) are not known before running, so the planner measures both
+// on a small pilot: it runs approx-refine over a strided sample of the
+// input, reads the pilot's Rem~ ratio and mean approximate write latency,
+// extrapolates Rem~ to the full size (corruption per element scales with
+// the algorithm's writes per element, α(n)/n), and evaluates Equation 4.
+type Planner struct {
+	// Config selects the algorithm and memory model exactly as for Run.
+	// Baseline and sortedness measurement settings are ignored.
+	Config Config
+
+	// PilotSize is the sample size for the pilot run (default 4096,
+	// clamped to the input size).
+	PilotSize int
+}
+
+// Plan is the planner's verdict for a concrete input.
+type Plan struct {
+	// UseHybrid is true when approx-refine is predicted to beat the
+	// precise-only sort.
+	UseHybrid bool
+	// PredictedWR is Equation 4 evaluated at the full size.
+	PredictedWR float64
+	// P is the measured p(t) from the pilot.
+	P float64
+	// PilotRemRatio and PredictedRem are the pilot's Rem~/m and the
+	// extrapolated full-size remainder.
+	PilotRemRatio float64
+	PredictedRem  int
+	// PilotSize is the sample size actually used.
+	PilotSize int
+}
+
+// Plan runs the pilot over a strided sample of keys and returns the
+// verdict for sorting all of them.
+func (pl Planner) Plan(keys []uint32) (Plan, error) {
+	n := len(keys)
+	cfg := pl.Config
+	cfg.SkipBaseline = true
+	cfg.MeasureSortedness = false
+	cfg.PreciseSink, cfg.ApproxSink = nil, nil
+	if err := cfg.validate(); err != nil {
+		return Plan{}, err
+	}
+	alpha, err := AlphaFor(cfg.Algorithm)
+	if err != nil {
+		return Plan{}, fmt.Errorf("core: planner needs an analytic α: %w", err)
+	}
+
+	m := pl.PilotSize
+	if m <= 0 {
+		m = 4096
+	}
+	if m > n {
+		m = n
+	}
+	if m < 2 {
+		// Nothing to learn from; the hybrid pipeline is pure overhead
+		// at these sizes anyway.
+		return Plan{UseHybrid: false, PredictedWR: -1, P: 1, PilotSize: m}, nil
+	}
+	pilot := make([]uint32, m)
+	stride := n / m
+	for i := 0; i < m; i++ {
+		pilot[i] = keys[i*stride]
+	}
+
+	res, err := Run(pilot, cfg)
+	if err != nil {
+		return Plan{}, err
+	}
+	r := res.Report
+	p := measuredPilotP(r)
+	pilotRatio := r.RemTildeRatio()
+
+	// Corruption accumulates once per key write, so scale the remainder
+	// ratio by the algorithms' writes-per-element ratio between the two
+	// sizes (1 for radix, log(n)/log(m) for the comparison sorts).
+	scale := 1.0
+	if am := alpha(m); am > 0 {
+		scale = (alpha(n) / float64(n)) / (am / float64(m))
+	}
+	predictedRatio := pilotRatio * scale
+	if predictedRatio > 1 {
+		predictedRatio = 1
+	}
+	predictedRem := int(predictedRatio * float64(n))
+
+	model := CostModel{P: p, Alpha: alpha}
+	wr := model.WriteReduction(n, predictedRem)
+	return Plan{
+		UseHybrid:     wr > 0,
+		PredictedWR:   wr,
+		P:             p,
+		PilotRemRatio: pilotRatio,
+		PredictedRem:  predictedRem,
+		PilotSize:     m,
+	}, nil
+}
+
+func measuredPilotP(r *Report) float64 {
+	a := r.ApproxPhase().Approx
+	if a.Writes == 0 {
+		return 1
+	}
+	return a.WriteNanos / float64(a.Writes) / mlc.PreciseWriteNanos
+}

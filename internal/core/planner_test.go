@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/sorts"
+)
+
+func TestPlannerPicksHybridAtSweetSpot(t *testing.T) {
+	keys := dataset.Uniform(500000, 1)
+	plan, err := Planner{Config: Config{Algorithm: sorts.MSD{Bits: 3}, T: 0.055, Seed: 2}}.Plan(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UseHybrid {
+		t.Errorf("planner rejected hybrid at the sweet spot: %+v", plan)
+	}
+	if plan.P < 0.55 || plan.P > 0.8 {
+		t.Errorf("pilot p(t) = %v, want ~0.67", plan.P)
+	}
+	if plan.PilotSize != 4096 {
+		t.Errorf("pilot size = %d", plan.PilotSize)
+	}
+}
+
+func TestPlannerRejectsPreciseT(t *testing.T) {
+	keys := dataset.Uniform(500000, 3)
+	plan, err := Planner{Config: Config{Algorithm: sorts.MSD{Bits: 3}, T: 0.025, Seed: 4}}.Plan(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UseHybrid {
+		t.Errorf("planner chose hybrid with p(t)≈1: %+v", plan)
+	}
+}
+
+func TestPlannerRejectsMergesort(t *testing.T) {
+	// Mergesort's pilot remainder is large enough that Eq. 4 goes
+	// negative — matching Figure 9's finding.
+	keys := dataset.Uniform(200000, 5)
+	plan, err := Planner{Config: Config{Algorithm: sorts.Mergesort{}, T: 0.055, Seed: 6}}.Plan(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UseHybrid {
+		t.Errorf("planner chose hybrid for mergesort: %+v", plan)
+	}
+}
+
+func TestPlannerTinyInput(t *testing.T) {
+	plan, err := Planner{Config: Config{Algorithm: sorts.Quicksort{}, T: 0.055}}.Plan([]uint32{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UseHybrid {
+		t.Error("planner chose hybrid for a single-element input")
+	}
+}
+
+func TestPlannerValidatesConfig(t *testing.T) {
+	if _, err := (Planner{Config: Config{T: 0.055}}).Plan(dataset.Uniform(10, 1)); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	if _, err := (Planner{Config: Config{Algorithm: fakeAlg{}, T: 0.055}}).Plan(dataset.Uniform(10000, 1)); err == nil {
+		t.Error("algorithm without analytic α accepted")
+	}
+}
+
+func TestPlannerPredictionTracksMeasurement(t *testing.T) {
+	keys := dataset.Uniform(120000, 7)
+	cfg := Config{Algorithm: sorts.LSD{Bits: 3}, T: 0.055, Seed: 8}
+	plan, err := Planner{Config: cfg, PilotSize: 8192}.Plan(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(keys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := res.Report.WriteReduction()
+	if (plan.PredictedWR > 0) != (measured > 0) {
+		t.Errorf("plan WR=%v disagrees in sign with measured %v", plan.PredictedWR, measured)
+	}
+	if d := plan.PredictedWR - measured; d > 0.1 || d < -0.1 {
+		t.Errorf("plan WR=%v far from measured %v", plan.PredictedWR, measured)
+	}
+}
+
+func TestExactLISRefine(t *testing.T) {
+	keys := dataset.Uniform(20000, 9)
+	exact, err := Run(keys, Config{Algorithm: sorts.Quicksort{}, T: 0.07, Seed: 10, ExactLIS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := Run(keys, Config{Algorithm: sorts.Quicksort{}, T: 0.07, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, keys, exact)
+	// Identical seeds give an identical post-approx order, so exact LIS
+	// must find a remainder no larger than the heuristic's.
+	if exact.Report.RemTilde > heur.Report.RemTilde {
+		t.Errorf("exact Rem %d > heuristic Rem~ %d", exact.Report.RemTilde, heur.Report.RemTilde)
+	}
+	// And it pays for the privilege in refine-stage writes.
+	exactFind := exact.Report.RefineFind.Precise.Writes
+	heurFind := heur.Report.RefineFind.Precise.Writes
+	if exactFind <= heurFind {
+		t.Errorf("exact LIS find writes %d not above heuristic %d", exactFind, heurFind)
+	}
+	if exactFind < exact.Report.N {
+		t.Errorf("exact LIS should pay Θ(n) bookkeeping writes, got %d", exactFind)
+	}
+}
+
+func TestExactLISOnCleanInput(t *testing.T) {
+	// On an already sorted order the exact LIS covers everything.
+	keys := dataset.Sorted(5000)
+	res, err := Run(keys, Config{Algorithm: sorts.Quicksort{}, T: 0.025, Seed: 11, ExactLIS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, keys, res)
+	if res.Report.RemTilde != 0 {
+		t.Errorf("exact LIS remainder on clean input = %d", res.Report.RemTilde)
+	}
+}
+
+func TestExactLISQuickEquivalence(t *testing.T) {
+	// Property: both refine variants produce the identical sorted output.
+	for seed := uint64(0); seed < 8; seed++ {
+		keys := dataset.Uniform(3000, seed+20)
+		a, err := Run(keys, Config{Algorithm: sorts.MSD{Bits: 6}, T: 0.1, Seed: seed, ExactLIS: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(keys, Config{Algorithm: sorts.MSD{Bits: 6}, T: 0.1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Keys {
+			if a.Keys[i] != b.Keys[i] {
+				t.Fatalf("seed %d: outputs differ at %d", seed, i)
+			}
+		}
+	}
+}

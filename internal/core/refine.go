@@ -1,0 +1,101 @@
+package core
+
+import "approxsort/internal/mem"
+
+// findREM is Step 1 of the refine stage (Listing 1 of the paper): a single
+// O(n) pass over the post-approx-stage ID order that keeps an element in
+// the approximate longest increasing subsequence (LIS~) when its precise
+// key is non-decreasing with respect to both the current LIS~ tail and its
+// right neighbour, and otherwise appends its record ID to REMID.
+//
+// The kept subsequence is non-decreasing by construction (the tail check
+// alone guarantees it; the neighbour check only makes the heuristic more
+// selective, trading LIS~ length for robustness against isolated spikes).
+// Precise keys are read through Key0[ID[i]] — the nearly sorted key view —
+// so the scan costs reads only, plus exactly Rem~ writes into remID.
+//
+// It returns Rem~, the number of IDs placed in remID[0:Rem~].
+func findREM(key0, id, remID mem.Words) int {
+	n := id.Len()
+	if n < 2 {
+		return 0
+	}
+	rem := 0
+	// The first element is always taken into LIS~ (Listing 1 line 9).
+	tail := key0.Get(int(id.Get(0)))
+
+	curID := id.Get(1)
+	curKey := key0.Get(int(curID))
+	for i := 1; i < n-1; i++ {
+		nextID := id.Get(i + 1)
+		nextKey := key0.Get(int(nextID))
+		if curKey >= tail && curKey <= nextKey {
+			tail = curKey
+		} else {
+			remID.Set(rem, curID)
+			rem++
+		}
+		curID, curKey = nextID, nextKey
+	}
+	// Last element (Listing 1 lines 19–21): it joins LIS~ unless it
+	// breaks the tail order.
+	if curKey < tail {
+		remID.Set(rem, curID)
+		rem++
+	}
+	return rem
+}
+
+// mergeRefine is Step 3 of the refine stage (Listing 2 of the paper): it
+// merges the LIS~ stream (the IDs remaining in `id` order, skipping REM
+// members) with the sorted REMID stream into finalKey/finalID.
+//
+// Membership in REMID is tracked with a flag array indexed by record ID
+// (the paper's REMIDset), costing Rem~ writes to build and one read per
+// probe. The merge re-reads precise keys through Key0 instead of
+// materializing an intermediate key array — the paper's explicit
+// write-limiting choice ("it deserves replacing a PCM write with a PCM
+// read") — and issues exactly 2n precise data writes for the output
+// arrays.
+func mergeRefine(key0, id, remID mem.Words, remCount int, precise mem.Space, finalKey, finalID mem.Words) {
+	n := id.Len()
+	inREM := precise.Alloc(maxInt(n, 1))
+	for i := 0; i < remCount; i++ {
+		inREM.Set(int(remID.Get(i)), 1)
+	}
+
+	lisPtr, remPtr, out := 0, 0, 0
+	for lisPtr < n {
+		// Advance to the next LIS~ member (Listing 2 line 21).
+		for lisPtr < n && inREM.Get(int(id.Get(lisPtr))) != 0 {
+			lisPtr++
+		}
+		if lisPtr >= n {
+			break
+		}
+		lisID := id.Get(lisPtr)
+		lisKey := key0.Get(int(lisID))
+		if remPtr < remCount {
+			remIDv := remID.Get(remPtr)
+			if remKey := key0.Get(int(remIDv)); remKey < lisKey {
+				finalID.Set(out, remIDv)
+				finalKey.Set(out, remKey)
+				remPtr++
+				out++
+				continue
+			}
+		}
+		finalID.Set(out, lisID)
+		finalKey.Set(out, lisKey)
+		lisPtr++
+		out++
+	}
+	// Drain the REM stream (Listing 2 lines 34–37).
+	for remPtr < remCount {
+		remIDv := remID.Get(remPtr)
+		finalID.Set(out, remIDv)
+		finalKey.Set(out, key0.Get(int(remIDv)))
+		remPtr++
+		out++
+	}
+}

@@ -1,0 +1,124 @@
+// Package dataset generates the sorting workloads used by the paper's
+// methodology (Section 3.2: uniformly distributed 32-bit integer keys with
+// record-ID payloads) plus additional distributions for robustness studies.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"approxsort/internal/rng"
+)
+
+// Uniform returns n keys drawn uniformly from the full 32-bit range — the
+// paper's workload.
+func Uniform(n int, seed uint64) []uint32 {
+	r := rng.New(seed)
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = r.Uint32()
+	}
+	return keys
+}
+
+// Sorted returns n evenly spaced keys in increasing order.
+func Sorted(n int) []uint32 {
+	keys := make([]uint32, n)
+	if n == 0 {
+		return keys
+	}
+	step := uint64(math.MaxUint32) / uint64(n)
+	for i := range keys {
+		keys[i] = uint32(uint64(i) * step)
+	}
+	return keys
+}
+
+// Reverse returns n evenly spaced keys in decreasing order — the worst case
+// for disorder measures.
+func Reverse(n int) []uint32 {
+	keys := Sorted(n)
+	for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}
+
+// NearlySorted returns a sorted sequence with `swaps` random transpositions
+// applied — the kind of input the refine stage is designed around.
+func NearlySorted(n int, swaps int, seed uint64) []uint32 {
+	keys := Sorted(n)
+	r := rng.New(seed)
+	for s := 0; s < swaps && n > 1; s++ {
+		i, j := r.Intn(n), r.Intn(n)
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}
+
+// FewDistinct returns n keys drawn uniformly from only k distinct values,
+// stressing duplicate handling in the sorts and the non-decreasing LIS.
+func FewDistinct(n, k int, seed uint64) []uint32 {
+	if k < 1 {
+		panic(fmt.Sprintf("dataset: FewDistinct needs k >= 1, got %d", k))
+	}
+	r := rng.New(seed)
+	values := make([]uint32, k)
+	for i := range values {
+		values[i] = r.Uint32()
+	}
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = values[r.Intn(k)]
+	}
+	return keys
+}
+
+// Zipf returns n keys where key popularity follows a Zipf(s) distribution
+// over k distinct values, modelling the skew common in database columns.
+// s must be > 0 and k >= 1.
+func Zipf(n, k int, s float64, seed uint64) []uint32 {
+	if k < 1 || s <= 0 {
+		panic(fmt.Sprintf("dataset: Zipf needs k >= 1 and s > 0, got k=%d s=%v", k, s))
+	}
+	r := rng.New(seed)
+	// Build the CDF over ranks.
+	cdf := make([]float64, k)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	values := make([]uint32, k)
+	for i := range values {
+		values[i] = r.Uint32()
+	}
+	keys := make([]uint32, n)
+	for i := range keys {
+		u := r.Float64()
+		lo, hi := 0, k-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		keys[i] = values[lo]
+	}
+	return keys
+}
+
+// IDs returns the identity record-ID payload 0..n−1, matching the paper's
+// setup where IDs index back into the original key array.
+func IDs(n int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	return ids
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"testing"
+
+	"approxsort/internal/sortedness"
+)
+
+func TestUniformDeterministicAndSpread(t *testing.T) {
+	a := Uniform(1000, 1)
+	b := Uniform(1000, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Uniform not deterministic for equal seeds")
+		}
+	}
+	c := Uniform(1000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched %d/1000 positions", same)
+	}
+	// A uniform sample should use high bits: some values above 2^31.
+	high := 0
+	for _, v := range a {
+		if v >= 1<<31 {
+			high++
+		}
+	}
+	if high < 400 || high > 600 {
+		t.Errorf("high-bit count %d/1000, distribution looks skewed", high)
+	}
+}
+
+func TestSortedAndReverse(t *testing.T) {
+	s := Sorted(100)
+	if !sortedness.IsSorted(s) {
+		t.Error("Sorted output is not sorted")
+	}
+	r := Reverse(100)
+	if sortedness.Runs(r) != 100 {
+		t.Errorf("Reverse(100) has %d runs, want 100", sortedness.Runs(r))
+	}
+	if len(Sorted(0)) != 0 || len(Reverse(0)) != 0 {
+		t.Error("zero-length generators misbehave")
+	}
+}
+
+func TestNearlySorted(t *testing.T) {
+	ns := NearlySorted(1000, 10, 3)
+	if got := sortedness.Rem(ns); got > 40 {
+		t.Errorf("NearlySorted(1000, 10 swaps) Rem = %d, want small", got)
+	}
+	if sortedness.IsSorted(ns) {
+		t.Error("NearlySorted with 10 swaps should (almost surely) have disorder")
+	}
+	if !sortedness.SameMultiset(ns, Sorted(1000)) {
+		t.Error("NearlySorted changed the multiset")
+	}
+}
+
+func TestFewDistinct(t *testing.T) {
+	ks := FewDistinct(500, 3, 4)
+	distinct := map[uint32]bool{}
+	for _, v := range ks {
+		distinct[v] = true
+	}
+	if len(distinct) > 3 {
+		t.Errorf("FewDistinct(k=3) produced %d values", len(distinct))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FewDistinct(k=0) did not panic")
+		}
+	}()
+	FewDistinct(10, 0, 1)
+}
+
+func TestZipfSkew(t *testing.T) {
+	ks := Zipf(5000, 50, 1.5, 5)
+	counts := map[uint32]int{}
+	for _, v := range ks {
+		counts[v]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5000/10 {
+		t.Errorf("Zipf(1.5) most popular value has %d/5000 occurrences, expected heavy skew", max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf with s=0 did not panic")
+		}
+	}()
+	Zipf(10, 5, 0, 1)
+}
+
+func TestIDs(t *testing.T) {
+	ids := IDs(5)
+	for i, v := range ids {
+		if v != uint32(i) {
+			t.Fatalf("IDs[%d] = %d", i, v)
+		}
+	}
+}

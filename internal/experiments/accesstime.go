@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/hybrid"
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/pcm"
+	"approxsort/internal/rng"
+	"approxsort/internal/sorts"
+)
+
+// AccessTimeRow compares end-to-end memory access time between the hybrid
+// approx-refine execution and the traditional precise-only sort, in two
+// senses:
+//
+//   - LatencyReduction sums per-access device latencies (reads 50 ns,
+//     writes 1 µs scaled by p(t)) — the paper's "total memory access
+//     time" metric behind the abstract's "up to 11%".
+//   - QueueAwareReduction drives the same access streams through the
+//     Table 1 cache hierarchy and banked PCM device with posted writes
+//     and read-priority scheduling, and compares CPU-visible clocks.
+//     Because posted writes overlap with computation until a queue fills,
+//     this metric is read-bound and typically *smaller* (the refine
+//     stage's extra reads can even push it negative) — a system-level
+//     observation the paper's latency-sum metric does not capture.
+type AccessTimeRow struct {
+	Algorithm string
+	T         float64
+	N         int
+	// LatencyReduction is 1 − hybrid/baseline over summed device
+	// latencies.
+	LatencyReduction float64
+	// HybridClockNanos and BaselineClockNanos are the CPU-visible
+	// times through the cache + banked-PCM pipeline.
+	HybridClockNanos, BaselineClockNanos float64
+	// QueueAwareReduction is 1 − HybridClock/BaselineClock.
+	QueueAwareReduction float64
+	// HybridStats carries the hybrid run's system counters (cache hits,
+	// queue stalls) for inspection.
+	HybridStats hybrid.Stats
+}
+
+// AccessTime drives one algorithm at half-width T through the full memory
+// system with the Table 1 device configuration. The approximate region's
+// device write time is the model's p(t)-scaled latency (its calibrated
+// mean pulse count over the precise anchor).
+func AccessTime(alg sorts.Algorithm, t float64, n int, seed uint64) (AccessTimeRow, error) {
+	return AccessTimeWithDevice(alg, t, n, seed, pcm.DefaultConfig())
+}
+
+// AccessTimeWithDevice is AccessTime with a custom PCM device
+// configuration — notably Config.SeqWriteFactor, the Section 5 future-work
+// refinement distinguishing sequential from random writes. The paper
+// conjectures the discount should favour the refine stage's sequential
+// output writes; measurement shows both executions speed up alike,
+// because the baseline radix copy-backs are equally sequential (see
+// EXPERIMENTS.md, extension studies).
+func AccessTimeWithDevice(alg sorts.Algorithm, t float64, n int, seed uint64, dev pcm.Config) (AccessTimeRow, error) {
+	keys := dataset.Uniform(n, seed)
+
+	// Hybrid run: approx-refine with both spaces sinked into one system.
+	// The un-sinked precise baseline inside Run provides the latency-sum
+	// denominator.
+	table := mlc.NewTable(mlc.Approximate(t), 0, seed^0x11)
+	approxWriteNanos := table.AvgP() / mlc.ReferenceAvgP * mlc.PreciseWriteNanos
+	sys := hybrid.NewWithConfig(dev)
+	res, err := core.Run(keys, core.Config{
+		Algorithm:   alg,
+		T:           t,
+		Seed:        seed,
+		PreciseSink: sys.Region("precise", mlc.PreciseWriteNanos),
+		ApproxSink:  sys.Region("approx", approxWriteNanos),
+	})
+	if err != nil {
+		return AccessTimeRow{}, err
+	}
+	if !res.Report.Sorted {
+		return AccessTimeRow{}, fmt.Errorf("experiments: hybrid run produced unsorted output")
+	}
+	hybridClock := sys.Clock()
+
+	// Queue-aware baseline: the traditional sort, precise space sinked
+	// into its own fresh system; the warm-up load's clock is excluded,
+	// matching the hybrid run (core.Run attaches sinks after warm-up).
+	base := hybrid.NewWithConfig(dev)
+	space := mem.NewPreciseSpace()
+	space.SetSink(base.Region("precise", mlc.PreciseWriteNanos))
+	p := sorts.Pair{Keys: space.Alloc(n), IDs: space.Alloc(n)}
+	mem.Load(p.Keys, keys)
+	mem.Load(p.IDs, dataset.IDs(n))
+	loadNanos := base.Clock()
+	alg.Sort(p, sorts.Env{KeySpace: space, IDSpace: space, R: rng.New(seed ^ 0x13)})
+	baselineClock := base.Clock() - loadNanos
+
+	row := AccessTimeRow{
+		Algorithm:          alg.Name(),
+		T:                  t,
+		N:                  n,
+		LatencyReduction:   res.Report.AccessTimeReduction(),
+		HybridClockNanos:   hybridClock,
+		BaselineClockNanos: baselineClock,
+		HybridStats:        sys.Stats(),
+	}
+	if baselineClock > 0 {
+		row.QueueAwareReduction = 1 - hybridClock/baselineClock
+	}
+	return row, nil
+}

@@ -1,0 +1,230 @@
+// Package experiments implements the paper's evaluation campaigns — one
+// function per table or figure — shared by the cmd/ harnesses and the
+// repository benchmarks so both always run identical code paths.
+//
+// Every function takes an explicit problem size; the paper's headline runs
+// use n = 16,000,000, which these campaigns reproduce shape-faithfully at
+// much smaller n (the cost model of Section 4.3 is size-aware, and
+// Figure 10's n-sweep is itself one of the experiments). See EXPERIMENTS.md
+// for the sizes used in the recorded results.
+package experiments
+
+import (
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+	"approxsort/internal/sorts"
+)
+
+// StudyAlgorithms returns the algorithm roster of the Section 3 and 5
+// studies: quicksort, mergesort, and LSD/MSD at every evaluated bin width.
+func StudyAlgorithms(bits ...int) []sorts.Algorithm {
+	if len(bits) == 0 {
+		bits = []int{3, 4, 5, 6}
+	}
+	return sorts.Standard(bits...)
+}
+
+// Fig2 runs the Figure 2 Monte-Carlo campaign: per-T average P&V pulse
+// count (panel a) and cell/word error rates (panel b). words is the number
+// of 32-bit writes per point (the paper uses ~6M words ≙ 1e8 cells).
+// Points run in parallel; results are identical to a sequential sweep.
+func Fig2(words int, seed uint64, extended bool) []mlc.Stats {
+	return mlc.SweepParallel(mlc.Precise(), mlc.StandardTs(extended), words, seed)
+}
+
+// SortOnlyRow is one point of the Section 3 approximate-only study
+// (Figure 4 panels a–c and Table 3).
+type SortOnlyRow struct {
+	Algorithm string
+	T         float64
+	N         int
+	// ErrorRate is the fraction of elements whose value deviates from
+	// the original after sorting (Figure 4a).
+	ErrorRate float64
+	// RemRatio is Rem/n of the post-sort sequence (Figure 4b, Table 3).
+	RemRatio float64
+	// WriteReduction is Equation 1: saved key-write latency versus the
+	// same sort in precise memory (Figure 4c).
+	WriteReduction float64
+}
+
+// SortOnly sorts keys entirely in approximate memory at half-width T and
+// measures the Section 3 quantities. A shadow record-ID array (in its own
+// uncharged space) tracks element identity for the error-rate metric; the
+// paper's Section 3 runs likewise exclude the payload from the latency
+// accounting.
+func SortOnly(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) SortOnlyRow {
+	n := len(keys)
+	approx := mem.NewApproxSpaceAt(t, seed)
+	shadow := mem.NewPreciseSpace() // IDs: instrumentation only
+	p := sorts.Pair{Keys: approx.Alloc(n), IDs: shadow.Alloc(n)}
+	mem.Load(p.Keys, keys)
+	mem.Load(p.IDs, dataset.IDs(n))
+	approx.ResetStats()
+	env := sorts.Env{KeySpace: approx, IDSpace: shadow, R: rng.New(seed ^ 0xabcd)}
+	alg.Sort(p, env)
+	approxNanos := approx.Stats().WriteNanos
+
+	// Reference: the identical sort on precise memory.
+	precise := mem.NewPreciseSpace()
+	q := sorts.Pair{Keys: precise.Alloc(n)}
+	mem.Load(q.Keys, keys)
+	precise.ResetStats()
+	alg.Sort(q, sorts.Env{KeySpace: precise, IDSpace: shadow, R: rng.New(seed ^ 0xabcd)})
+	preciseNanos := precise.Stats().WriteNanos
+
+	out := mem.PeekAll(p.Keys)
+	idsRaw := mem.PeekAll(p.IDs)
+	ids := make([]int, n)
+	for i, v := range idsRaw {
+		ids[i] = int(v)
+	}
+	row := SortOnlyRow{
+		Algorithm: alg.Name(),
+		T:         t,
+		N:         n,
+		ErrorRate: sortedness.ErrorRate(out, ids, keys),
+		RemRatio:  sortedness.RemRatio(out),
+	}
+	if preciseNanos > 0 {
+		row.WriteReduction = 1 - approxNanos/preciseNanos
+	}
+	return row
+}
+
+// Fig4 sweeps T over the standard grid for each algorithm (Figure 4; the
+// T ∈ {0.03, 0.055, 0.1} rows are Table 3).
+func Fig4(algs []sorts.Algorithm, ts []float64, n int, seed uint64) []SortOnlyRow {
+	keys := dataset.Uniform(n, seed)
+	rows := make([]SortOnlyRow, 0, len(algs)*len(ts))
+	for _, alg := range algs {
+		for i, t := range ts {
+			rows = append(rows, SortOnly(alg, t, keys, seed+uint64(i)*31+uint64(len(rows))*7))
+		}
+	}
+	return rows
+}
+
+// Shape returns the post-sort sequence X itself — the data behind the
+// scatter plots of Figures 5–7 (the paper visualizes n = 160,000).
+func Shape(alg sorts.Algorithm, t float64, n int, seed uint64) []uint32 {
+	keys := dataset.Uniform(n, seed)
+	approx := mem.NewApproxSpaceAt(t, seed^0x5151)
+	p := sorts.Pair{Keys: approx.Alloc(n)}
+	mem.Load(p.Keys, keys)
+	alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: mem.NewPreciseSpace(), R: rng.New(seed ^ 0x3333)})
+	return mem.PeekAll(p.Keys)
+}
+
+// RefineRow is one point of the Section 5 approx-refine study
+// (Figures 9–11).
+type RefineRow struct {
+	Algorithm string
+	T         float64
+	N         int
+	// WriteReduction is Equation 2 (measured).
+	WriteReduction float64
+	// ModelWR is Equation 4 evaluated with the measured p(t) and Rem~.
+	ModelWR float64
+	// RemTildeRatio is Rem~/n.
+	RemTildeRatio float64
+	// ApproxWriteNanos and RefineWriteNanos decompose the hybrid run's
+	// total write latency (Figure 11's two bar segments).
+	ApproxWriteNanos, RefineWriteNanos float64
+	// BaselineWriteNanos is the precise-only sort's write latency.
+	BaselineWriteNanos float64
+	// EnergySaving is the write-energy analogue (Appendix A metric).
+	EnergySaving float64
+	// Sorted confirms the precision contract held.
+	Sorted bool
+}
+
+// Refine runs approx-refine once and derives the Figure 9–11 quantities.
+func Refine(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) (RefineRow, error) {
+	res, err := core.Run(keys, core.Config{Algorithm: alg, T: t, Seed: seed})
+	if err != nil {
+		return RefineRow{}, err
+	}
+	r := res.Report
+	row := RefineRow{
+		Algorithm:          r.Algorithm,
+		T:                  t,
+		N:                  r.N,
+		WriteReduction:     r.WriteReduction(),
+		RemTildeRatio:      r.RemTildeRatio(),
+		ApproxWriteNanos:   r.ApproxPhase().WriteNanos(),
+		RefineWriteNanos:   r.RefinePhase().WriteNanos(),
+		BaselineWriteNanos: r.Baseline.WriteNanos,
+		EnergySaving:       r.EnergySaving(),
+		Sorted:             r.Sorted,
+	}
+	if alpha, err := core.AlphaFor(alg); err == nil {
+		p := measuredP(r)
+		row.ModelWR = core.CostModel{P: p, Alpha: alpha}.WriteReduction(r.N, r.RemTilde)
+	}
+	return row, nil
+}
+
+// measuredP extracts p(t) from the run itself: the mean approximate write
+// latency over the precise write latency.
+func measuredP(r *core.Report) float64 {
+	a := r.ApproxPhase().Approx
+	if a.Writes == 0 {
+		return 1
+	}
+	return a.WriteNanos / float64(a.Writes) / mlc.PreciseWriteNanos
+}
+
+// Fig9 sweeps T for each algorithm at fixed n (Figure 9).
+func Fig9(algs []sorts.Algorithm, ts []float64, n int, seed uint64) ([]RefineRow, error) {
+	keys := dataset.Uniform(n, seed)
+	rows := make([]RefineRow, 0, len(algs)*len(ts))
+	for _, alg := range algs {
+		for i, t := range ts {
+			row, err := Refine(alg, t, keys, seed+uint64(i)*131)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig10 sweeps n for each algorithm at fixed T (Figure 10; the paper uses
+// T = 0.055 and n from 1.6K to 16M in decades).
+func Fig10(algs []sorts.Algorithm, t float64, ns []int, seed uint64) ([]RefineRow, error) {
+	rows := make([]RefineRow, 0, len(algs)*len(ns))
+	for _, alg := range algs {
+		for i, n := range ns {
+			keys := dataset.Uniform(n, seed+uint64(i))
+			row, err := Refine(alg, t, keys, seed+uint64(i)*977)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig11 runs every algorithm at the sweet spot T and returns the rows
+// whose Approx/Refine write-latency split is Figure 11 (normalize to the
+// first row's approx segment when plotting, as the paper does with
+// 3-bit LSD).
+func Fig11(algs []sorts.Algorithm, t float64, n int, seed uint64) ([]RefineRow, error) {
+	keys := dataset.Uniform(n, seed)
+	rows := make([]RefineRow, 0, len(algs))
+	for _, alg := range algs {
+		row, err := Refine(alg, t, keys, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

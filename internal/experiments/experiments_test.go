@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"testing"
+
+	"approxsort/internal/sorts"
+	"approxsort/internal/spintronic"
+)
+
+func TestFig2Shape(t *testing.T) {
+	rows := Fig2(4000, 1, true)
+	if len(rows) < 16 {
+		t.Fatalf("Fig2 returned %d points", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgP >= rows[i-1].AvgP {
+			t.Errorf("avg #P not decreasing at T=%v", rows[i].T)
+		}
+	}
+	if first, last := rows[0], rows[len(rows)-1]; first.WordErrorRate > 0.001 || last.WordErrorRate < 0.2 {
+		t.Errorf("error-rate endpoints implausible: %v .. %v", first.WordErrorRate, last.WordErrorRate)
+	}
+}
+
+func TestFig4TableThreeOrdering(t *testing.T) {
+	algs := []sorts.Algorithm{sorts.Quicksort{}, sorts.Mergesort{}, sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}}
+	rows := Fig4(algs, []float64{0.03, 0.055, 0.1}, 20000, 2)
+	get := func(name string, T float64) SortOnlyRow {
+		for _, r := range rows {
+			if r.Algorithm == name && r.T == T {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%v missing", name, T)
+		return SortOnlyRow{}
+	}
+	// Table 3 anchors (shape): at T=0.03 everything nearly sorted; at
+	// T=0.055 quicksort/LSD/MSD < few %, mergesort huge; at T=0.1 all
+	// high.
+	for _, name := range []string{"Quicksort", "6-bit LSD", "6-bit MSD", "Mergesort"} {
+		if r := get(name, 0.03); r.RemRatio > 0.01 {
+			t.Errorf("%s Rem ratio at 0.03 = %v", name, r.RemRatio)
+		}
+	}
+	for _, name := range []string{"Quicksort", "6-bit LSD", "6-bit MSD"} {
+		if r := get(name, 0.055); r.RemRatio > 0.10 {
+			t.Errorf("%s Rem ratio at 0.055 = %v, want nearly sorted", name, r.RemRatio)
+		}
+	}
+	if ms := get("Mergesort", 0.055); ms.RemRatio < 0.2 {
+		t.Errorf("mergesort Rem ratio at 0.055 = %v, want catastrophic (paper: 0.558)", ms.RemRatio)
+	}
+	for _, name := range []string{"Quicksort", "6-bit LSD", "Mergesort"} {
+		if r := get(name, 0.1); r.RemRatio < 0.5 {
+			t.Errorf("%s Rem ratio at 0.1 = %v, want chaos (paper: >0.8)", name, r.RemRatio)
+		}
+	}
+	// Figure 4(c): write reduction grows with T.
+	if a, b := get("Quicksort", 0.03).WriteReduction, get("Quicksort", 0.1).WriteReduction; a >= b {
+		t.Errorf("write reduction not increasing: %v at 0.03 vs %v at 0.1", a, b)
+	}
+	if wr := get("Quicksort", 0.055).WriteReduction; wr < 0.25 || wr > 0.45 {
+		t.Errorf("quicksort write reduction at 0.055 = %v, paper reports ~33%%", wr)
+	}
+}
+
+func TestShapeLooksSorted(t *testing.T) {
+	xs := Shape(sorts.Quicksort{}, 0.03, 5000, 3)
+	if len(xs) != 5000 {
+		t.Fatalf("Shape length %d", len(xs))
+	}
+	desc := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			desc++
+		}
+	}
+	if desc > 250 {
+		t.Errorf("Shape at T=0.03 has %d descents, want nearly sorted", desc)
+	}
+}
+
+func TestFig9SweetSpot(t *testing.T) {
+	rows, err := Fig9([]sorts.Algorithm{sorts.MSD{Bits: 3}}, []float64{0.025, 0.055, 0.09}, 30000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byT := map[float64]RefineRow{}
+	for _, r := range rows {
+		if !r.Sorted {
+			t.Fatalf("unsorted output at T=%v", r.T)
+		}
+		byT[r.T] = r
+	}
+	if byT[0.025].WriteReduction >= 0 {
+		t.Errorf("WR at precise T = %v, want negative", byT[0.025].WriteReduction)
+	}
+	if byT[0.055].WriteReduction <= 0 {
+		t.Errorf("WR at 0.055 = %v, want positive (paper ~10%%)", byT[0.055].WriteReduction)
+	}
+	if byT[0.055].WriteReduction <= byT[0.09].WriteReduction {
+		t.Errorf("WR should peak near 0.055: %v vs %v at 0.09",
+			byT[0.055].WriteReduction, byT[0.09].WriteReduction)
+	}
+	// Model and measurement agree reasonably at the sweet spot.
+	if d := byT[0.055].ModelWR - byT[0.055].WriteReduction; d > 0.12 || d < -0.12 {
+		t.Errorf("model %v vs measured %v diverge", byT[0.055].ModelWR, byT[0.055].WriteReduction)
+	}
+}
+
+func TestFig10GrowsWithNForQuicksort(t *testing.T) {
+	rows, err := Fig10([]sorts.Algorithm{sorts.Quicksort{}}, 0.055, []int{1600, 16000, 160000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].WriteReduction >= rows[2].WriteReduction {
+		t.Errorf("quicksort WR not growing with n: %v (1.6K) vs %v (160K)",
+			rows[0].WriteReduction, rows[2].WriteReduction)
+	}
+}
+
+func TestFig11RefineOverheadSmallExceptMergesort(t *testing.T) {
+	rows, err := Fig11([]sorts.Algorithm{sorts.LSD{Bits: 6}, sorts.Mergesort{}}, 0.055, 20000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsd, ms := rows[0], rows[1]
+	if frac := lsd.RefineWriteNanos / (lsd.ApproxWriteNanos + lsd.RefineWriteNanos); frac > 0.35 {
+		t.Errorf("LSD refine fraction = %v, want small", frac)
+	}
+	msFrac := ms.RefineWriteNanos / (ms.ApproxWriteNanos + ms.RefineWriteNanos)
+	lsdFrac := lsd.RefineWriteNanos / (lsd.ApproxWriteNanos + lsd.RefineWriteNanos)
+	if msFrac <= lsdFrac {
+		t.Errorf("mergesort refine fraction %v not worse than LSD %v", msFrac, lsdFrac)
+	}
+}
+
+func TestFig12SpintronicRemGrowsWithAggressiveness(t *testing.T) {
+	rows := Fig12([]sorts.Algorithm{sorts.Mergesort{}}, spintronic.Presets(), 20000, 7)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].RemRatio > 0.01 {
+		t.Errorf("Rem at 5%% point = %v, want ~0", rows[0].RemRatio)
+	}
+	if rows[3].RemRatio <= rows[1].RemRatio {
+		t.Errorf("Rem not growing with aggressiveness: %v vs %v", rows[3].RemRatio, rows[1].RemRatio)
+	}
+}
+
+func TestFig13EnergySweetSpot(t *testing.T) {
+	rows, err := Fig13([]sorts.Algorithm{sorts.MSD{Bits: 3}}, spintronic.Presets(), 30000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appendix A: the 20% and 33% points save energy; radix peaks around
+	// 13%.
+	var at20, at33, at5 SpinRefineRow
+	for _, r := range rows {
+		if !r.Sorted {
+			t.Fatal("unsorted spintronic output")
+		}
+		switch r.Saving {
+		case 0.20:
+			at20 = r
+		case 0.33:
+			at33 = r
+		case 0.05:
+			at5 = r
+		}
+	}
+	if at20.EnergySaving <= 0 && at33.EnergySaving <= 0 {
+		t.Errorf("no energy saving at either sweet spot: %v / %v", at20.EnergySaving, at33.EnergySaving)
+	}
+	if at5.EnergySaving >= at33.EnergySaving {
+		t.Errorf("5%% point (%v) should save less than 33%% point (%v)", at5.EnergySaving, at33.EnergySaving)
+	}
+}
+
+func TestFig15HistRadixStillWins(t *testing.T) {
+	rows, err := Fig15([]float64{0.055}, 20000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positive := 0
+	for _, r := range rows {
+		if !r.Sorted {
+			t.Fatalf("%s: unsorted", r.Algorithm)
+		}
+		if r.WriteReduction > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Error("no histogram-radix configuration shows write reduction at T=0.055")
+	}
+}
+
+func TestAccessTimeReduction(t *testing.T) {
+	row, err := AccessTime(sorts.MSD{Bits: 3}, 0.055, 30000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.LatencyReduction <= 0 {
+		t.Errorf("latency-sum access-time reduction = %v, want positive (abstract: up to 11%%)",
+			row.LatencyReduction)
+	}
+	if row.HybridStats.Clock != row.HybridClockNanos {
+		t.Error("stats clock mismatch")
+	}
+	if row.HybridStats.L1Hits == 0 {
+		t.Error("cache hierarchy seemingly bypassed")
+	}
+	if row.BaselineClockNanos <= 0 || row.HybridClockNanos <= 0 {
+		t.Error("queue-aware clocks missing")
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"approxsort/internal/dataset"
+	"approxsort/internal/histsort"
+	"approxsort/internal/sorts"
+)
+
+// HistAlgorithms returns the Appendix B roster: histogram-based LSD and
+// MSD at the given bin widths (3–6 bits by default, as in Figure 15).
+func HistAlgorithms(bits ...int) []sorts.Algorithm {
+	if len(bits) == 0 {
+		bits = []int{3, 4, 5, 6}
+	}
+	algs := make([]sorts.Algorithm, 0, 2*len(bits))
+	for _, b := range bits {
+		algs = append(algs, histsort.HistLSD{Bits: b})
+	}
+	for _, b := range bits {
+		algs = append(algs, histsort.HistMSD{Bits: b})
+	}
+	return algs
+}
+
+// Fig15 sweeps T for the histogram-based radix sorts under approx-refine
+// (Figure 15). The rows are RefineRows like Figure 9's, but ModelWR is
+// zero: Appendix B's implementation has no closed-form α in the paper.
+func Fig15(ts []float64, n int, seed uint64) ([]RefineRow, error) {
+	keys := dataset.Uniform(n, seed)
+	algs := HistAlgorithms()
+	rows := make([]RefineRow, 0, len(algs)*len(ts))
+	for _, alg := range algs {
+		for i, t := range ts {
+			row, err := Refine(alg, t, keys, seed+uint64(i)*193)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

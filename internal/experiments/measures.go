@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+	"approxsort/internal/sorts"
+)
+
+// MeasureRow evaluates every implemented disorder measure on the output
+// of one approximate-memory sort — the measure-comparison study behind
+// the paper's Section 3.3 choice of Rem over the alternatives surveyed in
+// its reference [20].
+type MeasureRow struct {
+	Algorithm string
+	T         float64
+	sortedness.Measures
+}
+
+// MeasureComparison sorts keys in approximate memory at each T and
+// measures the output under all measures. The study's point: Rem counts
+// exactly the records the refine stage must handle (it tracks Rem~ and
+// the refine write bill), while Inv and Osc blow up quadratically under
+// the same corruption and Dis/Max saturate almost immediately — so they
+// cannot budget a write-limited refinement.
+func MeasureComparison(alg sorts.Algorithm, ts []float64, n int, seed uint64) []MeasureRow {
+	keys := dataset.Uniform(n, seed)
+	rows := make([]MeasureRow, 0, len(ts))
+	for i, t := range ts {
+		approx := mem.NewApproxSpaceAt(t, seed+uint64(i)*17)
+		p := sorts.Pair{Keys: approx.Alloc(n)}
+		mem.Load(p.Keys, keys)
+		alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: mem.NewPreciseSpace(), R: rng.New(seed ^ 0x42)})
+		rows = append(rows, MeasureRow{
+			Algorithm: alg.Name(),
+			T:         t,
+			Measures:  sortedness.MeasureAll(mem.PeekAll(p.Keys)),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+	"approxsort/internal/sorts"
+)
+
+// PriorityRow compares uniform-precision approximate storage against the
+// bit-priority configuration of Section 2 at the same mean target
+// half-width: identical write budgets, errors pushed into low-order bits.
+type PriorityRow struct {
+	Algorithm string
+	MeanT     float64
+	N         int
+	// Uniform and Priority hold the post-sort measurements for the two
+	// configurations.
+	Uniform, Priority struct {
+		RemRatio  float64
+		ErrorRate float64
+		// MeanAbsDeviation is the mean |corrupted − original| over
+		// deviating elements — the "magnitude of errors" that bit
+		// priority minimizes.
+		MeanAbsDeviation float64
+	}
+}
+
+// PriorityStudy sorts in approximate memory only, once with a uniform T
+// and once with a bit-priority schedule of the same mean, and measures
+// both sortedness and error magnitude.
+func PriorityStudy(alg sorts.Algorithm, meanT, tLow, tHigh float64, n int, seed uint64) PriorityRow {
+	keys := dataset.Uniform(n, seed)
+	row := PriorityRow{Algorithm: alg.Name(), MeanT: meanT, N: n}
+
+	measure := func(model mlc.WordModel, spaceSeed uint64) (rem, errRate, dev float64) {
+		approx := mem.NewApproxSpace(model, spaceSeed)
+		shadow := mem.NewPreciseSpace()
+		p := sorts.Pair{Keys: approx.Alloc(n), IDs: shadow.Alloc(n)}
+		mem.Load(p.Keys, keys)
+		mem.Load(p.IDs, dataset.IDs(n))
+		alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: shadow, R: rng.New(seed ^ 0x99)})
+		out := mem.PeekAll(p.Keys)
+		idsRaw := mem.PeekAll(p.IDs)
+		ids := make([]int, n)
+		var devSum float64
+		devs := 0
+		for i, v := range idsRaw {
+			ids[i] = int(v)
+			orig := keys[ids[i]]
+			if out[i] != orig {
+				d := float64(out[i]) - float64(orig)
+				if d < 0 {
+					d = -d
+				}
+				devSum += d
+				devs++
+			}
+		}
+		if devs > 0 {
+			dev = devSum / float64(devs)
+		}
+		return sortedness.RemRatio(out), sortedness.ErrorRate(out, ids, keys), dev
+	}
+
+	row.Uniform.RemRatio, row.Uniform.ErrorRate, row.Uniform.MeanAbsDeviation =
+		measure(mlc.NewTable(mlc.Approximate(meanT), 0, seed^0x1), seed^0x2)
+	row.Priority.RemRatio, row.Priority.ErrorRate, row.Priority.MeanAbsDeviation =
+		measure(mlc.NewPriority(mlc.Approximate(meanT), tLow, tHigh), seed^0x3)
+	return row
+}

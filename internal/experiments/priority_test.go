@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+
+	"approxsort/internal/sorts"
+)
+
+// TestPriorityStudyImprovesSortQuality checks the Section 2 claim end to
+// end: at the same mean precision, prioritizing high-order bits shrinks
+// both the error magnitude and the resulting disorder after sorting.
+func TestPriorityStudyImprovesSortQuality(t *testing.T) {
+	row := PriorityStudy(sorts.Quicksort{}, 0.075, 0.03, 0.12, 20000, 4)
+	if row.Uniform.ErrorRate == 0 || row.Priority.ErrorRate == 0 {
+		t.Fatal("no errors at T=0.075; study inconclusive")
+	}
+	if row.Priority.MeanAbsDeviation >= row.Uniform.MeanAbsDeviation/4 {
+		t.Errorf("priority deviation %v not well below uniform %v",
+			row.Priority.MeanAbsDeviation, row.Uniform.MeanAbsDeviation)
+	}
+	if row.Priority.RemRatio >= row.Uniform.RemRatio {
+		t.Errorf("priority Rem ratio %v not below uniform %v",
+			row.Priority.RemRatio, row.Uniform.RemRatio)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/sorts"
+)
+
+// Distribution names a key-distribution generator for the robustness
+// study. The paper evaluates uniform keys only (Section 3.2); real
+// database columns are frequently skewed, presorted or duplicate-heavy,
+// and the refine stage's cost depends on Rem~, which these shapes stress
+// differently (duplicates lengthen the non-decreasing LIS; presorted
+// inputs minimize quicksort's writes; skew shrinks radix buckets).
+type Distribution string
+
+// The evaluated distributions.
+const (
+	DistUniform     Distribution = "uniform"
+	DistSorted      Distribution = "sorted"
+	DistReverse     Distribution = "reverse"
+	DistZipf        Distribution = "zipf"
+	DistFewDistinct Distribution = "fewdistinct"
+)
+
+// Distributions returns the full roster.
+func Distributions() []Distribution {
+	return []Distribution{DistUniform, DistSorted, DistReverse, DistZipf, DistFewDistinct}
+}
+
+// Generate materializes n keys of the distribution.
+func (d Distribution) Generate(n int, seed uint64) ([]uint32, error) {
+	switch d {
+	case DistUniform:
+		return dataset.Uniform(n, seed), nil
+	case DistSorted:
+		return dataset.Sorted(n), nil
+	case DistReverse:
+		return dataset.Reverse(n), nil
+	case DistZipf:
+		return dataset.Zipf(n, maxInt(n/16, 1), 1.2, seed), nil
+	case DistFewDistinct:
+		return dataset.FewDistinct(n, 16, seed), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown distribution %q", d)
+	}
+}
+
+// RobustnessRow extends RefineRow with the input distribution.
+type RobustnessRow struct {
+	Distribution Distribution
+	RefineRow
+}
+
+// Robustness runs approx-refine over every distribution at one (algorithm,
+// T, n) point — the extension study behind DESIGN.md's workload-generator
+// inventory. A row with Sorted == false would indicate a precision bug;
+// none should ever appear.
+func Robustness(algs []sorts.Algorithm, t float64, n int, seed uint64) ([]RobustnessRow, error) {
+	rows := make([]RobustnessRow, 0, len(algs)*len(Distributions()))
+	for _, alg := range algs {
+		for i, d := range Distributions() {
+			keys, err := d.Generate(n, seed+uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			row, err := Refine(alg, t, keys, seed+uint64(i)*59)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, RobustnessRow{Distribution: d, RefineRow: row})
+		}
+	}
+	return rows, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

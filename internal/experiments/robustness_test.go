@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"approxsort/internal/sorts"
+)
+
+func TestDistributionsGenerate(t *testing.T) {
+	for _, d := range Distributions() {
+		keys, err := d.Generate(1000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if len(keys) != 1000 {
+			t.Errorf("%s: got %d keys", d, len(keys))
+		}
+	}
+	if _, err := Distribution("nope").Generate(10, 1); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestRobustnessPrecisionAcrossDistributions(t *testing.T) {
+	rows, err := Robustness([]sorts.Algorithm{sorts.Quicksort{}, sorts.LSD{Bits: 6}}, 0.08, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(Distributions()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Sorted {
+			t.Errorf("%s on %s: output not sorted", r.Algorithm, r.Distribution)
+		}
+	}
+}
+
+func TestMeasureComparisonJustifiesRem(t *testing.T) {
+	rows := MeasureComparison(sorts.Quicksort{}, []float64{0.055, 0.08}, 10000, 4)
+	mid, high := rows[0], rows[1]
+	// At the sweet spot Rem is a tiny fraction of n while Inv is already
+	// enormous relative to Rem — the write-limited refine budget must be
+	// based on Rem, not Inv.
+	if ratio := float64(mid.Rem) / float64(mid.N); ratio > 0.05 {
+		t.Errorf("Rem/n at 0.055 = %v, want small", ratio)
+	}
+	if mid.Inv < uint64(mid.Rem)*100 {
+		t.Errorf("Inv (%d) does not dwarf Rem (%d) at 0.055", mid.Inv, mid.Rem)
+	}
+	// Dis saturates early: a single far-displaced corrupted element
+	// pushes it near n even while the sequence is 99% sorted.
+	if mid.Dis < mid.Rem {
+		t.Errorf("Dis (%d) should exceed Rem (%d) under sparse far corruption", mid.Dis, mid.Rem)
+	}
+	// All measures grow with T.
+	if high.Rem <= mid.Rem || high.Inv <= mid.Inv || high.Ham <= mid.Ham {
+		t.Errorf("measures did not grow with T: %+v vs %+v", mid.Measures, high.Measures)
+	}
+}
+
+func TestRobustnessDuplicatesShrinkRemainder(t *testing.T) {
+	// With 16 distinct values a non-decreasing LIS survives most
+	// corruption (a flipped key often still fits the run), so Rem~ on
+	// fewdistinct inputs should undercut uniform at the same T.
+	rows, err := Robustness([]sorts.Algorithm{sorts.Quicksort{}}, 0.07, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uniform, few RobustnessRow
+	for _, r := range rows {
+		switch r.Distribution {
+		case DistUniform:
+			uniform = r
+		case DistFewDistinct:
+			few = r
+		}
+	}
+	if few.RemTildeRatio >= uniform.RemTildeRatio {
+		t.Errorf("fewdistinct Rem~ ratio %v not below uniform %v",
+			few.RemTildeRatio, uniform.RemTildeRatio)
+	}
+}

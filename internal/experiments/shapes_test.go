@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"approxsort/internal/sorts"
+	"approxsort/internal/spintronic"
+)
+
+// TestPaperShapes is the consolidated regression over every qualitative
+// claim EXPERIMENTS.md records, at sizes chosen to run in roughly a
+// minute. It is skipped under -short; the per-figure tests elsewhere in
+// this package cover the same ground piecewise at smaller sizes.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape regression skipped in -short mode")
+	}
+	const n = 60000
+	const seed = 20260706
+
+	t.Run("Fig2", func(t *testing.T) {
+		rows := Fig2(20000, seed, false)
+		first, mid, last := rows[0], rows[6], rows[len(rows)-1]
+		if first.AvgP < 2.8 || first.AvgP > 3.2 {
+			t.Errorf("avg #P at precise T = %v, want ~2.98", first.AvgP)
+		}
+		if wr := mid.WriteReduction(); wr < 0.28 || wr > 0.38 {
+			t.Errorf("write reduction at T=0.055 = %v, want ~0.33", wr)
+		}
+		if p := last.PRatio(); p < 0.45 || p > 0.55 {
+			t.Errorf("p(0.1) = %v, want ~0.5", p)
+		}
+	})
+
+	t.Run("Table3", func(t *testing.T) {
+		algs := []sorts.Algorithm{sorts.Quicksort{}, sorts.Mergesort{}, sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}}
+		rows := Fig4(algs, []float64{0.055, 0.1}, n, seed)
+		for _, r := range rows {
+			switch {
+			case r.T == 0.055 && r.Algorithm != "Mergesort":
+				if r.RemRatio > 0.05 {
+					t.Errorf("%s Rem at 0.055 = %v, want nearly sorted", r.Algorithm, r.RemRatio)
+				}
+			case r.T == 0.055:
+				if r.RemRatio < 0.3 {
+					t.Errorf("mergesort Rem at 0.055 = %v, want catastrophic", r.RemRatio)
+				}
+			case r.T == 0.1:
+				if r.RemRatio < 0.5 {
+					t.Errorf("%s Rem at 0.1 = %v, want chaos", r.Algorithm, r.RemRatio)
+				}
+			}
+		}
+	})
+
+	t.Run("Fig9", func(t *testing.T) {
+		rows, err := Fig9([]sorts.Algorithm{sorts.LSD{Bits: 3}, sorts.Mergesort{}},
+			[]float64{0.025, 0.055, 0.09}, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Sorted {
+				t.Fatalf("%s T=%v unsorted", r.Algorithm, r.T)
+			}
+			switch {
+			case r.Algorithm == "3-bit LSD" && r.T == 0.055:
+				if r.WriteReduction < 0.05 {
+					t.Errorf("3-bit LSD WR at sweet spot = %v, want ~0.10", r.WriteReduction)
+				}
+			case r.T == 0.025:
+				if r.WriteReduction >= 0 {
+					t.Errorf("%s WR at precise T = %v, want negative", r.Algorithm, r.WriteReduction)
+				}
+			case r.Algorithm == "Mergesort" && r.T >= 0.055:
+				if r.WriteReduction > 0 {
+					t.Errorf("mergesort WR = %v at T=%v, want never positive here", r.WriteReduction, r.T)
+				}
+			}
+		}
+	})
+
+	t.Run("Fig13", func(t *testing.T) {
+		rows, err := Fig13([]sorts.Algorithm{sorts.LSD{Bits: 3}}, spintronic.Presets()[1:3], n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		won := false
+		for _, r := range rows {
+			if !r.Sorted {
+				t.Fatal("spintronic output unsorted")
+			}
+			if r.EnergySaving > 0 {
+				won = true
+			}
+		}
+		if !won {
+			t.Error("no spintronic operating point saved energy for 3-bit LSD")
+		}
+	})
+
+	t.Run("Fig15", func(t *testing.T) {
+		rows, err := Fig15([]float64{0.055}, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist3 float64
+		for _, r := range rows {
+			if r.Algorithm == "3-bit hist-LSD" {
+				hist3 = r.WriteReduction
+			}
+		}
+		if hist3 <= 0 {
+			t.Errorf("3-bit hist-LSD WR = %v, want positive at sweet spot", hist3)
+		}
+	})
+
+	t.Run("AccessTime", func(t *testing.T) {
+		row, err := AccessTime(sorts.LSD{Bits: 3}, 0.055, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.LatencyReduction <= 0.02 {
+			t.Errorf("latency-sum reduction = %v, want clearly positive", row.LatencyReduction)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+	"approxsort/internal/sorts"
+	"approxsort/internal/spintronic"
+)
+
+// SpinSortRow is one point of the Appendix A sorting-only study
+// (Figure 12): sortedness after sorting entirely in approximate spintronic
+// memory.
+type SpinSortRow struct {
+	Algorithm string
+	// Saving is the per-write energy saving fraction of the operating
+	// point; BitErrorProb its per-bit error probability.
+	Saving       float64
+	BitErrorProb float64
+	N            int
+	RemRatio     float64
+	ErrorRate    float64
+}
+
+// Fig12 sorts in approximate spintronic memory only, per operating point
+// (Figure 12).
+func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64) []SpinSortRow {
+	keys := dataset.Uniform(n, seed)
+	rows := make([]SpinSortRow, 0, len(algs)*len(cfgs))
+	for _, alg := range algs {
+		for i, cfg := range cfgs {
+			space := spintronic.NewSpace(cfg, seed+uint64(i)*13)
+			shadow := mem.NewPreciseSpace()
+			p := sorts.Pair{Keys: space.Alloc(n), IDs: shadow.Alloc(n)}
+			mem.Load(p.Keys, keys)
+			mem.Load(p.IDs, dataset.IDs(n))
+			alg.Sort(p, sorts.Env{KeySpace: space, IDSpace: shadow, R: rng.New(seed ^ 0x77)})
+			out := mem.PeekAll(p.Keys)
+			idsRaw := mem.PeekAll(p.IDs)
+			ids := make([]int, n)
+			for j, v := range idsRaw {
+				ids[j] = int(v)
+			}
+			rows = append(rows, SpinSortRow{
+				Algorithm:    alg.Name(),
+				Saving:       cfg.Saving,
+				BitErrorProb: cfg.BitErrorProb,
+				N:            n,
+				RemRatio:     sortedness.RemRatio(out),
+				ErrorRate:    sortedness.ErrorRate(out, ids, keys),
+			})
+		}
+	}
+	return rows
+}
+
+// SpinRefineRow is one point of the Appendix A approx-refine study
+// (Figures 13 and 14).
+type SpinRefineRow struct {
+	Algorithm    string
+	Saving       float64
+	BitErrorProb float64
+	N            int
+	// EnergySaving is the total write-energy saving versus the
+	// precise-only baseline (Figure 13).
+	EnergySaving float64
+	// ApproxEnergy and RefineEnergy decompose the hybrid run's write
+	// energy (Figure 14's bar segments, precise-write units).
+	ApproxEnergy, RefineEnergy float64
+	RemTildeRatio              float64
+	Sorted                     bool
+}
+
+// SpinRefine runs approx-refine on the spintronic model at one operating
+// point.
+func SpinRefine(alg sorts.Algorithm, cfg spintronic.Config, keys []uint32, seed uint64) (SpinRefineRow, error) {
+	res, err := core.Run(keys, core.Config{
+		Algorithm: alg,
+		NewSpace:  func(s uint64) core.Space { return spintronic.NewSpace(cfg, s) },
+		Seed:      seed,
+	})
+	if err != nil {
+		return SpinRefineRow{}, err
+	}
+	r := res.Report
+	return SpinRefineRow{
+		Algorithm:     r.Algorithm,
+		Saving:        cfg.Saving,
+		BitErrorProb:  cfg.BitErrorProb,
+		N:             r.N,
+		EnergySaving:  r.EnergySaving(),
+		ApproxEnergy:  r.ApproxPhase().WriteEnergy(),
+		RefineEnergy:  r.RefinePhase().WriteEnergy(),
+		RemTildeRatio: r.RemTildeRatio(),
+		Sorted:        r.Sorted,
+	}, nil
+}
+
+// Fig13 sweeps the operating points for each algorithm (Figure 13; the
+// same rows' energy decomposition at the 33% point is Figure 14).
+func Fig13(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64) ([]SpinRefineRow, error) {
+	keys := dataset.Uniform(n, seed)
+	rows := make([]SpinRefineRow, 0, len(algs)*len(cfgs))
+	for _, alg := range algs {
+		for i, cfg := range cfgs {
+			row, err := SpinRefine(alg, cfg, keys, seed+uint64(i)*37)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,330 @@
+// Package extsort implements external merge sort with approx-refine run
+// formation — the integration path the paper sketches in Section 4.1:
+// "If the data is initially in the hard disk, we need to adopt more
+// advanced external memory sorting algorithms, for which the proposed
+// approx-refine scheme can be used in their in-memory sorting steps."
+//
+// SortStream reads a stream of little-endian uint32 keys, forms sorted
+// runs by sorting each memory-sized chunk on the hybrid
+// precise/approximate system (internal/core), spills the runs to
+// temporary files, and k-way-merges them (multi-pass when the run count
+// exceeds the fan-in) into the output. Runs are bit-exact sorted — the
+// refine stage guarantees it — so the merge needs no special handling.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"approxsort/internal/core"
+)
+
+// Config controls the external sort.
+type Config struct {
+	// Core configures the in-memory run formation (algorithm, T, seed).
+	// Baseline and sortedness measurement are forced off.
+	Core core.Config
+
+	// RunSize is the number of records sorted per in-memory run
+	// (default 1<<20).
+	RunSize int
+
+	// FanIn is the merge width (default 16, minimum 2).
+	FanIn int
+
+	// TempDir receives the run files (default os.TempDir()). The files
+	// are removed as soon as they are merged.
+	TempDir string
+}
+
+func (c *Config) setDefaults() error {
+	if c.RunSize <= 0 {
+		c.RunSize = 1 << 20
+	}
+	if c.FanIn == 0 {
+		c.FanIn = 16
+	}
+	if c.FanIn < 2 {
+		return fmt.Errorf("extsort: FanIn must be >= 2, got %d", c.FanIn)
+	}
+	if c.TempDir == "" {
+		c.TempDir = os.TempDir()
+	}
+	return nil
+}
+
+// Stats summarizes one external sort.
+type Stats struct {
+	// Records is the total number of keys sorted.
+	Records int
+	// Runs is the number of level-0 runs formed.
+	Runs int
+	// MergePasses counts merge levels (1 when Runs <= FanIn).
+	MergePasses int
+	// HybridWriteNanos and RunWriteReduction aggregate the run-formation
+	// reports: total hybrid write latency and the mean Equation 2 write
+	// reduction a precise-only run formation would have forfeited.
+	HybridWriteNanos float64
+	// RemTildeTotal sums the refine remainders over all runs.
+	RemTildeTotal int
+}
+
+// SortStream sorts the uint32 stream from r into w. It returns the sort
+// statistics. The input need not fit in memory; only Config.RunSize
+// records are resident at a time (plus merge buffers).
+func SortStream(r io.Reader, w io.Writer, cfg Config) (Stats, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Stats{}, err
+	}
+	cfg.Core.SkipBaseline = true
+	cfg.Core.MeasureSortedness = false
+	if cfg.Core.Algorithm == nil {
+		return Stats{}, errors.New("extsort: Config.Core.Algorithm is required")
+	}
+
+	dir, err := os.MkdirTemp(cfg.TempDir, "extsort-runs-")
+	if err != nil {
+		return Stats{}, fmt.Errorf("extsort: creating run directory: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	stats := Stats{}
+	runs, err := formRuns(r, dir, &cfg, &stats)
+	if err != nil {
+		return stats, err
+	}
+	stats.Runs = len(runs)
+
+	switch len(runs) {
+	case 0:
+		return stats, nil
+	case 1:
+		// Single run: stream it out directly.
+		stats.MergePasses = 0
+		return stats, copyRun(runs[0], w)
+	}
+
+	// Multi-pass merge down to FanIn runs, then a final merge into w.
+	level := 0
+	for len(runs) > cfg.FanIn {
+		var next []string
+		for lo := 0; lo < len(runs); lo += cfg.FanIn {
+			hi := lo + cfg.FanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			out := filepath.Join(dir, fmt.Sprintf("merge-%d-%d.run", level, lo))
+			if err := mergeRunsToFile(runs[lo:hi], out); err != nil {
+				return stats, err
+			}
+			next = append(next, out)
+		}
+		runs = next
+		level++
+		stats.MergePasses++
+	}
+	stats.MergePasses++
+	return stats, mergeRuns(runs, w)
+}
+
+// formRuns reads RunSize-record chunks, sorts each with approx-refine and
+// spills them to files, returning the run paths.
+func formRuns(r io.Reader, dir string, cfg *Config, stats *Stats) ([]string, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	buf := make([]uint32, 0, cfg.RunSize)
+	var runs []string
+	var word [4]byte
+	seed := cfg.Core.Seed
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		runCfg := cfg.Core
+		runCfg.Seed = seed
+		seed = seed*0x9e3779b97f4a7c15 + 1
+		res, err := core.Run(buf, runCfg)
+		if err != nil {
+			return err
+		}
+		if !res.Report.Sorted {
+			return errors.New("extsort: run formation produced unsorted output")
+		}
+		stats.HybridWriteNanos += res.Report.Total().WriteNanos()
+		stats.RemTildeTotal += res.Report.RemTilde
+		path := filepath.Join(dir, fmt.Sprintf("run-%d.run", len(runs)))
+		if err := writeRun(path, res.Keys); err != nil {
+			return err
+		}
+		runs = append(runs, path)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		if _, err := io.ReadFull(br, word[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			if err == io.ErrUnexpectedEOF {
+				return nil, errors.New("extsort: input truncated mid-record")
+			}
+			return nil, fmt.Errorf("extsort: reading input: %w", err)
+		}
+		buf = append(buf, binary.LittleEndian.Uint32(word[:]))
+		stats.Records++
+		if len(buf) == cfg.RunSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+func writeRun(path string, keys []uint32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("extsort: creating run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var word [4]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(word[:], k)
+		if _, err := bw.Write(word[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: writing run: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func copyRun(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, bufio.NewReaderSize(f, 1<<16))
+	return err
+}
+
+// runCursor streams one sorted run.
+type runCursor struct {
+	r    *bufio.Reader
+	f    *os.File
+	head uint32
+	done bool
+}
+
+func openCursor(path string) (*runCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &runCursor{r: bufio.NewReaderSize(f, 1<<16), f: f}
+	if err := c.advance(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *runCursor) advance() error {
+	var word [4]byte
+	_, err := io.ReadFull(c.r, word[:])
+	if err == io.EOF {
+		c.done = true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("extsort: reading run: %w", err)
+	}
+	c.head = binary.LittleEndian.Uint32(word[:])
+	return nil
+}
+
+// cursorHeap is a min-heap of run cursors by head key.
+type cursorHeap []*runCursor
+
+func (h cursorHeap) Len() int            { return len(h) }
+func (h cursorHeap) Less(i, j int) bool  { return h[i].head < h[j].head }
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*runCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeRuns k-way-merges the run files into w and removes them.
+func mergeRuns(paths []string, w io.Writer) error {
+	h := make(cursorHeap, 0, len(paths))
+	defer func() {
+		for _, c := range h {
+			c.f.Close()
+		}
+	}()
+	for _, p := range paths {
+		c, err := openCursor(p)
+		if err != nil {
+			return err
+		}
+		if c.done {
+			c.f.Close()
+			continue
+		}
+		h = append(h, c)
+	}
+	heap.Init(&h)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var word [4]byte
+	for h.Len() > 0 {
+		c := h[0]
+		binary.LittleEndian.PutUint32(word[:], c.head)
+		if _, err := bw.Write(word[:]); err != nil {
+			return fmt.Errorf("extsort: writing output: %w", err)
+		}
+		if err := c.advance(); err != nil {
+			return err
+		}
+		if c.done {
+			c.f.Close()
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for _, p := range paths {
+		os.Remove(p)
+	}
+	return nil
+}
+
+func mergeRunsToFile(paths []string, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := mergeRuns(paths, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

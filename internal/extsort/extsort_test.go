@@ -1,0 +1,191 @@
+package extsort
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/sorts"
+)
+
+func encode(keys []uint32) []byte {
+	out := make([]byte, 4*len(keys))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint32(out[i*4:], k)
+	}
+	return out
+}
+
+func decode(t *testing.T, data []byte) []uint32 {
+	t.Helper()
+	if len(data)%4 != 0 {
+		t.Fatalf("output not word aligned: %d bytes", len(data))
+	}
+	out := make([]uint32, len(data)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(data[i*4:])
+	}
+	return out
+}
+
+func testConfig(t *testing.T, runSize, fanIn int) Config {
+	return Config{
+		Core:    core.Config{Algorithm: sorts.MSD{Bits: 6}, T: 0.07, Seed: 9},
+		RunSize: runSize,
+		FanIn:   fanIn,
+		TempDir: t.TempDir(),
+	}
+}
+
+func runSort(t *testing.T, keys []uint32, cfg Config) ([]uint32, Stats) {
+	t.Helper()
+	var out bytes.Buffer
+	stats, err := SortStream(bytes.NewReader(encode(keys)), &out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decode(t, out.Bytes()), stats
+}
+
+func checkSorted(t *testing.T, keys, got []uint32) {
+	t.Helper()
+	want := append([]uint32(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output wrong at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortStreamSingleRun(t *testing.T) {
+	keys := dataset.Uniform(3000, 1)
+	got, stats := runSort(t, keys, testConfig(t, 10000, 4))
+	checkSorted(t, keys, got)
+	if stats.Runs != 1 || stats.MergePasses != 0 {
+		t.Errorf("runs=%d passes=%d, want 1/0", stats.Runs, stats.MergePasses)
+	}
+	if stats.Records != 3000 {
+		t.Errorf("Records = %d", stats.Records)
+	}
+}
+
+func TestSortStreamMultiRun(t *testing.T) {
+	keys := dataset.Uniform(25000, 2)
+	got, stats := runSort(t, keys, testConfig(t, 4000, 16))
+	checkSorted(t, keys, got)
+	if stats.Runs != 7 {
+		t.Errorf("Runs = %d, want 7", stats.Runs)
+	}
+	if stats.MergePasses != 1 {
+		t.Errorf("MergePasses = %d, want 1", stats.MergePasses)
+	}
+	if stats.HybridWriteNanos <= 0 {
+		t.Error("no hybrid write accounting")
+	}
+}
+
+func TestSortStreamMultiPassMerge(t *testing.T) {
+	keys := dataset.Uniform(20000, 3)
+	got, stats := runSort(t, keys, testConfig(t, 1000, 2)) // 20 runs, fan-in 2
+	checkSorted(t, keys, got)
+	if stats.Runs != 20 {
+		t.Errorf("Runs = %d, want 20", stats.Runs)
+	}
+	if stats.MergePasses < 4 {
+		t.Errorf("MergePasses = %d, want >= 4 for 20 runs at fan-in 2", stats.MergePasses)
+	}
+}
+
+func TestSortStreamEmpty(t *testing.T) {
+	got, stats := runSort(t, nil, testConfig(t, 1000, 4))
+	if len(got) != 0 || stats.Records != 0 || stats.Runs != 0 {
+		t.Errorf("empty input: got %d records, stats %+v", len(got), stats)
+	}
+}
+
+func TestSortStreamPartialFinalRun(t *testing.T) {
+	keys := dataset.Uniform(4500, 4) // 4 full runs of 1000 + one of 500
+	got, stats := runSort(t, keys, testConfig(t, 1000, 8))
+	checkSorted(t, keys, got)
+	if stats.Runs != 5 {
+		t.Errorf("Runs = %d, want 5", stats.Runs)
+	}
+}
+
+func TestSortStreamDuplicatesAcrossRuns(t *testing.T) {
+	keys := dataset.FewDistinct(8000, 3, 5)
+	got, _ := runSort(t, keys, testConfig(t, 1000, 3))
+	checkSorted(t, keys, got)
+}
+
+func TestSortStreamTruncatedInput(t *testing.T) {
+	data := encode(dataset.Uniform(10, 6))
+	var out bytes.Buffer
+	_, err := SortStream(bytes.NewReader(data[:len(data)-2]), &out, testConfig(t, 100, 4))
+	if err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestSortStreamConfigValidation(t *testing.T) {
+	var out bytes.Buffer
+	cfg := testConfig(t, 100, 4)
+	cfg.Core.Algorithm = nil
+	if _, err := SortStream(bytes.NewReader(nil), &out, cfg); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	cfg = testConfig(t, 100, 1)
+	if _, err := SortStream(bytes.NewReader(nil), &out, cfg); err == nil {
+		t.Error("FanIn=1 accepted")
+	}
+}
+
+func TestSortStreamHighCorruption(t *testing.T) {
+	// Even at near-zero guard bands the external sort must be exact,
+	// because each run is refined before spilling.
+	cfg := testConfig(t, 2000, 4)
+	cfg.Core.T = 0.12
+	keys := dataset.Uniform(9000, 7)
+	got, stats := runSort(t, keys, cfg)
+	checkSorted(t, keys, got)
+	if stats.RemTildeTotal == 0 {
+		t.Error("expected nonzero refine remainders at T=0.12")
+	}
+}
+
+func TestSortStreamQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) > 3000 {
+			raw = raw[:3000]
+		}
+		cfg := testConfig(t, 700, 2)
+		var out bytes.Buffer
+		_, err := SortStream(bytes.NewReader(encode(raw)), &out, cfg)
+		if err != nil {
+			return false
+		}
+		got := make([]uint32, len(raw))
+		for i := range got {
+			got[i] = binary.LittleEndian.Uint32(out.Bytes()[i*4:])
+		}
+		want := append([]uint32(nil), raw...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

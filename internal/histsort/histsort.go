@@ -1,0 +1,312 @@
+// Package histsort implements the histogram-based radix sorts of the
+// paper's Appendix B (after Polychroniou and Ross, SIGMOD'14). Where the
+// queue-bucket radix of internal/sorts writes each record twice per pass
+// (into a bucket queue, then back), the histogram scheme first counts
+// digit occurrences, converts the histogram to scatter offsets, and then
+// writes each record exactly once per pass into a ping-pong buffer —
+// halving the data writes at the price of one extra read pass.
+//
+// The original is a SIMD implementation; SIMD lanes change instruction
+// throughput, not the memory write pattern, and the paper attributes the
+// Appendix B differences to the histogram scheme, so a scalar rendering
+// preserves the studied behaviour (see DESIGN.md, substitutions).
+//
+// Both sorts satisfy sorts.Algorithm, so they plug into the approx-refine
+// engine unchanged.
+package histsort
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/sorts"
+)
+
+// HistLSD is histogram-based least-significant-digit radix sort.
+type HistLSD struct {
+	// Bits is the digit width. Must be 1..16.
+	Bits int
+}
+
+// Name implements sorts.Algorithm.
+func (h HistLSD) Name() string { return fmt.Sprintf("%d-bit hist-LSD", h.Bits) }
+
+// Sort implements sorts.Algorithm.
+func (h HistLSD) Sort(p sorts.Pair, env sorts.Env) {
+	n := p.Len()
+	passes := radixPasses(h.Bits)
+	if n <= 1 {
+		return
+	}
+	srcK, dstK := p.Keys, env.KeySpace.Alloc(n)
+	var srcI, dstI mem.Words
+	if p.IDs != nil {
+		srcI, dstI = p.IDs, env.IDSpace.Alloc(n)
+	}
+	mask := uint32(1)<<h.Bits - 1
+	bins := 1 << h.Bits
+	counts := make([]int, bins)
+	for pass := 0; pass < passes; pass++ {
+		shift := pass * h.Bits
+		for b := range counts {
+			counts[b] = 0
+		}
+		// Count pass: one read per record.
+		for i := 0; i < n; i++ {
+			counts[srcK.Get(i)>>shift&mask]++
+		}
+		// Exclusive prefix sum → scatter offsets.
+		sum := 0
+		for b := 0; b < bins; b++ {
+			c := counts[b]
+			counts[b] = sum
+			sum += c
+		}
+		// Scatter pass: one read and one write per record.
+		for i := 0; i < n; i++ {
+			k := srcK.Get(i)
+			b := k >> shift & mask
+			dstK.Set(counts[b], k)
+			if srcI != nil {
+				dstI.Set(counts[b], srcI.Get(i))
+			}
+			counts[b]++
+		}
+		srcK, dstK = dstK, srcK
+		srcI, dstI = dstI, srcI
+	}
+	if srcK != p.Keys {
+		// Odd pass count: copy home.
+		mem.Copy(p.Keys, srcK)
+		if p.IDs != nil {
+			mem.Copy(p.IDs, srcI)
+		}
+	}
+}
+
+// SortIDs implements sorts.Algorithm.
+func (h HistLSD) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env sorts.Env) {
+	passes := radixPasses(h.Bits)
+	if count <= 1 {
+		return
+	}
+	src, dst := ids, env.IDSpace.Alloc(count)
+	mask := uint32(1)<<h.Bits - 1
+	bins := 1 << h.Bits
+	counts := make([]int, bins)
+	for pass := 0; pass < passes; pass++ {
+		shift := pass * h.Bits
+		for b := range counts {
+			counts[b] = 0
+		}
+		for i := 0; i < count; i++ {
+			counts[key(src.Get(i))>>shift&mask]++
+		}
+		sum := 0
+		for b := 0; b < bins; b++ {
+			c := counts[b]
+			counts[b] = sum
+			sum += c
+		}
+		for i := 0; i < count; i++ {
+			id := src.Get(i)
+			b := key(id) >> shift & mask
+			dst.Set(counts[b], id)
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if src != ids {
+		for i := 0; i < count; i++ {
+			ids.Set(i, src.Get(i))
+		}
+	}
+}
+
+// HistMSD is histogram-based most-significant-digit radix sort with
+// recursive ping-pong scatter and an insertion-sort cutoff for small
+// buckets.
+type HistMSD struct {
+	// Bits is the digit width. Must be 1..16.
+	Bits int
+}
+
+// Name implements sorts.Algorithm.
+func (h HistMSD) Name() string { return fmt.Sprintf("%d-bit hist-MSD", h.Bits) }
+
+// msdCutoff is the bucket size below which recursion falls back to
+// insertion sort, matching the queue-bucket MSD's cutoff.
+const msdCutoff = 16
+
+// Sort implements sorts.Algorithm.
+func (h HistMSD) Sort(p sorts.Pair, env sorts.Env) {
+	n := p.Len()
+	passes := radixPasses(h.Bits)
+	if n <= 1 {
+		return
+	}
+	aux := sorts.Pair{Keys: env.KeySpace.Alloc(n)}
+	if p.IDs != nil {
+		aux.IDs = env.IDSpace.Alloc(n)
+	}
+	width := passes * h.Bits
+	h.sortRange(p, aux, 0, n, width-h.Bits, false)
+}
+
+// sortRange sorts cur[lo:hi), where `flipped` records whether cur is the
+// auxiliary buffer (so base cases know to copy the segment home before
+// finishing with insertion sort in the caller's arrays).
+func (h HistMSD) sortRange(main, aux sorts.Pair, lo, hi, shift int, flipped bool) {
+	cur, other := main, aux
+	if flipped {
+		cur, other = aux, main
+	}
+	n := hi - lo
+	if n <= 1 || shift < 0 || n <= msdCutoff {
+		if flipped {
+			copySegment(main, aux, lo, hi)
+		}
+		if n > 1 {
+			insertionSegment(main, lo, hi)
+		}
+		return
+	}
+	mask := uint32(1)<<h.Bits - 1
+	bins := 1 << h.Bits
+	counts := make([]int, bins+1)
+	for i := lo; i < hi; i++ {
+		counts[cur.Keys.Get(i)>>uint(shift)&mask+1]++
+	}
+	for b := 0; b < bins; b++ {
+		counts[b+1] += counts[b]
+	}
+	offsets := make([]int, bins)
+	copy(offsets, counts[:bins])
+	for i := lo; i < hi; i++ {
+		k := cur.Keys.Get(i)
+		b := int(k >> uint(shift) & mask)
+		other.Keys.Set(lo+offsets[b], k)
+		if cur.IDs != nil {
+			other.IDs.Set(lo+offsets[b], cur.IDs.Get(i))
+		}
+		offsets[b]++
+	}
+	for b := 0; b < bins; b++ {
+		h.sortRange(main, aux, lo+counts[b], lo+counts[b+1], shift-h.Bits, !flipped)
+	}
+}
+
+// copySegment copies aux[lo:hi) back into main[lo:hi).
+func copySegment(main, aux sorts.Pair, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		main.Keys.Set(i, aux.Keys.Get(i))
+		if main.IDs != nil {
+			main.IDs.Set(i, aux.IDs.Get(i))
+		}
+	}
+}
+
+// insertionSegment insertion-sorts main[lo:hi) in place.
+func insertionSegment(p sorts.Pair, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		k := p.Keys.Get(i)
+		var id uint32
+		if p.IDs != nil {
+			id = p.IDs.Get(i)
+		}
+		j := i
+		for j > lo {
+			kj := p.Keys.Get(j - 1)
+			if kj <= k {
+				break
+			}
+			p.Keys.Set(j, kj)
+			if p.IDs != nil {
+				p.IDs.Set(j, p.IDs.Get(j-1))
+			}
+			j--
+		}
+		if j != i {
+			p.Keys.Set(j, k)
+			if p.IDs != nil {
+				p.IDs.Set(j, id)
+			}
+		}
+	}
+}
+
+// SortIDs implements sorts.Algorithm.
+func (h HistMSD) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env sorts.Env) {
+	passes := radixPasses(h.Bits)
+	if count <= 1 {
+		return
+	}
+	aux := env.IDSpace.Alloc(count)
+	width := passes * h.Bits
+	h.sortIDRange(ids, aux, 0, count, width-h.Bits, false, key)
+}
+
+func (h HistMSD) sortIDRange(main, aux mem.Words, lo, hi, shift int, flipped bool, key func(uint32) uint32) {
+	cur, other := main, aux
+	if flipped {
+		cur, other = aux, main
+	}
+	n := hi - lo
+	if n <= 1 || shift < 0 || n <= msdCutoff {
+		if flipped {
+			for i := lo; i < hi; i++ {
+				main.Set(i, aux.Get(i))
+			}
+		}
+		if n > 1 {
+			insertionIDs(main, lo, hi, key)
+		}
+		return
+	}
+	mask := uint32(1)<<h.Bits - 1
+	bins := 1 << h.Bits
+	counts := make([]int, bins+1)
+	for i := lo; i < hi; i++ {
+		counts[key(cur.Get(i))>>uint(shift)&mask+1]++
+	}
+	for b := 0; b < bins; b++ {
+		counts[b+1] += counts[b]
+	}
+	offsets := make([]int, bins)
+	copy(offsets, counts[:bins])
+	for i := lo; i < hi; i++ {
+		id := cur.Get(i)
+		b := int(key(id) >> uint(shift) & mask)
+		other.Set(lo+offsets[b], id)
+		offsets[b]++
+	}
+	for b := 0; b < bins; b++ {
+		h.sortIDRange(main, aux, lo+counts[b], lo+counts[b+1], shift-h.Bits, !flipped, key)
+	}
+}
+
+func insertionIDs(ids mem.Words, lo, hi int, key func(uint32) uint32) {
+	for i := lo + 1; i < hi; i++ {
+		id := ids.Get(i)
+		k := key(id)
+		j := i
+		for j > lo {
+			idj := ids.Get(j - 1)
+			if key(idj) <= k {
+				break
+			}
+			ids.Set(j, idj)
+			j--
+		}
+		if j != i {
+			ids.Set(j, id)
+		}
+	}
+}
+
+func radixPasses(bits int) int {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("histsort: digit width %d out of range [1,16]", bits))
+	}
+	return (32 + bits - 1) / bits
+}

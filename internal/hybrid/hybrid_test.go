@@ -1,0 +1,195 @@
+package hybrid
+
+import (
+	"testing"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+	"approxsort/internal/sorts"
+)
+
+func TestRegionsAreDisjoint(t *testing.T) {
+	sys := New()
+	precise := sys.Region("precise", mlc.PreciseWriteNanos)
+	approx := sys.Region("approx", 600)
+	if precise.Base() == approx.Base() {
+		t.Fatal("regions share a base")
+	}
+	if approx.Name() != "approx" {
+		t.Errorf("Name = %q", approx.Name())
+	}
+}
+
+func TestRegionRejectsBadLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero write latency accepted")
+		}
+	}()
+	New().Region("bad", 0)
+}
+
+func TestColdReadGoesToMemory(t *testing.T) {
+	sys := New()
+	r := sys.Region("precise", 1000)
+	r.Access(mem.OpRead, 0, 4)
+	st := sys.Stats()
+	if st.MemReads != 1 {
+		t.Fatalf("MemReads = %d", st.MemReads)
+	}
+	// Clock: cache traversal (15ns) + PCM read (50ns).
+	if st.Clock != 65 {
+		t.Errorf("Clock = %v, want 65", st.Clock)
+	}
+}
+
+func TestWarmReadHitsL1(t *testing.T) {
+	sys := New()
+	r := sys.Region("precise", 1000)
+	r.Access(mem.OpRead, 0, 4)
+	before := sys.Clock()
+	r.Access(mem.OpRead, 0, 4)
+	st := sys.Stats()
+	if st.L1Hits != 1 {
+		t.Fatalf("L1Hits = %d", st.L1Hits)
+	}
+	if got := sys.Clock() - before; got != 1 {
+		t.Errorf("L1 hit cost %v ns, want 1", got)
+	}
+}
+
+func TestWritesArePosted(t *testing.T) {
+	sys := New()
+	r := sys.Region("precise", 1000)
+	before := sys.Clock()
+	for i := 0; i < 8; i++ {
+		r.Access(mem.OpWrite, uint64(i*4), 4)
+	}
+	if sys.Clock() != before {
+		t.Errorf("posted writes advanced the clock by %v", sys.Clock()-before)
+	}
+	if st := sys.Stats(); st.Writes != 8 {
+		t.Errorf("Writes = %d", st.Writes)
+	}
+}
+
+func TestWriteBurstEventuallyStalls(t *testing.T) {
+	sys := New()
+	r := sys.Region("precise", 1000)
+	// One page → one bank → 32-entry queue; the 33rd write stalls.
+	for i := 0; i < 40; i++ {
+		r.Access(mem.OpWrite, uint64(i*4), 4)
+	}
+	st := sys.Stats()
+	if st.WriteStallNanos <= 0 {
+		t.Error("no stall after overflowing one bank's write queue")
+	}
+	if st.Device.WriteQueueFullEvents == 0 {
+		t.Error("device did not record queue-full events")
+	}
+}
+
+func TestApproxRegionWritesCheaper(t *testing.T) {
+	// Time-to-drain comparison: a burst of approximate writes (~500 ns
+	// service) finishes sooner than the same burst of precise writes.
+	run := func(writeNanos float64) float64 {
+		sys := New()
+		r := sys.Region("r", writeNanos)
+		for i := 0; i < 100; i++ {
+			r.Access(mem.OpWrite, uint64(i*4), 4)
+		}
+		// A dependent read on the same bank observes the backlog.
+		r.Access(mem.OpRead, 0, 4)
+		return sys.Clock()
+	}
+	fast, slow := run(500), run(1000)
+	if fast >= slow {
+		t.Errorf("approx-region burst (%v ns) not faster than precise (%v ns)", fast, slow)
+	}
+}
+
+// TestEndToEndSortThroughSystem runs a real sort with both spaces wired
+// into one hybrid system and checks the paper's qualitative claim: the
+// hybrid (approximate keys) run finishes in less total memory access time
+// than the precise-only run.
+func TestEndToEndSortThroughSystem(t *testing.T) {
+	const n = 20000
+	keys := dataset.Uniform(n, 1)
+
+	run := func(approxKeys bool) float64 {
+		sys := New()
+		preciseSpace := mem.NewPreciseSpace()
+		preciseSpace.SetSink(sys.Region("precise", mlc.PreciseWriteNanos))
+
+		var keySpace interface {
+			mem.Space
+		}
+		if approxKeys {
+			as := mem.NewApproxSpaceAt(0.055, 2)
+			// Approximate region writes cost p(t)·1µs on the device.
+			as.SetSink(sys.Region("approx", 0.67*mlc.PreciseWriteNanos))
+			keySpace = as
+		} else {
+			ps := mem.NewPreciseSpace()
+			ps.SetSink(sys.Region("precise2", mlc.PreciseWriteNanos))
+			keySpace = ps
+		}
+		p := sorts.Pair{Keys: keySpace.Alloc(n), IDs: preciseSpace.Alloc(n)}
+		mem.Load(p.Keys, keys)
+		mem.Load(p.IDs, dataset.IDs(n))
+		env := sorts.Env{KeySpace: keySpace, IDSpace: preciseSpace, R: rng.New(3)}
+		sorts.Quicksort{}.Sort(p, env)
+		return sys.Clock()
+	}
+
+	hybridTime := run(true)
+	preciseTime := run(false)
+	if hybridTime >= preciseTime {
+		t.Errorf("hybrid access time %v >= precise %v", hybridTime, preciseTime)
+	}
+}
+
+func TestClockMonotoneUnderRandomStreams(t *testing.T) {
+	// Property: no access pattern may ever rewind the CPU clock.
+	r := rng.New(99)
+	sys := New()
+	regions := []*Region{
+		sys.Region("precise", mlc.PreciseWriteNanos),
+		sys.Region("approx", 500),
+	}
+	last := sys.Clock()
+	for i := 0; i < 20000; i++ {
+		reg := regions[r.Intn(2)]
+		addr := uint64(r.Intn(1 << 22))
+		if r.Bernoulli(0.5) {
+			reg.Access(mem.OpRead, addr, 4)
+		} else {
+			reg.Access(mem.OpWrite, addr, 4)
+		}
+		if now := sys.Clock(); now < last {
+			t.Fatalf("clock went backwards at access %d: %v -> %v", i, last, now)
+		} else {
+			last = now
+		}
+	}
+	st := sys.Stats()
+	if st.Reads+st.Writes != 20000 {
+		t.Errorf("access count %d", st.Reads+st.Writes)
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	sys := New()
+	sys.AdvanceClock(100)
+	if sys.Clock() != 100 {
+		t.Errorf("Clock = %v", sys.Clock())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance accepted")
+		}
+	}()
+	sys.AdvanceClock(-1)
+}

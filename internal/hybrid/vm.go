@@ -1,0 +1,162 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+)
+
+// This file emulates the OS and ISA support the paper describes in
+// Section 2.3: "method approx_alloc(size) allocates an array on
+// approximate memory and returns a pointer. All memory access statements
+// to an approximate array are compiled to ld.approx and st.approx. The OS
+// kernel is modified to allow approx_alloc to allocate space only on
+// approximate DIMMs, and to translate ld/st.approx back to normal ld/st
+// with approximate array addresses."
+//
+// VM provides exactly that: a virtual address space whose page table maps
+// each virtual page onto either the precise or the approximate physical
+// region of a System, an allocator that places allocations on the
+// requested DIMM kind, and Load/Store entry points that translate and
+// forward to the memory pipeline.
+
+// Kind selects the DIMM type backing an allocation.
+type Kind int
+
+// DIMM kinds.
+const (
+	Precise Kind = iota
+	Approx
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Precise {
+		return "precise"
+	}
+	return "approx"
+}
+
+// vmPageBytes is the translation granularity (Table 1: 4 KB pages).
+const vmPageBytes = 4096
+
+// VM is a single-address-space process view over a hybrid System.
+type VM struct {
+	sys     *System
+	regions [2]*Region
+	physTop [2]uint64 // next free physical offset per region
+	// pageTable maps virtual page number → physical frame descriptor.
+	pageTable map[uint64]frame
+	nextVPage uint64
+
+	loads, stores, faults uint64
+}
+
+type frame struct {
+	kind Kind
+	phys uint64 // region-relative physical page base
+}
+
+// NewVM returns a process address space over sys. approxWriteNanos is the
+// device write time of the approximate region (the p(t)-scaled latency).
+func NewVM(sys *System, approxWriteNanos float64) *VM {
+	return &VM{
+		sys: sys,
+		regions: [2]*Region{
+			Precise: sys.Region("precise-dimm", mlc.PreciseWriteNanos),
+			Approx:  sys.Region("approx-dimm", approxWriteNanos),
+		},
+		pageTable: make(map[uint64]frame),
+		nextVPage: 1, // keep virtual page 0 unmapped: null-pointer guard
+	}
+}
+
+// Alloc reserves size bytes on the requested DIMM kind and returns the
+// virtual base address — the approx_alloc / malloc pair of Section 2.3.
+func (vm *VM) Alloc(size int, kind Kind) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("hybrid: Alloc size %d must be positive", size)
+	}
+	if kind != Precise && kind != Approx {
+		return 0, fmt.Errorf("hybrid: unknown DIMM kind %d", kind)
+	}
+	pages := (uint64(size) + vmPageBytes - 1) / vmPageBytes
+	base := vm.nextVPage * vmPageBytes
+	for i := uint64(0); i < pages; i++ {
+		vm.pageTable[vm.nextVPage+i] = frame{kind: kind, phys: vm.physTop[kind]}
+		vm.physTop[kind] += vmPageBytes
+	}
+	vm.nextVPage += pages
+	return base, nil
+}
+
+// Translate resolves a virtual address to its DIMM kind and the physical
+// address within that region. Unmapped addresses fault.
+func (vm *VM) Translate(vaddr uint64) (Kind, uint64, error) {
+	f, ok := vm.pageTable[vaddr/vmPageBytes]
+	if !ok {
+		vm.faults++
+		return 0, 0, fmt.Errorf("hybrid: page fault at %#x", vaddr)
+	}
+	return f.kind, f.phys + vaddr%vmPageBytes, nil
+}
+
+// Load performs a translated read of size bytes — ld / ld.approx
+// depending on the backing DIMM.
+func (vm *VM) Load(vaddr uint64, size int) error {
+	kind, phys, err := vm.Translate(vaddr)
+	if err != nil {
+		return err
+	}
+	vm.loads++
+	vm.regions[kind].Access(mem.OpRead, phys, size)
+	return nil
+}
+
+// Store performs a translated write of size bytes — st / st.approx.
+func (vm *VM) Store(vaddr uint64, size int) error {
+	kind, phys, err := vm.Translate(vaddr)
+	if err != nil {
+		return err
+	}
+	vm.stores++
+	vm.regions[kind].Access(mem.OpWrite, phys, size)
+	return nil
+}
+
+// Sink returns a mem.Sink view of the address space so instrumented
+// arrays (whose addresses are region-relative) can be bound to a
+// virtual allocation: accesses are offset by the allocation base and
+// translated. It panics on a fault, because a faulting instrumented array
+// indicates a broken harness, not a runtime condition.
+func (vm *VM) Sink(base uint64) mem.Sink { return vmSink{vm: vm, base: base} }
+
+type vmSink struct {
+	vm   *VM
+	base uint64
+}
+
+// Access implements mem.Sink.
+func (s vmSink) Access(op mem.Op, addr uint64, size int) {
+	var err error
+	if op == mem.OpRead {
+		err = s.vm.Load(s.base+addr, size)
+	} else {
+		err = s.vm.Store(s.base+addr, size)
+	}
+	if err != nil {
+		panic(err)
+	}
+}
+
+// VMStats reports the address-space counters.
+type VMStats struct {
+	Loads, Stores, Faults uint64
+	MappedPages           int
+}
+
+// Stats returns the counters.
+func (vm *VM) Stats() VMStats {
+	return VMStats{Loads: vm.loads, Stores: vm.stores, Faults: vm.faults, MappedPages: len(vm.pageTable)}
+}

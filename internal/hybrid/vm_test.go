@@ -1,0 +1,137 @@
+package hybrid
+
+import (
+	"testing"
+
+	"approxsort/internal/mem"
+)
+
+func TestVMAllocAndTranslate(t *testing.T) {
+	vm := NewVM(New(), 600)
+	a, err := vm.Alloc(100, Precise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vm.Alloc(5000, Approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 || b == 0 {
+		t.Fatal("allocations returned null addresses")
+	}
+	if a%vmPageBytes != 0 || b%vmPageBytes != 0 {
+		t.Error("allocations not page aligned")
+	}
+	kind, phys, err := vm.Translate(a + 40)
+	if err != nil || kind != Precise || phys != 40 {
+		t.Errorf("Translate(a+40) = (%v, %d, %v)", kind, phys, err)
+	}
+	// b spans two pages; an access into the second page lands at the
+	// second approximate frame.
+	kind, phys, err = vm.Translate(b + vmPageBytes + 4)
+	if err != nil || kind != Approx || phys != vmPageBytes+4 {
+		t.Errorf("Translate(b+page+4) = (%v, %d, %v)", kind, phys, err)
+	}
+	if got := vm.Stats().MappedPages; got != 3 {
+		t.Errorf("MappedPages = %d, want 3", got)
+	}
+}
+
+func TestVMNullAndUnmappedFault(t *testing.T) {
+	vm := NewVM(New(), 600)
+	if _, _, err := vm.Translate(0); err == nil {
+		t.Error("null address did not fault")
+	}
+	if err := vm.Load(1<<40, 4); err == nil {
+		t.Error("unmapped load did not fault")
+	}
+	if vm.Stats().Faults != 2 {
+		t.Errorf("Faults = %d, want 2", vm.Stats().Faults)
+	}
+}
+
+func TestVMAllocValidation(t *testing.T) {
+	vm := NewVM(New(), 600)
+	if _, err := vm.Alloc(0, Precise); err == nil {
+		t.Error("zero-size alloc accepted")
+	}
+	if _, err := vm.Alloc(8, Kind(9)); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestVMKindsAreIsolated(t *testing.T) {
+	// Two same-kind allocations must land on distinct physical frames.
+	vm := NewVM(New(), 600)
+	a, _ := vm.Alloc(vmPageBytes, Approx)
+	b, _ := vm.Alloc(vmPageBytes, Approx)
+	_, pa, _ := vm.Translate(a)
+	_, pb, _ := vm.Translate(b)
+	if pa == pb {
+		t.Error("two approx allocations share a physical frame")
+	}
+	// A precise allocation restarts at the precise region's own space.
+	c, _ := vm.Alloc(vmPageBytes, Precise)
+	_, pc, _ := vm.Translate(c)
+	if pc != 0 {
+		t.Errorf("first precise frame at %d, want 0 (regions are separate)", pc)
+	}
+}
+
+func TestVMAccessesDriveTheSystem(t *testing.T) {
+	sys := New()
+	vm := NewVM(sys, 600)
+	addr, _ := vm.Alloc(64, Precise)
+	if err := vm.Store(addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Load(addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Writes != 1 || st.Reads != 1 {
+		t.Errorf("system saw reads=%d writes=%d", st.Reads, st.Writes)
+	}
+	if vm.Stats().Loads != 1 || vm.Stats().Stores != 1 {
+		t.Errorf("vm counters %+v", vm.Stats())
+	}
+}
+
+func TestVMSinkBindsInstrumentedArray(t *testing.T) {
+	sys := New()
+	vm := NewVM(sys, 600)
+	base, _ := vm.Alloc(4*100, Approx)
+
+	space := mem.NewApproxSpaceAt(0.055, 1)
+	space.SetSink(vm.Sink(base))
+	w := space.Alloc(100)
+	for i := 0; i < 100; i++ {
+		w.Set(i, uint32(i))
+	}
+	_ = w.Get(7)
+	st := vm.Stats()
+	if st.Stores != 100 || st.Loads != 1 {
+		t.Errorf("vm saw loads=%d stores=%d", st.Loads, st.Stores)
+	}
+	if st.Faults != 0 {
+		t.Errorf("faults = %d", st.Faults)
+	}
+}
+
+func TestVMSinkPanicsOutsideAllocation(t *testing.T) {
+	vm := NewVM(New(), 600)
+	base, _ := vm.Alloc(8, Precise) // one page
+	sink := vm.Sink(base)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-allocation access did not panic")
+		}
+	}()
+	sink.Access(mem.OpRead, vmPageBytes*2, 4) // beyond the mapped page
+}
+
+func TestKindString(t *testing.T) {
+	if Precise.String() != "precise" || Approx.String() != "approx" {
+		t.Errorf("Kind strings: %v %v", Precise, Approx)
+	}
+}

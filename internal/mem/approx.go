@@ -1,0 +1,108 @@
+package mem
+
+import (
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+)
+
+// Latency constants re-exported from the cell model for local use.
+const (
+	readNanos         = mlc.ReadNanos
+	preciseWriteNanos = mlc.PreciseWriteNanos
+)
+
+// ApproxSpace is the approximate-PCM region of the hybrid system. Every
+// word write runs through an mlc.WordModel, which may corrupt the stored
+// value and reports the P&V pulse count that determines write latency and
+// energy.
+type ApproxSpace struct {
+	model mlc.WordModel
+	r     *rng.Source
+	stats Stats
+	addrs addressAllocator
+	sink  Sink
+}
+
+// NewApproxSpace returns an approximate space backed by model, drawing
+// randomness from a fresh stream seeded with seed.
+func NewApproxSpace(model mlc.WordModel, seed uint64) *ApproxSpace {
+	return &ApproxSpace{model: model, r: rng.New(seed)}
+}
+
+// NewApproxSpaceAt is a convenience constructor: a table-driven MLC model
+// at target half-width T with default calibration sampling.
+func NewApproxSpaceAt(t float64, seed uint64) *ApproxSpace {
+	return NewApproxSpace(mlc.NewTable(mlc.Approximate(t), 0, seed^0xa5a5a5a5), seed)
+}
+
+// SetSink attaches a trace sink receiving every access in this space.
+func (s *ApproxSpace) SetSink(sink Sink) { s.sink = sink }
+
+// Model returns the word model behind the space.
+func (s *ApproxSpace) Model() mlc.WordModel { return s.model }
+
+// Alloc implements Space.
+func (s *ApproxSpace) Alloc(n int) Words {
+	return &approxWords{
+		space: s,
+		base:  s.addrs.take(n),
+		data:  make([]uint32, n),
+	}
+}
+
+// Stats implements Space.
+func (s *ApproxSpace) Stats() Stats { return s.stats }
+
+// ResetStats clears the aggregate counters.
+func (s *ApproxSpace) ResetStats() { s.stats = Stats{} }
+
+// Approximate implements Space.
+func (s *ApproxSpace) Approximate() bool { return true }
+
+type approxWords struct {
+	space *ApproxSpace
+	base  uint64
+	data  []uint32
+	stats Stats
+}
+
+func (w *approxWords) Len() int { return len(w.data) }
+
+func (w *approxWords) Get(i int) uint32 {
+	w.stats.Reads++
+	w.stats.ReadNanos += readNanos
+	w.space.stats.Reads++
+	w.space.stats.ReadNanos += readNanos
+	if w.space.sink != nil {
+		w.space.sink.Access(OpRead, w.base+uint64(i)*4, 4)
+	}
+	return w.data[i]
+}
+
+func (w *approxWords) Set(i int, v uint32) {
+	stored, iters := w.space.model.WriteWord(w.space.r, v)
+	nanos := mlc.WordLatencyNanos(iters, w.space.model.CellsPerWord())
+	energy := nanos / mlc.PreciseWriteNanos
+
+	w.stats.Writes++
+	w.stats.WriteNanos += nanos
+	w.stats.WriteEnergy += energy
+	w.stats.Iters += iters
+	w.space.stats.Writes++
+	w.space.stats.WriteNanos += nanos
+	w.space.stats.WriteEnergy += energy
+	w.space.stats.Iters += iters
+	if stored != v {
+		w.stats.Corrupted++
+		w.space.stats.Corrupted++
+	}
+	if w.space.sink != nil {
+		w.space.sink.Access(OpWrite, w.base+uint64(i)*4, 4)
+	}
+	w.data[i] = stored
+}
+
+func (w *approxWords) Stats() Stats { return w.stats }
+
+// Peek implements Peeker.
+func (w *approxWords) Peek(i int) uint32 { return w.data[i] }

@@ -1,0 +1,204 @@
+// Package mem provides the instrumented memory arrays every sorting
+// algorithm in this repository runs against: precise PCM arrays and
+// approximate (MLC-model-backed) arrays, with per-array and per-space
+// accounting of access counts, latencies and write energy.
+//
+// The hybrid system of the paper (Figure 3) is modelled as two Spaces —
+// one precise, one approximate — from which algorithms allocate Words
+// arrays. Every Get/Set is charged to the owning space, optionally mirrored
+// to a trace Sink so the cache + PCM bank simulator can replay it.
+package mem
+
+import (
+	"fmt"
+
+	"approxsort/internal/mlc"
+)
+
+// Op distinguishes the two access types reported to a Sink.
+type Op uint8
+
+// Access operation kinds.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Sink receives every memory access performed through an instrumented
+// array. Implementations include the trace writer and the cache + PCM
+// pipeline. Addr is a byte address in the simulated physical address space
+// and size is the access width in bytes.
+type Sink interface {
+	Access(op Op, addr uint64, size int)
+}
+
+// Stats accumulates the access accounting for an array or a space.
+type Stats struct {
+	// Reads and Writes count word accesses.
+	Reads, Writes int
+	// ReadNanos and WriteNanos accumulate device latency. WriteNanos is
+	// the paper's "total memory write latency" (TMWL) contribution.
+	ReadNanos, WriteNanos float64
+	// WriteEnergy accumulates write energy in units of one precise
+	// write. For the MLC model energy tracks latency (both are
+	// proportional to pulse count); the spintronic model charges its
+	// own per-write saving.
+	WriteEnergy float64
+	// Iters is the total number of P&V pulses issued (approximate MLC
+	// arrays only; zero for precise arrays).
+	Iters int
+	// Corrupted counts word writes whose stored value differs from the
+	// written value.
+	Corrupted int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.ReadNanos += other.ReadNanos
+	s.WriteNanos += other.WriteNanos
+	s.WriteEnergy += other.WriteEnergy
+	s.Iters += other.Iters
+	s.Corrupted += other.Corrupted
+}
+
+// Sub returns the component-wise difference s − other, used to extract
+// per-stage deltas from space-level aggregates.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Reads:       s.Reads - other.Reads,
+		Writes:      s.Writes - other.Writes,
+		ReadNanos:   s.ReadNanos - other.ReadNanos,
+		WriteNanos:  s.WriteNanos - other.WriteNanos,
+		WriteEnergy: s.WriteEnergy - other.WriteEnergy,
+		Iters:       s.Iters - other.Iters,
+		Corrupted:   s.Corrupted - other.Corrupted,
+	}
+}
+
+// AccessNanos returns the total device time spent in reads and writes.
+func (s Stats) AccessNanos() float64 { return s.ReadNanos + s.WriteNanos }
+
+// EquivalentPreciseWrites expresses the accumulated write latency in units
+// of one precise write (the quantity the cost model of Section 4.3 calls
+// "total equivalent number of precise memory writes", TEPMW).
+func (s Stats) EquivalentPreciseWrites() float64 {
+	return s.WriteNanos / mlc.PreciseWriteNanos
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d readNs=%.0f writeNs=%.0f energy=%.1f corrupted=%d",
+		s.Reads, s.Writes, s.ReadNanos, s.WriteNanos, s.WriteEnergy, s.Corrupted)
+}
+
+// Words is a fixed-length array of 32-bit words with instrumented access.
+// Implementations are not safe for concurrent use.
+type Words interface {
+	// Len returns the number of words.
+	Len() int
+	// Get reads word i.
+	Get(i int) uint32
+	// Set writes word i.
+	Set(i int, v uint32)
+	// Stats returns the accesses charged to this array so far.
+	Stats() Stats
+}
+
+// Space is a memory region (precise or approximate) from which instrumented
+// arrays are allocated. Stats aggregate across every array the space ever
+// allocated, which is what the paper's per-stage accounting needs (bucket
+// queues come and go during radix sort but their writes still count).
+type Space interface {
+	// Alloc returns a zeroed array of n words charged to this space.
+	Alloc(n int) Words
+	// Stats returns the aggregate access statistics of the space.
+	Stats() Stats
+	// Approximate reports whether writes to this space may corrupt data.
+	Approximate() bool
+}
+
+// pageBytes is the allocation granularity (Table 1: 4 KB pages).
+const pageBytes = 4096
+
+// addressAllocator hands out page-aligned base addresses for arrays so
+// traced accesses land in non-overlapping regions.
+type addressAllocator struct {
+	next uint64
+}
+
+func (a *addressAllocator) take(words int) uint64 {
+	base := a.next
+	bytes := uint64(words) * 4
+	pages := (bytes + pageBytes - 1) / pageBytes
+	if pages == 0 {
+		pages = 1
+	}
+	a.next += pages * pageBytes
+	return base
+}
+
+// Copy copies src into dst, charging one read per source word and one write
+// per destination word. It panics if lengths differ, mirroring the built-in
+// copy contract for full-array copies used by the approx-preparation stage.
+func Copy(dst, src Words) {
+	if dst.Len() != src.Len() {
+		panic(fmt.Sprintf("mem: Copy length mismatch %d != %d", dst.Len(), src.Len()))
+	}
+	for i := 0; i < src.Len(); i++ {
+		dst.Set(i, src.Get(i))
+	}
+}
+
+// Peeker is implemented by arrays that allow uncharged inspection of their
+// stored contents. Metrics code (Rem ratios, error rates) uses Peek so that
+// measuring an experiment does not perturb its accounting.
+type Peeker interface {
+	// Peek returns word i without charging latency, stats or traces.
+	Peek(i int) uint32
+}
+
+// PeekAll returns the current contents of w without charging accesses when
+// w supports Peeker, falling back to charged reads otherwise.
+func PeekAll(w Words) []uint32 {
+	out := make([]uint32, w.Len())
+	if p, ok := w.(Peeker); ok {
+		for i := range out {
+			out[i] = p.Peek(i)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = w.Get(i)
+	}
+	return out
+}
+
+// ReadAll returns the current contents of w as a plain slice, charging
+// reads for every word.
+func ReadAll(w Words) []uint32 {
+	out := make([]uint32, w.Len())
+	for i := range out {
+		out[i] = w.Get(i)
+	}
+	return out
+}
+
+// Load writes the contents of src into w, charging writes.
+func Load(w Words, src []uint32) {
+	if w.Len() != len(src) {
+		panic(fmt.Sprintf("mem: Load length mismatch %d != %d", w.Len(), len(src)))
+	}
+	for i, v := range src {
+		w.Set(i, v)
+	}
+}

@@ -1,0 +1,75 @@
+package mem
+
+// PreciseSpace is the precise-PCM region of the hybrid system. Writes never
+// corrupt; each write costs mlc.PreciseWriteNanos and one energy unit, each
+// read costs mlc.ReadNanos.
+type PreciseSpace struct {
+	stats Stats
+	addrs addressAllocator
+	sink  Sink
+}
+
+// NewPreciseSpace returns an empty precise space.
+func NewPreciseSpace() *PreciseSpace { return &PreciseSpace{} }
+
+// SetSink attaches a trace sink receiving every access in this space.
+// Pass nil to detach.
+func (s *PreciseSpace) SetSink(sink Sink) { s.sink = sink }
+
+// Alloc implements Space.
+func (s *PreciseSpace) Alloc(n int) Words {
+	return &preciseWords{
+		space: s,
+		base:  s.addrs.take(n),
+		data:  make([]uint32, n),
+	}
+}
+
+// Stats implements Space.
+func (s *PreciseSpace) Stats() Stats { return s.stats }
+
+// ResetStats clears the aggregate counters (arrays remain usable; their
+// subsequent accesses start fresh accounting). Used between experiment
+// stages.
+func (s *PreciseSpace) ResetStats() { s.stats = Stats{} }
+
+// Approximate implements Space.
+func (s *PreciseSpace) Approximate() bool { return false }
+
+type preciseWords struct {
+	space *PreciseSpace
+	base  uint64
+	data  []uint32
+	stats Stats
+}
+
+func (w *preciseWords) Len() int { return len(w.data) }
+
+func (w *preciseWords) Get(i int) uint32 {
+	w.stats.Reads++
+	w.stats.ReadNanos += readNanos
+	w.space.stats.Reads++
+	w.space.stats.ReadNanos += readNanos
+	if w.space.sink != nil {
+		w.space.sink.Access(OpRead, w.base+uint64(i)*4, 4)
+	}
+	return w.data[i]
+}
+
+func (w *preciseWords) Set(i int, v uint32) {
+	w.stats.Writes++
+	w.stats.WriteNanos += preciseWriteNanos
+	w.stats.WriteEnergy++
+	w.space.stats.Writes++
+	w.space.stats.WriteNanos += preciseWriteNanos
+	w.space.stats.WriteEnergy++
+	if w.space.sink != nil {
+		w.space.sink.Access(OpWrite, w.base+uint64(i)*4, 4)
+	}
+	w.data[i] = v
+}
+
+func (w *preciseWords) Stats() Stats { return w.stats }
+
+// Peek implements Peeker.
+func (w *preciseWords) Peek(i int) uint32 { return w.data[i] }

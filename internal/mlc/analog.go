@@ -1,0 +1,84 @@
+package mlc
+
+import "approxsort/internal/rng"
+
+// AnalogArray stores 32-bit words as raw analog cell values and re-samples
+// drift noise on every read. It is the most faithful rendering of the
+// Sampson model — the stored value is the analog state, and each read sees
+// fresh material nondeterminism — but it costs 4 bytes per cell (64 bytes
+// per word), so it is intended for small-n sensitivity studies comparing
+// against the write-time-materialization engines (see DESIGN.md §3,
+// "Error timing").
+type AnalogArray struct {
+	p     Params
+	r     *rng.Source
+	cells []float32 // CellsPerWord entries per word
+
+	writes, reads int
+	totalIters    int
+}
+
+// NewAnalogArray allocates an analog array of n words under configuration
+// p, drawing randomness from its own stream seeded with seed.
+func NewAnalogArray(p Params, n int, seed uint64) *AnalogArray {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &AnalogArray{
+		p:     p,
+		r:     rng.New(seed),
+		cells: make([]float32, n*p.CellsPerWord()),
+	}
+}
+
+// Len returns the number of words in the array.
+func (a *AnalogArray) Len() int { return len(a.cells) / a.p.CellsPerWord() }
+
+// Set writes word w at index i through the P&V process, cell by cell.
+func (a *AnalogArray) Set(i int, w uint32) {
+	bits := a.p.BitsPerCell()
+	mask := uint32(a.p.Levels - 1)
+	cpw := a.p.CellsPerWord()
+	base := i * cpw
+	c := 0
+	for shift := 0; shift < 32; shift += bits {
+		level := int(w >> shift & mask)
+		v, iters := a.p.WriteCell(a.r, level)
+		a.cells[base+c] = float32(v)
+		a.totalIters += iters
+		c++
+	}
+	a.writes++
+}
+
+// Get reads word i, sampling fresh drift noise for every cell.
+func (a *AnalogArray) Get(i int) uint32 {
+	bits := a.p.BitsPerCell()
+	cpw := a.p.CellsPerWord()
+	base := i * cpw
+	var w uint32
+	c := 0
+	for shift := 0; shift < 32; shift += bits {
+		level := a.p.ReadCell(a.r, float64(a.cells[base+c]))
+		w |= uint32(level) << shift
+		c++
+	}
+	a.reads++
+	return w
+}
+
+// Writes returns the number of word writes performed.
+func (a *AnalogArray) Writes() int { return a.writes }
+
+// Reads returns the number of word reads performed.
+func (a *AnalogArray) Reads() int { return a.reads }
+
+// TotalIters returns the total P&V pulses issued across all writes.
+func (a *AnalogArray) TotalIters() int { return a.totalIters }
+
+// WriteLatencyNanos returns the cumulative write latency in nanoseconds:
+// the sum of per-word latencies, each proportional to that word's mean
+// pulse count per cell.
+func (a *AnalogArray) WriteLatencyNanos() float64 {
+	return WordLatencyNanos(a.totalIters, a.p.CellsPerWord())
+}

@@ -1,0 +1,23 @@
+package mlc_test
+
+import (
+	"fmt"
+
+	"approxsort/internal/mlc"
+)
+
+// The Monte-Carlo campaign behind Figure 2: configure a guard-band width
+// and measure pulse count and error rate.
+func ExampleMonteCarlo() {
+	precise := mlc.MonteCarlo(mlc.Precise(), 20000, 42)
+	aggressive := mlc.MonteCarlo(mlc.Approximate(0.1), 20000, 42)
+	fmt.Printf("precise: avg #P ~3: %v, errors ~0: %v\n",
+		precise.AvgP > 2.8 && precise.AvgP < 3.2,
+		precise.WordErrorRate < 0.001)
+	fmt.Printf("T=0.1: halved pulses: %v, substantial errors: %v\n",
+		aggressive.PRatio() < 0.55,
+		aggressive.WordErrorRate > 0.2)
+	// Output:
+	// precise: avg #P ~3: true, errors ~0: true
+	// T=0.1: halved pulses: true, substantial errors: true
+}

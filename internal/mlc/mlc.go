@@ -1,0 +1,295 @@
+// Package mlc models multi-level-cell (MLC) phase change memory after
+// Sampson et al. ("Approximate Storage in Solid-State Memories", MICRO'13)
+// as adopted by Chen et al. (SIGMOD'16, Section 2).
+//
+// A cell stores an analog value in [0, 1], quantized into L evenly spaced
+// levels. Writing is an iterative program-and-verify (P&V) process: each
+// pulse moves the analog value toward the target with normally distributed
+// error, and pulses repeat until the value lands within T of the target
+// (T is half the width of the target range; the remainder of a level band
+// is guard band). Reading adds drift noise and quantizes.
+//
+// Shrinking the guard band (raising T) is what makes the memory
+// *approximate*: fewer P&V iterations per write (lower write latency) but a
+// growing chance that drift pushes the stored value across a band boundary,
+// corrupting the digital value.
+//
+// The package provides an exact Monte-Carlo cell model (Exact), a calibrated
+// fast model driven by precomputed transition tables (Table), and an analog
+// array that re-samples drift on every read for sensitivity studies
+// (AnalogArray).
+package mlc
+
+import (
+	"fmt"
+	"math"
+
+	"approxsort/internal/rng"
+)
+
+// Reference constants from the paper (Tables 1 and 2).
+const (
+	// ReferenceAvgP is the average number of P&V iterations per cell write
+	// on precise memory (T = 0.025) reported in Table 2. It anchors the
+	// latency normalization: one precise word write costs
+	// PreciseWriteNanos and corresponds to ReferenceAvgP iterations.
+	ReferenceAvgP = 2.98
+
+	// PreciseWriteNanos is the latency of one precise PCM data write
+	// (Table 1: 1 µs).
+	PreciseWriteNanos = 1000.0
+
+	// ReadNanos is the latency of one PCM data read (Table 1: 50 ns).
+	ReadNanos = 50.0
+
+	// PreciseT is the target-range half width at which the memory is
+	// considered precise (Section 2.2).
+	PreciseT = 0.025
+
+	// MaxT is the largest meaningful T for a 4-level cell: at 1/8 the
+	// guard bands vanish entirely (Section 2.1.1).
+	MaxT = 0.125
+)
+
+// Params describes an MLC cell configuration (Table 2 of the paper).
+type Params struct {
+	// Levels is the number of levels L per cell. The paper uses L = 4
+	// (a 2-bit cell). Must be a power of two.
+	Levels int
+
+	// Beta is the write fluctuation constant β: a P&V pulse from value v
+	// toward target vd lands at v + N(vd−v, β·|vd−v|), where the second
+	// parameter is the *variance*. β = 0.035 reproduces the paper's
+	// avg #P = 2.98 at T = 0.025.
+	Beta float64
+
+	// T is half the width of the target analog range. T = 0.025 is
+	// precise; larger T is approximate. Must satisfy 0 < T < 1/(2·Levels).
+	T float64
+
+	// ReadMu and ReadSigma parameterize the per-read drift coefficient
+	// ν ~ N(ReadMu, ReadSigma) (Table 2: read fluctuation µ = 0.067,
+	// σ = 0.027).
+	ReadMu, ReadSigma float64
+
+	// Elapsed is tw, the time in seconds since the cell write, entering
+	// the drift term as log10(tw) (Table 2: 1e5 s).
+	Elapsed float64
+
+	// DriftScale converts the drift coefficient into analog-value units.
+	// The paper's raw parameters (ν·log10(tw) ≈ 0.33) exceed a whole
+	// level band and would corrupt even precise memory, so the authors
+	// must have applied a scale they do not state; DriftScale is that
+	// calibration constant. The default is chosen so precise memory has
+	// a raw bit error rate below 1e-7 while the error curve reproduces
+	// the knee at T ≈ 0.06 of Figure 2(b). See DESIGN.md §3.
+	DriftScale float64
+
+	// MaxIters bounds the P&V loop as a safety valve; the write is
+	// forced onto the target after MaxIters pulses. With the default
+	// parameters the loop converges in a handful of iterations.
+	MaxIters int
+}
+
+// Default model parameters (Table 2 plus the calibrated DriftScale).
+const (
+	DefaultBeta       = 0.035
+	DefaultReadMu     = 0.067
+	DefaultReadSigma  = 0.027
+	DefaultElapsed    = 1e5
+	DefaultDriftScale = 0.1
+	DefaultMaxIters   = 64
+)
+
+// Precise returns the precise-memory configuration (T = 0.025).
+func Precise() Params { return Approximate(PreciseT) }
+
+// Approximate returns a 4-level cell configuration with the given target
+// half-width T. T must lie in (0, 0.125) for a 4-level cell.
+func Approximate(t float64) Params { return WithLevels(4, t) }
+
+// WithLevels returns a cell configuration with the given level count and
+// target half-width — the density axis of the Sampson model (denser cells
+// expose more bits but demand tighter targets). Levels must be a power of
+// two whose bit width divides 32 (2, 4, 16, or 256-level cells).
+func WithLevels(levels int, t float64) Params {
+	return Params{
+		Levels:     levels,
+		Beta:       DefaultBeta,
+		T:          t,
+		ReadMu:     DefaultReadMu,
+		ReadSigma:  DefaultReadSigma,
+		Elapsed:    DefaultElapsed,
+		DriftScale: DefaultDriftScale,
+		MaxIters:   DefaultMaxIters,
+	}
+}
+
+// GuardFraction returns the configuration whose target half-width is the
+// fraction f of the full band half-width 1/(2L) — the density-fair way to
+// compare cells with different level counts (f = 1 means no guard band).
+func GuardFraction(levels int, f float64) Params {
+	return WithLevels(levels, f/(2*float64(levels)))
+}
+
+// Validate reports whether the parameters describe a realizable cell.
+func (p Params) Validate() error {
+	if p.Levels < 2 || p.Levels&(p.Levels-1) != 0 {
+		return fmt.Errorf("mlc: Levels must be a power of two >= 2, got %d", p.Levels)
+	}
+	if 32%p.BitsPerCell() != 0 {
+		return fmt.Errorf("mlc: %d-level cells (%d bits) do not pack into 32-bit words",
+			p.Levels, p.BitsPerCell())
+	}
+	if p.T <= 0 || p.T > 1/(2*float64(p.Levels)) {
+		return fmt.Errorf("mlc: T = %v out of range (0, %v]", p.T, 1/(2*float64(p.Levels)))
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("mlc: Beta must be positive, got %v", p.Beta)
+	}
+	if p.Elapsed < 1 {
+		return fmt.Errorf("mlc: Elapsed must be >= 1s, got %v", p.Elapsed)
+	}
+	if p.MaxIters < 1 {
+		return fmt.Errorf("mlc: MaxIters must be >= 1, got %d", p.MaxIters)
+	}
+	return nil
+}
+
+// BitsPerCell returns log2(Levels).
+func (p Params) BitsPerCell() int {
+	b := 0
+	for l := p.Levels; l > 1; l >>= 1 {
+		b++
+	}
+	return b
+}
+
+// CellsPerWord returns the number of cells needed to store a 32-bit word
+// (sixteen for a 2-bit cell, per Section 3.2).
+func (p Params) CellsPerWord() int { return 32 / p.BitsPerCell() }
+
+// LevelValue returns the analog center of level l: (2l+1)/(2L).
+func (p Params) LevelValue(level int) float64 {
+	return (2*float64(level) + 1) / (2 * float64(p.Levels))
+}
+
+// Quantize maps an analog value to the digital level whose band contains
+// it. Bands are [k/L, (k+1)/L); values outside [0, 1) clamp to the extreme
+// levels.
+func (p Params) Quantize(v float64) int {
+	level := int(v * float64(p.Levels))
+	if level < 0 {
+		return 0
+	}
+	if level >= p.Levels {
+		return p.Levels - 1
+	}
+	return level
+}
+
+// driftShift draws the additive read perturbation:
+// ν·log10(tw)·DriftScale with ν ~ N(ReadMu, ReadSigma). The mean is
+// positive — drift is unidirectional (Yeo et al.) — so errors skew upward,
+// and the top level cannot drift out of its band.
+func (p Params) driftShift(r *rng.Source) float64 {
+	nu := r.NormAt(p.ReadMu, p.ReadSigma)
+	return nu * math.Log10(p.Elapsed) * p.DriftScale
+}
+
+// WriteCell performs one P&V cell write targeting digital level and returns
+// the settled analog value together with the number of pulses used
+// (Function WRITE in the paper).
+func (p Params) WriteCell(r *rng.Source, level int) (v float64, iters int) {
+	vd := p.LevelValue(level)
+	v = 0
+	for {
+		delta := vd - v
+		v += r.NormAt(delta, math.Sqrt(p.Beta*math.Abs(delta)))
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		iters++
+		if math.Abs(v-vd) <= p.T {
+			return v, iters
+		}
+		if iters >= p.MaxIters {
+			return vd, iters
+		}
+	}
+}
+
+// ReadCell reads an analog value back as a digital level, applying drift
+// noise (Section 2.1.2).
+func (p Params) ReadCell(r *rng.Source, v float64) int {
+	return p.Quantize(v + p.driftShift(r))
+}
+
+// WriteReadCell performs a write immediately followed by one read-back,
+// returning the digital level observed and the pulse count. This is the
+// cell-level primitive behind the word models: corruption is materialized
+// at write time (see DESIGN.md §3, "Error timing").
+func (p Params) WriteReadCell(r *rng.Source, level int) (got, iters int) {
+	v, it := p.WriteCell(r, level)
+	return p.ReadCell(r, v), it
+}
+
+// WordModel is the contract shared by the exact and table-driven engines:
+// write one 32-bit word into approximate cells, returning the (possibly
+// corrupted) value that will be read back and the total number of P&V
+// pulses across the word's cells.
+type WordModel interface {
+	// WriteWord stores w and returns the value subsequent reads observe
+	// plus the total P&V iterations summed over the word's cells.
+	WriteWord(r *rng.Source, w uint32) (stored uint32, iters int)
+	// CellsPerWord returns how many cells make up one 32-bit word.
+	CellsPerWord() int
+	// Params returns the cell configuration behind the model.
+	Params() Params
+}
+
+// Exact is the reference WordModel: every cell write runs the full P&V
+// Monte-Carlo loop and one drift read-back.
+type Exact struct {
+	P Params
+}
+
+// NewExact returns an exact word model for p. It panics if p is invalid,
+// because a bad configuration is a programming error.
+func NewExact(p Params) *Exact {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Exact{P: p}
+}
+
+// WriteWord implements WordModel.
+func (e *Exact) WriteWord(r *rng.Source, w uint32) (uint32, int) {
+	bits := e.P.BitsPerCell()
+	mask := uint32(e.P.Levels - 1)
+	var stored uint32
+	total := 0
+	for shift := 0; shift < 32; shift += bits {
+		level := int(w >> shift & mask)
+		got, iters := e.P.WriteReadCell(r, level)
+		stored |= uint32(got) << shift
+		total += iters
+	}
+	return stored, total
+}
+
+// CellsPerWord implements WordModel.
+func (e *Exact) CellsPerWord() int { return e.P.CellsPerWord() }
+
+// Params implements WordModel.
+func (e *Exact) Params() Params { return e.P }
+
+// WordLatencyNanos converts a word write's total pulse count into
+// nanoseconds using the Table 1/2 anchor: a precise word write (avg
+// ReferenceAvgP pulses per cell) takes PreciseWriteNanos.
+func WordLatencyNanos(totalIters, cellsPerWord int) float64 {
+	perCell := float64(totalIters) / float64(cellsPerWord)
+	return perCell / ReferenceAvgP * PreciseWriteNanos
+}

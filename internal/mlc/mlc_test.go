@@ -1,0 +1,239 @@
+package mlc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"approxsort/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		ok   bool
+	}{
+		{"default precise", func(p *Params) {}, true},
+		{"max T", func(p *Params) { p.T = 0.125 }, true},
+		{"zero T", func(p *Params) { p.T = 0 }, false},
+		{"T beyond band", func(p *Params) { p.T = 0.2 }, false},
+		{"three levels", func(p *Params) { p.Levels = 3 }, false},
+		{"one level", func(p *Params) { p.Levels = 1 }, false},
+		{"negative beta", func(p *Params) { p.Beta = -1 }, false},
+		{"tiny elapsed", func(p *Params) { p.Elapsed = 0.5 }, false},
+		{"no iterations", func(p *Params) { p.MaxIters = 0 }, false},
+	}
+	for _, tc := range cases {
+		p := Precise()
+		tc.mut(&p)
+		err := p.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestLevelGeometry(t *testing.T) {
+	p := Precise()
+	if p.BitsPerCell() != 2 {
+		t.Fatalf("BitsPerCell = %d, want 2", p.BitsPerCell())
+	}
+	if p.CellsPerWord() != 16 {
+		t.Fatalf("CellsPerWord = %d, want 16", p.CellsPerWord())
+	}
+	want := []float64{0.125, 0.375, 0.625, 0.875}
+	for l, w := range want {
+		if got := p.LevelValue(l); math.Abs(got-w) > 1e-12 {
+			t.Errorf("LevelValue(%d) = %v, want %v", l, got, w)
+		}
+	}
+}
+
+func TestQuantizeBands(t *testing.T) {
+	p := Precise()
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0.0, 0}, {0.1249, 0}, {0.2499, 0},
+		{0.25, 1}, {0.375, 1}, {0.4999, 1},
+		{0.5, 2}, {0.7499, 2},
+		{0.75, 3}, {0.999, 3},
+		{-0.3, 0}, {1.0, 3}, {1.7, 3},
+	}
+	for _, tc := range cases {
+		if got := p.Quantize(tc.v); got != tc.want {
+			t.Errorf("Quantize(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestQuantizeInvertsLevelValue(t *testing.T) {
+	f := func(level uint8) bool {
+		p := Precise()
+		l := int(level) % p.Levels
+		return p.Quantize(p.LevelValue(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCellLandsInTargetRange(t *testing.T) {
+	r := rng.New(1)
+	for _, T := range []float64{0.025, 0.055, 0.1, 0.125} {
+		p := Approximate(T)
+		for level := 0; level < p.Levels; level++ {
+			for i := 0; i < 200; i++ {
+				v, iters := p.WriteCell(r, level)
+				if iters < 1 || iters > p.MaxIters {
+					t.Fatalf("T=%v level=%d: iters=%d out of bounds", T, level, iters)
+				}
+				if d := math.Abs(v - p.LevelValue(level)); d > T+1e-12 {
+					t.Fatalf("T=%v level=%d: settled %v from target (> T)", T, level, d)
+				}
+			}
+		}
+	}
+}
+
+// TestPreciseAvgPMatchesPaper checks the Table 2 anchor: avg #P ≈ 2.98 at
+// T = 0.025 with β = 0.035. This is the observation that pins down the
+// "variance = β|vd−v|" reading of the paper's N(µ, σ²) notation.
+func TestPreciseAvgPMatchesPaper(t *testing.T) {
+	s := MonteCarlo(Precise(), 20000, 42)
+	if math.Abs(s.AvgP-ReferenceAvgP) > 0.1 {
+		t.Errorf("precise avg #P = %v, want %v ± 0.1", s.AvgP, ReferenceAvgP)
+	}
+}
+
+// TestAvgPHalvesAtT01 checks the Section 2.2 claim that T = 0.1 halves the
+// number of P&V iterations relative to precise memory.
+func TestAvgPHalvesAtT01(t *testing.T) {
+	s := MonteCarlo(Approximate(0.1), 20000, 43)
+	if p := s.PRatio(); p < 0.40 || p > 0.60 {
+		t.Errorf("p(0.1) = %v, want roughly 0.5 (Fig. 2a / §2.2)", p)
+	}
+}
+
+// TestErrorRateShape checks the qualitative error curve of Fig. 2(b):
+// negligible at precise T, small at 0.055, steep past 0.1.
+func TestErrorRateShape(t *testing.T) {
+	precise := MonteCarlo(Precise(), 30000, 44)
+	mid := MonteCarlo(Approximate(0.055), 30000, 45)
+	high := MonteCarlo(Approximate(0.1), 30000, 46)
+	edge := MonteCarlo(Approximate(0.124), 30000, 47)
+
+	if precise.CellErrorRate > 1e-4 {
+		t.Errorf("precise cell error rate = %v, want ~0", precise.CellErrorRate)
+	}
+	if mid.CellErrorRate > 0.01 {
+		t.Errorf("T=0.055 cell error rate = %v, want < 1%%", mid.CellErrorRate)
+	}
+	if high.CellErrorRate <= mid.CellErrorRate {
+		t.Errorf("error rate not increasing: e(0.1)=%v <= e(0.055)=%v",
+			high.CellErrorRate, mid.CellErrorRate)
+	}
+	if edge.CellErrorRate <= high.CellErrorRate {
+		t.Errorf("error rate not increasing: e(0.124)=%v <= e(0.1)=%v",
+			edge.CellErrorRate, high.CellErrorRate)
+	}
+	if edge.WordErrorRate < 0.2 {
+		t.Errorf("T=0.124 word error rate = %v, want substantial (Fig. 2b)", edge.WordErrorRate)
+	}
+}
+
+func TestAvgPMonotoneInT(t *testing.T) {
+	stats := Sweep(Precise(), []float64{0.025, 0.04, 0.055, 0.07, 0.085, 0.1, 0.124}, 10000, 48)
+	for i := 1; i < len(stats); i++ {
+		if stats[i].AvgP >= stats[i-1].AvgP {
+			t.Errorf("avg #P not decreasing: #P(%v)=%v >= #P(%v)=%v",
+				stats[i].T, stats[i].AvgP, stats[i-1].T, stats[i-1].AvgP)
+		}
+	}
+}
+
+func TestExactWriteWordPreservesValueWhenPrecise(t *testing.T) {
+	model := NewExact(Precise())
+	r := rng.New(5)
+	errs := 0
+	const words = 5000
+	for i := 0; i < words; i++ {
+		w := r.Uint32()
+		stored, iters := model.WriteWord(r, w)
+		if iters < model.CellsPerWord() {
+			t.Fatalf("word write used %d iters, less than one per cell", iters)
+		}
+		if stored != w {
+			errs++
+		}
+	}
+	if errs > 1 {
+		t.Errorf("precise memory corrupted %d/%d words", errs, words)
+	}
+}
+
+func TestDriftIsUpward(t *testing.T) {
+	// With unidirectional drift, corrupted cells should predominantly
+	// read back one level *higher* than written (except the top level,
+	// which saturates).
+	p := Approximate(0.12)
+	r := rng.New(6)
+	up, down := 0, 0
+	for i := 0; i < 50000; i++ {
+		level := r.Intn(p.Levels - 1) // exclude top level
+		got, _ := p.WriteReadCell(r, level)
+		switch {
+		case got > level:
+			up++
+		case got < level:
+			down++
+		}
+	}
+	if up <= down*2 {
+		t.Errorf("drift not predominantly upward: %d up vs %d down", up, down)
+	}
+}
+
+func TestWordLatencyNanosAnchors(t *testing.T) {
+	// A word whose 16 cells each used exactly ReferenceAvgP pulses (scaled
+	// to integers) costs exactly the precise write latency.
+	got := WordLatencyNanos(int(ReferenceAvgP*16*1000), 16*1000)
+	if math.Abs(got-PreciseWriteNanos) > 1e-6 {
+		t.Errorf("WordLatencyNanos anchor = %v, want %v", got, PreciseWriteNanos)
+	}
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	ts := []float64{0.03, 0.06, 0.09, 0.12}
+	seq := Sweep(Precise(), ts, 3000, 77)
+	par := SweepParallel(Precise(), ts, 3000, 77)
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestStandardTs(t *testing.T) {
+	ts := StandardTs(false)
+	if ts[0] != 0.025 || ts[len(ts)-1] != 0.1 {
+		t.Fatalf("StandardTs(false) range = [%v, %v]", ts[0], ts[len(ts)-1])
+	}
+	if len(ts) != 16 {
+		t.Fatalf("StandardTs(false) has %d points, want 16", len(ts))
+	}
+	ext := StandardTs(true)
+	if ext[len(ext)-1] != 0.124 {
+		t.Fatalf("StandardTs(true) must end at 0.124, got %v", ext[len(ext)-1])
+	}
+	for i := 1; i < len(ext); i++ {
+		if ext[i] <= ext[i-1] {
+			t.Fatalf("StandardTs not strictly increasing at %d: %v", i, ext)
+		}
+	}
+}

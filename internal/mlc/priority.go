@@ -1,0 +1,86 @@
+package mlc
+
+import "approxsort/internal/rng"
+
+// Priority implements the bit-priority feature of the approximate-storage
+// interface the paper adopts from Sampson et al. (quoted in Section 2):
+// "accesses can also include a data element size ... in each element, the
+// highest-order bits are most important. ... Bit priority helps the memory
+// decide where to expend its error protection resources to minimize the
+// magnitude of errors when they occur."
+//
+// Priority wraps a word-sized element: its cells do not share one target
+// half-width T; instead T interpolates per cell from TLow (most
+// significant cells — tight targets, nearly precise) to THigh (least
+// significant cells — aggressive targets, fast). Total pulse budget is
+// comparable to a uniform configuration between the two endpoints, but
+// errors concentrate in low-order bits, shrinking the *magnitude* of value
+// corruption — which for sorting converts catastrophic misplacements into
+// local perturbations that the refine stage absorbs cheaply.
+type Priority struct {
+	base Params
+	// perCellT[i] is the target half-width of cell i, where cell 0
+	// holds the least significant bits.
+	perCellT []float64
+}
+
+// NewPriority returns a bit-priority model derived from base: the word's
+// most significant cell is written at tLow and the least significant at
+// tHigh, with linear interpolation between. It panics on invalid
+// configuration (programming error).
+func NewPriority(base Params, tLow, tHigh float64) *Priority {
+	check := base
+	check.T = tLow
+	if err := check.Validate(); err != nil {
+		panic(err)
+	}
+	check.T = tHigh
+	if err := check.Validate(); err != nil {
+		panic(err)
+	}
+	cells := base.CellsPerWord()
+	p := &Priority{base: base, perCellT: make([]float64, cells)}
+	for i := 0; i < cells; i++ {
+		// i = 0 is least significant → tHigh; i = cells−1 → tLow.
+		frac := float64(i) / float64(cells-1)
+		p.perCellT[i] = tHigh + frac*(tLow-tHigh)
+	}
+	return p
+}
+
+// WriteWord implements WordModel with the per-cell precision schedule.
+func (p *Priority) WriteWord(r *rng.Source, w uint32) (uint32, int) {
+	bits := p.base.BitsPerCell()
+	mask := uint32(p.base.Levels - 1)
+	var stored uint32
+	total := 0
+	cell := 0
+	params := p.base
+	for shift := 0; shift < 32; shift += bits {
+		params.T = p.perCellT[cell]
+		level := int(w >> shift & mask)
+		got, iters := params.WriteReadCell(r, level)
+		stored |= uint32(got) << shift
+		total += iters
+		cell++
+	}
+	return stored, total
+}
+
+// CellsPerWord implements WordModel.
+func (p *Priority) CellsPerWord() int { return p.base.CellsPerWord() }
+
+// Params implements WordModel; the returned T is the mean of the per-cell
+// schedule.
+func (p *Priority) Params() Params {
+	out := p.base
+	sum := 0.0
+	for _, t := range p.perCellT {
+		sum += t
+	}
+	out.T = sum / float64(len(p.perCellT))
+	return out
+}
+
+// CellT returns the target half-width of cell i (0 = least significant).
+func (p *Priority) CellT(i int) float64 { return p.perCellT[i] }

@@ -1,0 +1,114 @@
+package mlc
+
+import (
+	"math"
+	"testing"
+
+	"approxsort/internal/rng"
+)
+
+func TestPrioritySchedule(t *testing.T) {
+	p := NewPriority(Approximate(0.055), 0.03, 0.12)
+	if got := p.CellT(0); got != 0.12 {
+		t.Errorf("least significant cell T = %v, want 0.12", got)
+	}
+	if got := p.CellT(15); got != 0.03 {
+		t.Errorf("most significant cell T = %v, want 0.03", got)
+	}
+	for i := 1; i < 16; i++ {
+		if p.CellT(i) >= p.CellT(i-1) {
+			t.Errorf("schedule not decreasing toward high bits at cell %d", i)
+		}
+	}
+	if got := p.Params().T; math.Abs(got-0.075) > 1e-12 {
+		t.Errorf("mean T = %v, want 0.075", got)
+	}
+	if p.CellsPerWord() != 16 {
+		t.Errorf("CellsPerWord = %d", p.CellsPerWord())
+	}
+}
+
+func TestPriorityPanicsOnBadEndpoints(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid tHigh accepted")
+		}
+	}()
+	NewPriority(Approximate(0.055), 0.03, 0.3)
+}
+
+// TestPriorityShrinksErrorMagnitude is the feature's reason to exist: with
+// the same mean precision, bit-priority storage concentrates errors in low
+// bits, so the typical value deviation is orders of magnitude smaller than
+// under a uniform configuration.
+func TestPriorityShrinksErrorMagnitude(t *testing.T) {
+	const words = 30000
+	uniform := NewExact(Approximate(0.075))
+	priority := NewPriority(Approximate(0.075), 0.03, 0.12)
+
+	meanAbsDev := func(m WordModel, seed uint64) (dev float64, errRate float64, avgIters float64) {
+		r := rng.New(seed)
+		var sum float64
+		errs := 0
+		iters := 0
+		for i := 0; i < words; i++ {
+			w := r.Uint32()
+			stored, it := m.WriteWord(r, w)
+			iters += it
+			if stored != w {
+				errs++
+				d := float64(stored) - float64(w)
+				sum += math.Abs(d)
+			}
+		}
+		if errs == 0 {
+			return 0, 0, float64(iters) / words
+		}
+		return sum / float64(errs), float64(errs) / words, float64(iters) / words
+	}
+
+	uDev, uErr, uIters := meanAbsDev(uniform, 1)
+	pDev, pErr, pIters := meanAbsDev(priority, 2)
+
+	if uErr == 0 || pErr == 0 {
+		t.Fatal("campaign produced no errors; raise T")
+	}
+	if pDev >= uDev/8 {
+		t.Errorf("priority mean |deviation| %v not well below uniform %v", pDev, uDev)
+	}
+	// The pulse budgets should be comparable (within 25%): priority
+	// shifts pulses toward high-order cells rather than spending more.
+	if r := pIters / uIters; r < 0.75 || r > 1.25 {
+		t.Errorf("priority pulse budget ratio %v, want comparable to uniform", r)
+	}
+}
+
+// TestPriorityHelpsSortedness: smaller error magnitudes translate into
+// less disorder for the same write budget — measured end to end in
+// mem_test-style integration below (see TestPrioritySpaceSortedness in
+// package mem for the array-level version).
+func TestPriorityErrorsAreLowBit(t *testing.T) {
+	p := NewPriority(Approximate(0.075), 0.03, 0.12)
+	r := rng.New(3)
+	lowHalf, highHalf := 0, 0
+	for i := 0; i < 40000; i++ {
+		w := r.Uint32()
+		stored, _ := p.WriteWord(r, w)
+		diff := stored ^ w
+		if diff == 0 {
+			continue
+		}
+		if diff&0xffff0000 != 0 {
+			highHalf++
+		}
+		if diff&0x0000ffff != 0 {
+			lowHalf++
+		}
+	}
+	if lowHalf == 0 {
+		t.Fatal("no low-bit errors observed")
+	}
+	if highHalf*10 > lowHalf {
+		t.Errorf("high-half errors (%d) not rare versus low-half (%d)", highHalf, lowHalf)
+	}
+}

@@ -1,0 +1,176 @@
+package mlc
+
+import (
+	"fmt"
+
+	"approxsort/internal/rng"
+)
+
+// Table is a calibrated fast WordModel. At construction it runs a
+// Monte-Carlo campaign through the exact cell model and records, per target
+// level, (a) the distribution of the digital level read back and (b) the
+// distribution of P&V pulse counts. WriteWord then samples those empirical
+// distributions instead of re-running the P&V loop, which is roughly an
+// order of magnitude faster for multi-million-element sorting sweeps.
+//
+// The two distributions are sampled independently. That preserves the
+// marginal error rate and the marginal latency exactly (the quantities
+// every experiment in the paper reports); only the latency↔error
+// correlation within a single cell write is lost, and nothing consumes it.
+// TestTableMatchesExact asserts the statistical agreement.
+type Table struct {
+	p Params
+
+	// resCum[l] is the cumulative distribution over read-back levels for
+	// a write targeting level l.
+	resCum [][]float64
+	// itersCum[l] is the cumulative distribution over pulse counts
+	// (index i holds P(#P <= i+1)) for a write targeting level l.
+	itersCum [][]float64
+	// avgP is the mean pulse count per cell write across levels.
+	avgP float64
+	// errProb[l] is the probability that a write of level l reads back
+	// as a different level.
+	errProb []float64
+}
+
+// DefaultTableSamples is the per-level Monte-Carlo sample count used by
+// NewTable when samples <= 0 is given. 40k samples bound the error-rate
+// estimate's standard error below ~2.5e-3 per level, well under the effect
+// sizes in the paper's figures.
+const DefaultTableSamples = 40000
+
+// NewTable builds a table-driven model for p using the given number of
+// Monte-Carlo samples per level (DefaultTableSamples if samples <= 0) and
+// a deterministic seed. It panics on invalid params.
+func NewTable(p Params, samples int, seed uint64) *Table {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if samples <= 0 {
+		samples = DefaultTableSamples
+	}
+	r := rng.New(seed)
+	t := &Table{
+		p:        p,
+		resCum:   make([][]float64, p.Levels),
+		itersCum: make([][]float64, p.Levels),
+		errProb:  make([]float64, p.Levels),
+	}
+	totalIters := 0
+	for level := 0; level < p.Levels; level++ {
+		resCount := make([]int, p.Levels)
+		iterCount := make([]int, p.MaxIters)
+		errs := 0
+		for s := 0; s < samples; s++ {
+			got, iters := p.WriteReadCell(r, level)
+			resCount[got]++
+			if iters > p.MaxIters {
+				iters = p.MaxIters
+			}
+			iterCount[iters-1]++
+			totalIters += iters
+			if got != level {
+				errs++
+			}
+		}
+		t.resCum[level] = cumulate(resCount, samples)
+		t.itersCum[level] = cumulate(iterCount, samples)
+		t.errProb[level] = float64(errs) / float64(samples)
+	}
+	t.avgP = float64(totalIters) / float64(p.Levels*samples)
+	return t
+}
+
+func cumulate(counts []int, total int) []float64 {
+	cum := make([]float64, len(counts))
+	running := 0
+	for i, c := range counts {
+		running += c
+		cum[i] = float64(running) / float64(total)
+	}
+	// Guard against floating point drift: force the final entry to 1 so
+	// inverse-CDF sampling can never run off the end.
+	cum[len(cum)-1] = 1
+	return cum
+}
+
+// sampleCum draws an index from a cumulative distribution.
+func sampleCum(r *rng.Source, cum []float64) int {
+	u := r.Float64()
+	// Distributions here are short (4 levels, few-tens iterations) and
+	// front-loaded, so a linear scan beats binary search in practice.
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// WriteWord implements WordModel by sampling the per-level empirical
+// distributions for each of the word's cells.
+func (t *Table) WriteWord(r *rng.Source, w uint32) (uint32, int) {
+	bits := t.p.BitsPerCell()
+	mask := uint32(t.p.Levels - 1)
+	var stored uint32
+	total := 0
+	for shift := 0; shift < 32; shift += bits {
+		level := int(w >> shift & mask)
+		got := sampleCum(r, t.resCum[level])
+		iters := sampleCum(r, t.itersCum[level]) + 1
+		stored |= uint32(got) << shift
+		total += iters
+	}
+	return stored, total
+}
+
+// CellsPerWord implements WordModel.
+func (t *Table) CellsPerWord() int { return t.p.CellsPerWord() }
+
+// Params implements WordModel.
+func (t *Table) Params() Params { return t.p }
+
+// AvgP returns the calibrated mean P&V pulse count per cell write.
+func (t *Table) AvgP() float64 { return t.avgP }
+
+// CellErrorProb returns the probability that a cell write targeting level
+// reads back as a different level.
+func (t *Table) CellErrorProb(level int) float64 {
+	if level < 0 || level >= t.p.Levels {
+		panic(fmt.Sprintf("mlc: level %d out of range [0,%d)", level, t.p.Levels))
+	}
+	return t.errProb[level]
+}
+
+// MeanCellErrorProb returns the cell error probability averaged over
+// uniformly distributed target levels.
+func (t *Table) MeanCellErrorProb() float64 {
+	sum := 0.0
+	for _, e := range t.errProb {
+		sum += e
+	}
+	return sum / float64(len(t.errProb))
+}
+
+// WordErrorProb returns the probability that at least one cell of a
+// uniformly random word is corrupted, assuming independent cells (each of
+// the word's cells targets a uniformly distributed level).
+func (t *Table) WordErrorProb() float64 {
+	okCell := 1 - t.MeanCellErrorProb()
+	p := 1.0
+	for i := 0; i < t.CellsPerWord(); i++ {
+		p *= okCell
+	}
+	return 1 - p
+}
+
+// PRatio returns p(t) as defined in Section 2.2: the ratio of the average
+// pulse count under this configuration to the average pulse count on
+// precise memory (same parameters, T = PreciseT).
+func (t *Table) PRatio(samples int, seed uint64) float64 {
+	precise := t.p
+	precise.T = PreciseT
+	ref := NewTable(precise, samples, seed)
+	return t.avgP / ref.avgP
+}

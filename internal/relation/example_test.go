@@ -1,0 +1,55 @@
+package relation_test
+
+import (
+	"fmt"
+
+	"approxsort/internal/core"
+	"approxsort/internal/relation"
+	"approxsort/internal/sorts"
+)
+
+// ORDER BY on a columnar table: the key column sorts through the
+// approx-refine engine and the payload columns follow their rows.
+func ExampleTable_OrderBy() {
+	table, err := relation.NewTable(
+		&relation.Uint32Column{ColName: "price", Values: []uint32{30, 10, 20}},
+		&relation.StringColumn{ColName: "item", Values: []string{"cheese", "bread", "milk"}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := table.OrderBy("price", core.Config{Algorithm: sorts.Quicksort{}, T: 0.055, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	prices := res.Table.Column("price").(*relation.Uint32Column).Values
+	items := res.Table.Column("item").(*relation.StringColumn).Values
+	for i := range prices {
+		fmt.Println(prices[i], items[i])
+	}
+	// Output:
+	// 10 bread
+	// 20 milk
+	// 30 cheese
+}
+
+// Sort-based GROUP BY: precise aggregation over the accelerated sort.
+func ExampleTable_GroupBySorted() {
+	table, err := relation.NewTable(
+		&relation.Uint32Column{ColName: "dept", Values: []uint32{2, 1, 2, 1, 1}},
+		&relation.Int64Column{ColName: "salary", Values: []int64{10, 20, 30, 40, 60}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	groups, _, err := table.GroupBySorted("dept", "salary", core.Config{Algorithm: sorts.Quicksort{}, T: 0.055, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for _, g := range groups {
+		fmt.Printf("dept %d: count=%d sum=%d\n", g.Key, g.Count, g.Sum)
+	}
+	// Output:
+	// dept 1: count=3 sum=120
+	// dept 2: count=2 sum=40
+}

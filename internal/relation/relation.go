@@ -1,0 +1,222 @@
+// Package relation provides the thin columnar-table layer that connects
+// the approx-refine sorting engine to the database workloads the paper's
+// introduction motivates: ORDER BY over a table whose sort key is a
+// 32-bit column and whose remaining columns ride along through the record
+// IDs (Section 4.1's <Key, ID> layout generalized to whole rows).
+//
+// The sorted output is bit-exact: the engine's precision guarantee makes
+// the layer safe for operators with exactness requirements (merge joins,
+// grouping, top-k with ties).
+package relation
+
+import (
+	"fmt"
+
+	"approxsort/internal/core"
+	"approxsort/internal/sorts"
+)
+
+// Column is a named, typed column. Implementations hold n values and can
+// gather themselves through a row permutation.
+type Column interface {
+	// Name returns the column name.
+	Name() string
+	// Len returns the row count.
+	Len() int
+	// gather returns a new column whose row i is the receiver's row
+	// perm[i].
+	gather(perm []uint32) Column
+}
+
+// Uint32Column is a 32-bit integer column — the only type that can serve
+// as a sort key (the paper's key domain).
+type Uint32Column struct {
+	ColName string
+	Values  []uint32
+}
+
+// Name implements Column.
+func (c *Uint32Column) Name() string { return c.ColName }
+
+// Len implements Column.
+func (c *Uint32Column) Len() int { return len(c.Values) }
+
+func (c *Uint32Column) gather(perm []uint32) Column {
+	out := make([]uint32, len(perm))
+	for i, p := range perm {
+		out[i] = c.Values[p]
+	}
+	return &Uint32Column{ColName: c.ColName, Values: out}
+}
+
+// StringColumn is a payload column of strings.
+type StringColumn struct {
+	ColName string
+	Values  []string
+}
+
+// Name implements Column.
+func (c *StringColumn) Name() string { return c.ColName }
+
+// Len implements Column.
+func (c *StringColumn) Len() int { return len(c.Values) }
+
+func (c *StringColumn) gather(perm []uint32) Column {
+	out := make([]string, len(perm))
+	for i, p := range perm {
+		out[i] = c.Values[p]
+	}
+	return &StringColumn{ColName: c.ColName, Values: out}
+}
+
+// Int64Column is a payload column of 64-bit integers.
+type Int64Column struct {
+	ColName string
+	Values  []int64
+}
+
+// Name implements Column.
+func (c *Int64Column) Name() string { return c.ColName }
+
+// Len implements Column.
+func (c *Int64Column) Len() int { return len(c.Values) }
+
+func (c *Int64Column) gather(perm []uint32) Column {
+	out := make([]int64, len(perm))
+	for i, p := range perm {
+		out[i] = c.Values[p]
+	}
+	return &Int64Column{ColName: c.ColName, Values: out}
+}
+
+// Table is a named bag of equal-length columns.
+type Table struct {
+	cols  []Column
+	byIdx map[string]int
+}
+
+// NewTable builds a table from columns. All columns must have distinct
+// names and equal lengths.
+func NewTable(cols ...Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation: a table needs at least one column")
+	}
+	t := &Table{cols: cols, byIdx: make(map[string]int, len(cols))}
+	n := cols[0].Len()
+	for i, c := range cols {
+		if c.Len() != n {
+			return nil, fmt.Errorf("relation: column %q has %d rows, want %d", c.Name(), c.Len(), n)
+		}
+		if _, dup := t.byIdx[c.Name()]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name())
+		}
+		t.byIdx[c.Name()] = i
+	}
+	return t, nil
+}
+
+// Rows returns the row count.
+func (t *Table) Rows() int { return t.cols[0].Len() }
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) Column {
+	i, ok := t.byIdx[name]
+	if !ok {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// Columns returns the column list in declaration order.
+func (t *Table) Columns() []Column { return t.cols }
+
+// OrderByResult carries the sorted table plus the engine's accounting.
+type OrderByResult struct {
+	Table  *Table
+	Report *core.Report
+}
+
+// OrderBy returns a new table sorted ascending by the named uint32 key
+// column, sorted through the approx-refine engine configured by cfg
+// (cfg.Algorithm defaults to 3-bit MSD, cfg.T to 0.055). Every payload
+// column is gathered through the resulting record-ID permutation.
+func (t *Table) OrderBy(keyColumn string, cfg core.Config) (OrderByResult, error) {
+	col := t.Column(keyColumn)
+	if col == nil {
+		return OrderByResult{}, fmt.Errorf("relation: no column %q", keyColumn)
+	}
+	keyCol, ok := col.(*Uint32Column)
+	if !ok {
+		return OrderByResult{}, fmt.Errorf("relation: column %q is not a uint32 sort key", keyColumn)
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = sorts.MSD{Bits: 3}
+	}
+	if cfg.T == 0 && cfg.NewSpace == nil {
+		cfg.T = 0.055
+	}
+	res, err := core.Run(keyCol.Values, cfg)
+	if err != nil {
+		return OrderByResult{}, err
+	}
+	out := make([]Column, len(t.cols))
+	for i, c := range t.cols {
+		if c == col {
+			// The engine already produced the sorted key column.
+			out[i] = &Uint32Column{ColName: c.Name(), Values: res.Keys}
+			continue
+		}
+		out[i] = c.gather(res.IDs)
+	}
+	sorted, err := NewTable(out...)
+	if err != nil {
+		return OrderByResult{}, err
+	}
+	return OrderByResult{Table: sorted, Report: res.Report}, nil
+}
+
+// GroupAgg is one aggregation result row of GroupBySorted.
+type GroupAgg struct {
+	Key   uint32
+	Count int
+	Sum   int64 // sum of the aggregated Int64Column, 0 when none given
+}
+
+// GroupBySorted performs sort-based grouping: ORDER BY the key column via
+// approx-refine, then a single precise pass producing per-key counts (and
+// the sum of aggColumn when non-empty). This is the paper's future-work
+// pointer ("other database operations (such as aggregations)") realized
+// the conservative way: the approximate hardware accelerates the sort,
+// the aggregation itself stays precise.
+func (t *Table) GroupBySorted(keyColumn, aggColumn string, cfg core.Config) ([]GroupAgg, *core.Report, error) {
+	res, err := t.OrderBy(keyColumn, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := res.Table.Column(keyColumn).(*Uint32Column).Values
+	var agg *Int64Column
+	if aggColumn != "" {
+		c := res.Table.Column(aggColumn)
+		if c == nil {
+			return nil, nil, fmt.Errorf("relation: no column %q", aggColumn)
+		}
+		var ok bool
+		if agg, ok = c.(*Int64Column); !ok {
+			return nil, nil, fmt.Errorf("relation: column %q is not aggregatable (int64)", aggColumn)
+		}
+	}
+	var out []GroupAgg
+	for i := 0; i < len(keys); {
+		j := i
+		var sum int64
+		for j < len(keys) && keys[j] == keys[i] {
+			if agg != nil {
+				sum += agg.Values[j]
+			}
+			j++
+		}
+		out = append(out, GroupAgg{Key: keys[i], Count: j - i, Sum: sum})
+		i = j
+	}
+	return out, res.Report, nil
+}

@@ -1,0 +1,176 @@
+package relation
+
+import (
+	"sort"
+	"testing"
+
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/sorts"
+)
+
+func sampleTable(t *testing.T, n int, seed uint64) *Table {
+	t.Helper()
+	keys := dataset.Zipf(n, n/4+1, 1.1, seed)
+	names := make([]string, n)
+	vals := make([]int64, n)
+	for i := range names {
+		names[i] = "row-" + string(rune('a'+i%26))
+		vals[i] = int64(i) * 3
+	}
+	tab, err := NewTable(
+		&Uint32Column{ColName: "key", Values: keys},
+		&StringColumn{ColName: "name", Values: names},
+		&Int64Column{ColName: "val", Values: vals},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewTable(
+		&Uint32Column{ColName: "a", Values: []uint32{1}},
+		&StringColumn{ColName: "b", Values: []string{"x", "y"}},
+	); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	if _, err := NewTable(
+		&Uint32Column{ColName: "a", Values: []uint32{1}},
+		&Int64Column{ColName: "a", Values: []int64{2}},
+	); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestOrderByKeepsRowsTogether(t *testing.T) {
+	tab := sampleTable(t, 5000, 1)
+	origKeys := tab.Column("key").(*Uint32Column).Values
+	origNames := tab.Column("name").(*StringColumn).Values
+	origVals := tab.Column("val").(*Int64Column).Values
+
+	// Remember each row's identity via its unique val.
+	rowByVal := make(map[int64]int, len(origVals))
+	for i, v := range origVals {
+		rowByVal[v] = i
+	}
+
+	res, err := tab.OrderBy("key", core.Config{Algorithm: sorts.LSD{Bits: 6}, T: 0.08, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := res.Table.Column("key").(*Uint32Column).Values
+	names := res.Table.Column("name").(*StringColumn).Values
+	vals := res.Table.Column("val").(*Int64Column).Values
+
+	want := append([]uint32(nil), origKeys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("keys not exactly sorted at %d", i)
+		}
+		src, ok := rowByVal[vals[i]]
+		if !ok {
+			t.Fatalf("row identity lost at %d", i)
+		}
+		if origKeys[src] != keys[i] || origNames[src] != names[i] {
+			t.Fatalf("row %d torn apart: key/name mismatch", i)
+		}
+	}
+	if !res.Report.Sorted {
+		t.Error("report claims unsorted")
+	}
+	// The original table is untouched.
+	if &tab.Column("key").(*Uint32Column).Values[0] == &keys[0] {
+		t.Error("OrderBy aliased the input column")
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	tab := sampleTable(t, 100, 3)
+	if _, err := tab.OrderBy("nope", core.Config{}); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := tab.OrderBy("name", core.Config{}); err == nil {
+		t.Error("non-uint32 key accepted")
+	}
+}
+
+func TestOrderByDefaults(t *testing.T) {
+	tab := sampleTable(t, 2000, 4)
+	res, err := tab.OrderBy("key", core.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Algorithm != "3-bit MSD" {
+		t.Errorf("default algorithm = %q", res.Report.Algorithm)
+	}
+	if res.Report.T != 0.055 {
+		t.Errorf("default T = %v", res.Report.T)
+	}
+}
+
+func TestGroupBySorted(t *testing.T) {
+	keys := []uint32{5, 3, 5, 3, 3, 9}
+	vals := []int64{1, 10, 2, 20, 30, 100}
+	tab, err := NewTable(
+		&Uint32Column{ColName: "k", Values: keys},
+		&Int64Column{ColName: "v", Values: vals},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, report, err := tab.GroupBySorted("k", "v", core.Config{Seed: 6, T: 0.1, Algorithm: sorts.Quicksort{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report == nil || !report.Sorted {
+		t.Fatal("missing/unsorted report")
+	}
+	want := []GroupAgg{{3, 3, 60}, {5, 2, 3}, {9, 1, 100}}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %+v", groups)
+	}
+	for i, g := range want {
+		if groups[i] != g {
+			t.Errorf("group %d = %+v, want %+v", i, groups[i], g)
+		}
+	}
+}
+
+func TestGroupBySortedCountOnly(t *testing.T) {
+	tab := sampleTable(t, 3000, 7)
+	groups, _, err := tab.GroupBySorted("key", "", core.Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	prev := uint32(0)
+	for i, g := range groups {
+		if i > 0 && g.Key <= prev {
+			t.Fatal("group keys not strictly increasing")
+		}
+		prev = g.Key
+		total += g.Count
+		if g.Sum != 0 {
+			t.Error("count-only grouping produced sums")
+		}
+	}
+	if total != 3000 {
+		t.Errorf("group counts sum to %d, want 3000", total)
+	}
+}
+
+func TestGroupBySortedErrors(t *testing.T) {
+	tab := sampleTable(t, 50, 9)
+	if _, _, err := tab.GroupBySorted("key", "nope", core.Config{Seed: 1}); err == nil {
+		t.Error("missing agg column accepted")
+	}
+	if _, _, err := tab.GroupBySorted("key", "name", core.Config{Seed: 1}); err == nil {
+		t.Error("string agg column accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package sortedness_test
+
+import (
+	"fmt"
+
+	"approxsort/internal/sortedness"
+)
+
+// Rem is the paper's sortedness measure: the number of elements whose
+// removal leaves a sorted sequence.
+func ExampleRem() {
+	nearlySorted := []uint32{1, 2, 9, 3, 4, 5}       // remove the 9
+	fmt.Println(sortedness.Rem(nearlySorted))        // 1
+	fmt.Println(sortedness.Rem([]uint32{5, 4, 3}))   // keep one element
+	fmt.Println(sortedness.RemRatio([]uint32{2, 1})) // 1 of 2
+	// Output:
+	// 1
+	// 2
+	// 0.5
+}
+
+// MeasureAll evaluates every implemented disorder measure at once.
+func ExampleMeasureAll() {
+	m := sortedness.MeasureAll([]uint32{1, 4, 2, 3})
+	fmt.Printf("Rem=%d Inv=%d Runs=%d Ham=%d Dis=%d\n", m.Rem, m.Inv, m.Runs, m.Ham, m.Dis)
+	// Output:
+	// Rem=1 Inv=2 Runs=2 Ham=3 Dis=2
+}

@@ -1,0 +1,120 @@
+package sortedness
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHamKnown(t *testing.T) {
+	cases := []struct {
+		xs   []uint32
+		want int
+	}{
+		{nil, 0},
+		{[]uint32{1, 2, 3}, 0},
+		{[]uint32{2, 1, 3}, 2},
+		{[]uint32{3, 1, 2}, 3},
+		{[]uint32{1, 1, 1}, 0}, // stable ranking keeps ties in place
+	}
+	for _, tc := range cases {
+		if got := Ham(tc.xs); got != tc.want {
+			t.Errorf("Ham(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestDisKnown(t *testing.T) {
+	cases := []struct {
+		xs   []uint32
+		want int
+	}{
+		{nil, 0},
+		{[]uint32{1, 2, 3, 4}, 0},
+		{[]uint32{4, 1, 2, 3}, 3}, // the 4 must travel to the end
+		{[]uint32{2, 1}, 1},
+	}
+	for _, tc := range cases {
+		if got := Dis(tc.xs); got != tc.want {
+			t.Errorf("Dis(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestMaxKnown(t *testing.T) {
+	if got := Max([]uint32{1, 2, 3}); got != 0 {
+		t.Errorf("Max(sorted) = %d", got)
+	}
+	if got := Max([]uint32{10, 1}); got != 9 {
+		t.Errorf("Max([10 1]) = %d, want 9", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Errorf("Max(nil) = %d", got)
+	}
+}
+
+func TestOscKnown(t *testing.T) {
+	if got := Osc([]uint32{1, 2, 3, 4}); got != 0 {
+		t.Errorf("Osc(sorted) = %d, want 0", got)
+	}
+	// (1,4) brackets 2 and 3; (4,2) brackets 3; (2,3) brackets nothing.
+	if got := Osc([]uint32{1, 4, 2, 3}); got != 3 {
+		t.Errorf("Osc([1 4 2 3]) = %d, want 3", got)
+	}
+	if got := Osc([]uint32{7}); got != 0 {
+		t.Errorf("Osc(single) = %d", got)
+	}
+}
+
+func TestMeasuresZeroOnSorted(t *testing.T) {
+	xs := []uint32{1, 2, 2, 3, 9}
+	m := MeasureAll(xs)
+	if m.Rem != 0 || m.Inv != 0 || m.Ham != 0 || m.Dis != 0 || m.Max != 0 || m.Osc != 0 {
+		t.Errorf("sorted sequence has nonzero measures: %+v", m)
+	}
+	if m.Runs != 1 || m.N != 5 {
+		t.Errorf("Runs/N wrong: %+v", m)
+	}
+}
+
+func TestMeasureRelations(t *testing.T) {
+	// Classic inequalities: Rem <= Ham (removing every misplaced element
+	// sorts), Dis <= n-1, Ham <= n, and all zero iff sorted.
+	f := func(xs []uint32) bool {
+		if len(xs) > 200 {
+			xs = xs[:200]
+		}
+		m := MeasureAll(xs)
+		if m.Rem > m.Ham {
+			return false
+		}
+		if len(xs) > 0 && (m.Dis > len(xs)-1 || m.Ham > len(xs)) {
+			return false
+		}
+		sortedAll := IsSorted(xs)
+		zeroAll := m.Inv == 0 && m.Dis == 0 && m.Max == 0
+		return sortedAll == zeroAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHamStableUnderDuplicates(t *testing.T) {
+	// All-equal sequences are sorted for every measure.
+	xs := make([]uint32, 100)
+	m := MeasureAll(xs)
+	if m.Ham != 0 || m.Dis != 0 || m.Rem != 0 || m.Osc != 0 {
+		t.Errorf("all-equal sequence measured as disordered: %+v", m)
+	}
+}
+
+func BenchmarkMeasureAll(b *testing.B) {
+	xs := make([]uint32, 20000)
+	for i := range xs {
+		xs[i] = uint32(i*2654435761) ^ 0x5bd1e995
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MeasureAll(xs)
+	}
+}

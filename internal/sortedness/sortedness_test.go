@@ -1,0 +1,259 @@
+package sortedness
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"approxsort/internal/rng"
+)
+
+// bruteLNDS computes the longest non-decreasing subsequence in O(n²).
+func bruteLNDS(xs []uint32) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	best := make([]int, len(xs))
+	m := 0
+	for i := range xs {
+		best[i] = 1
+		for j := 0; j < i; j++ {
+			if xs[j] <= xs[i] && best[j]+1 > best[i] {
+				best[i] = best[j] + 1
+			}
+		}
+		if best[i] > m {
+			m = best[i]
+		}
+	}
+	return m
+}
+
+// bruteInv counts inversions in O(n²).
+func bruteInv(xs []uint32) uint64 {
+	var inv uint64
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] > xs[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+func TestLNDSKnown(t *testing.T) {
+	cases := []struct {
+		xs   []uint32
+		want int
+	}{
+		{nil, 0},
+		{[]uint32{5}, 1},
+		{[]uint32{1, 2, 3, 4}, 4},
+		{[]uint32{4, 3, 2, 1}, 1},
+		{[]uint32{2, 2, 2}, 3},
+		{[]uint32{3, 1, 2, 5, 4}, 3},
+		{[]uint32{1, 3, 2, 2, 4}, 4}, // duplicates extend a non-decreasing run
+	}
+	for _, tc := range cases {
+		if got := LNDSLength(tc.xs); got != tc.want {
+			t.Errorf("LNDSLength(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestLNDSMatchesBrute(t *testing.T) {
+	f := func(xs []uint32) bool {
+		if len(xs) > 200 {
+			xs = xs[:200]
+		}
+		return LNDSLength(xs) == bruteLNDS(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLNDSSmallAlphabet(t *testing.T) {
+	// Duplicate-heavy inputs stress the non-decreasing (vs strictly
+	// increasing) boundary.
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]uint32, 60)
+		for i := range xs {
+			xs[i] = uint32(r.Intn(4))
+		}
+		if got, want := LNDSLength(xs), bruteLNDS(xs); got != want {
+			t.Fatalf("LNDS(%v) = %d, want %d", xs, got, want)
+		}
+	}
+}
+
+func TestRemProperties(t *testing.T) {
+	f := func(xs []uint32) bool {
+		if len(xs) > 300 {
+			xs = xs[:300]
+		}
+		r := Rem(xs)
+		if r < 0 || r > len(xs) {
+			return false
+		}
+		sorted := append([]uint32(nil), xs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return Rem(sorted) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemRatio(t *testing.T) {
+	if RemRatio(nil) != 0 {
+		t.Error("RemRatio(nil) != 0")
+	}
+	if got := RemRatio([]uint32{1, 2, 3, 4}); got != 0 {
+		t.Errorf("RemRatio(sorted) = %v", got)
+	}
+	if got := RemRatio([]uint32{4, 3, 2, 1}); got != 0.75 {
+		t.Errorf("RemRatio(reverse of 4) = %v, want 0.75", got)
+	}
+}
+
+func TestInvKnown(t *testing.T) {
+	cases := []struct {
+		xs   []uint32
+		want uint64
+	}{
+		{nil, 0},
+		{[]uint32{1, 2, 3}, 0},
+		{[]uint32{3, 2, 1}, 3},
+		{[]uint32{2, 1, 3}, 1},
+		{[]uint32{2, 2, 1}, 2},
+	}
+	for _, tc := range cases {
+		if got := Inv(tc.xs); got != tc.want {
+			t.Errorf("Inv(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestInvMatchesBruteAndDoesNotMutate(t *testing.T) {
+	f := func(xs []uint32) bool {
+		if len(xs) > 150 {
+			xs = xs[:150]
+		}
+		orig := append([]uint32(nil), xs...)
+		got := Inv(xs)
+		for i := range xs {
+			if xs[i] != orig[i] {
+				return false // Inv must not mutate its input
+			}
+		}
+		return got == bruteInv(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemAtMostInv(t *testing.T) {
+	// Removing one endpoint of every inversion pair sorts the sequence,
+	// so Rem <= Inv always.
+	f := func(xs []uint32) bool {
+		if len(xs) > 150 {
+			xs = xs[:150]
+		}
+		return uint64(Rem(xs)) <= Inv(xs) || len(xs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuns(t *testing.T) {
+	cases := []struct {
+		xs   []uint32
+		want int
+	}{
+		{nil, 0},
+		{[]uint32{1}, 1},
+		{[]uint32{1, 2, 3}, 1},
+		{[]uint32{3, 2, 1}, 3},
+		{[]uint32{1, 3, 2, 4}, 2},
+		{[]uint32{2, 2, 1, 1}, 2},
+	}
+	for _, tc := range cases {
+		if got := Runs(tc.xs); got != tc.want {
+			t.Errorf("Runs(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted(nil) || !IsSorted([]uint32{1}) || !IsSorted([]uint32{1, 1, 2}) {
+		t.Error("IsSorted false negative")
+	}
+	if IsSorted([]uint32{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+}
+
+func TestRunsConsistentWithIsSorted(t *testing.T) {
+	f := func(xs []uint32) bool {
+		if len(xs) == 0 {
+			return Runs(xs) == 0
+		}
+		return (Runs(xs) == 1) == IsSorted(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	original := []uint32{10, 20, 30, 40}
+	keys := []uint32{30, 10, 21, 40} // position 2 deviates (id 1 should be 20)
+	ids := []int{2, 0, 1, 3}
+	if got := ErrorRate(keys, ids, original); got != 0.25 {
+		t.Errorf("ErrorRate = %v, want 0.25", got)
+	}
+	if ErrorRate(nil, nil, nil) != 0 {
+		t.Error("ErrorRate(empty) != 0")
+	}
+}
+
+func TestSameMultiset(t *testing.T) {
+	if !SameMultiset([]uint32{1, 2, 2}, []uint32{2, 1, 2}) {
+		t.Error("false negative")
+	}
+	if SameMultiset([]uint32{1, 2, 2}, []uint32{1, 1, 2}) {
+		t.Error("false positive: multiplicity")
+	}
+	if SameMultiset([]uint32{1}, []uint32{1, 1}) {
+		t.Error("false positive: length")
+	}
+}
+
+func BenchmarkLNDS(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]uint32, 100000)
+	for i := range xs {
+		xs[i] = r.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LNDSLength(xs)
+	}
+}
+
+func BenchmarkInv(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]uint32, 100000)
+	for i := range xs {
+		xs[i] = r.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Inv(xs)
+	}
+}

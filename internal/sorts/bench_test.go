@@ -1,0 +1,57 @@
+package sorts
+
+import (
+	"testing"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+)
+
+// Package-level benchmarks: each algorithm over precise and approximate
+// memory at a fixed size, so the instrumented-array overhead and the
+// relative algorithm costs are visible in `go test -bench`.
+
+const benchN = 50000
+
+func benchPrecise(b *testing.B, alg Algorithm) {
+	keys := dataset.Uniform(benchN, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		space := mem.NewPreciseSpace()
+		p := Pair{Keys: space.Alloc(benchN), IDs: space.Alloc(benchN)}
+		mem.Load(p.Keys, keys)
+		mem.Load(p.IDs, dataset.IDs(benchN))
+		env := Env{KeySpace: space, IDSpace: space, R: rng.New(2)}
+		b.StartTimer()
+		alg.Sort(p, env)
+	}
+	b.ReportMetric(float64(benchN), "records")
+}
+
+func benchApprox(b *testing.B, alg Algorithm) {
+	keys := dataset.Uniform(benchN, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		approx := mem.NewApproxSpaceAt(0.055, uint64(i)+3)
+		precise := mem.NewPreciseSpace()
+		p := Pair{Keys: approx.Alloc(benchN), IDs: precise.Alloc(benchN)}
+		mem.Load(p.Keys, keys)
+		mem.Load(p.IDs, dataset.IDs(benchN))
+		env := Env{KeySpace: approx, IDSpace: precise, R: rng.New(2)}
+		b.StartTimer()
+		alg.Sort(p, env)
+	}
+	b.ReportMetric(float64(benchN), "records")
+}
+
+func BenchmarkQuicksortPrecise(b *testing.B) { benchPrecise(b, Quicksort{}) }
+func BenchmarkQuicksortApprox(b *testing.B)  { benchApprox(b, Quicksort{}) }
+func BenchmarkMergesortPrecise(b *testing.B) { benchPrecise(b, Mergesort{}) }
+func BenchmarkMergesortApprox(b *testing.B)  { benchApprox(b, Mergesort{}) }
+func BenchmarkLSD6Precise(b *testing.B)      { benchPrecise(b, LSD{Bits: 6}) }
+func BenchmarkLSD6Approx(b *testing.B)       { benchApprox(b, LSD{Bits: 6}) }
+func BenchmarkMSD6Precise(b *testing.B)      { benchPrecise(b, MSD{Bits: 6}) }
+func BenchmarkMSD6Approx(b *testing.B)       { benchApprox(b, MSD{Bits: 6}) }

@@ -1,0 +1,138 @@
+package sorts
+
+import (
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+)
+
+// Quicksort is the paper's randomized quicksort: Hoare partitioning around
+// a uniformly random pivot (randomization reduces the probability of the
+// O(n²) worst case, Section 3.1). On average it issues ~n·log2(n)/2 key
+// writes, the lowest of the studied algorithms, which is part of why it
+// tolerates approximate memory comparatively well (Section 3.5).
+//
+// Partition scans carry explicit bounds guards: on approximate memory a
+// swap can corrupt the values it just wrote, which would let an unguarded
+// Hoare scan run past the segment.
+type Quicksort struct{}
+
+// Name implements Algorithm.
+func (Quicksort) Name() string { return "Quicksort" }
+
+// Sort implements Algorithm.
+func (Quicksort) Sort(p Pair, env Env) {
+	p.validate()
+	quicksortPair(p, 0, p.Len(), env.rng())
+}
+
+func quicksortPair(p Pair, lo, hi int, r *rng.Source) {
+	// Recurse on the smaller half and iterate on the larger to bound
+	// stack depth even under adversarial duplicate patterns.
+	for hi-lo > 1 {
+		mid := hoarePartition(p, lo, hi, r)
+		if mid-lo < hi-mid {
+			quicksortPair(p, lo, mid, r)
+			lo = mid
+		} else {
+			quicksortPair(p, mid, hi, r)
+			hi = mid
+		}
+	}
+}
+
+// hoarePartition partitions p[lo:hi) around a randomly chosen pivot value
+// and returns a split point strictly inside (lo, hi), so both sides shrink.
+// Hoare's scheme swaps only genuinely out-of-place pairs — the fewest
+// writes — and splits duplicate runs evenly.
+func hoarePartition(p Pair, lo, hi int, r *rng.Source) int {
+	if pi := lo + r.Intn(hi-lo); pi != lo {
+		p.swap(lo, pi)
+	}
+	pivot := p.Keys.Get(lo)
+	// i starts one before the pivot so the pivot itself is the left
+	// sentinel (A[lo] >= pivot stops the first scan).
+	i, j := lo-1, hi
+	for {
+		for {
+			i++
+			if i >= hi || p.Keys.Get(i) >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if j <= lo || p.Keys.Get(j) <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			break
+		}
+		p.swap(i, j)
+	}
+	switch {
+	case j <= lo:
+		return lo + 1
+	case j >= hi-1:
+		return hi - 1
+	default:
+		return j + 1
+	}
+}
+
+// SortIDs implements Algorithm: randomized quicksort over the ID array with
+// comparisons through the key lookup; only IDs are written.
+func (Quicksort) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env Env) {
+	quicksortIDs(ids, 0, count, key, env.rng())
+}
+
+func quicksortIDs(ids mem.Words, lo, hi int, key func(uint32) uint32, r *rng.Source) {
+	for hi-lo > 1 {
+		mid := hoarePartitionIDs(ids, lo, hi, key, r)
+		if mid-lo < hi-mid {
+			quicksortIDs(ids, lo, mid, key, r)
+			lo = mid
+		} else {
+			quicksortIDs(ids, mid, hi, key, r)
+			hi = mid
+		}
+	}
+}
+
+func hoarePartitionIDs(ids mem.Words, lo, hi int, key func(uint32) uint32, r *rng.Source) int {
+	if pi := lo + r.Intn(hi-lo); pi != lo {
+		vl, vp := ids.Get(lo), ids.Get(pi)
+		ids.Set(lo, vp)
+		ids.Set(pi, vl)
+	}
+	pivot := key(ids.Get(lo))
+	i, j := lo-1, hi
+	for {
+		for {
+			i++
+			if i >= hi || key(ids.Get(i)) >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if j <= lo || key(ids.Get(j)) <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			break
+		}
+		vi, vj := ids.Get(i), ids.Get(j)
+		ids.Set(i, vj)
+		ids.Set(j, vi)
+	}
+	switch {
+	case j <= lo:
+		return lo + 1
+	case j >= hi-1:
+		return hi - 1
+	default:
+		return j + 1
+	}
+}

@@ -1,0 +1,227 @@
+package sorts
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+)
+
+// LSD is least-significant-digit radix sort with queue buckets
+// (Section 3.1): each pass distributes every record into 2^Bits FIFO
+// queues by the current digit, then concatenates the queues back — two
+// data writes per record per pass. The paper evaluates Bits of 3..6;
+// 6-bit usually minimizes total write latency.
+//
+// LSD's distinguishing behaviour on approximate memory (Section 3.5):
+// like mergesort every pass touches all records, but an error in a
+// low-order bit does not disturb later passes, which only inspect their
+// own digit — so LSD is far more tolerant than mergesort.
+type LSD struct {
+	// Bits is the digit width (bins per pass = 2^Bits). Must be 1..16.
+	Bits int
+}
+
+// Name implements Algorithm.
+func (l LSD) Name() string { return fmt.Sprintf("%d-bit LSD", l.Bits) }
+
+// Sort implements Algorithm.
+func (l LSD) Sort(p Pair, env Env) {
+	p.validate()
+	n := p.Len()
+	passes, _ := digitWidth(l.Bits)
+	if n <= 1 {
+		return
+	}
+	mask := uint32(1)<<l.Bits - 1
+	for pass := 0; pass < passes; pass++ {
+		shift := pass * l.Bits
+		keyQs := make([]*queue, 1<<l.Bits)
+		var idQs []*queue
+		if p.IDs != nil {
+			idQs = make([]*queue, 1<<l.Bits)
+		}
+		for b := range keyQs {
+			keyQs[b] = newQueue(env.KeySpace)
+			if idQs != nil {
+				idQs[b] = newQueue(env.IDSpace)
+			}
+		}
+		for i := 0; i < n; i++ {
+			k := p.Keys.Get(i)
+			b := k >> shift & mask
+			keyQs[b].append(k)
+			if idQs != nil {
+				idQs[b].append(p.IDs.Get(i))
+			}
+		}
+		pos := 0
+		for b := range keyQs {
+			for j := 0; j < keyQs[b].len(); j++ {
+				p.Keys.Set(pos, keyQs[b].get(j))
+				if idQs != nil {
+					p.IDs.Set(pos, idQs[b].get(j))
+				}
+				pos++
+			}
+		}
+	}
+}
+
+// SortIDs implements Algorithm: LSD over the ID array keyed by lookup.
+func (l LSD) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env Env) {
+	passes, _ := digitWidth(l.Bits)
+	if count <= 1 {
+		return
+	}
+	mask := uint32(1)<<l.Bits - 1
+	for pass := 0; pass < passes; pass++ {
+		shift := pass * l.Bits
+		qs := make([]*queue, 1<<l.Bits)
+		for b := range qs {
+			qs[b] = newQueue(env.IDSpace)
+		}
+		for i := 0; i < count; i++ {
+			id := ids.Get(i)
+			qs[key(id)>>shift&mask].append(id)
+		}
+		pos := 0
+		for b := range qs {
+			for j := 0; j < qs[b].len(); j++ {
+				ids.Set(pos, qs[b].get(j))
+				pos++
+			}
+		}
+	}
+}
+
+// MSD is most-significant-digit radix sort with queue buckets
+// (Section 3.1): it partitions the array by the top digit, concatenates
+// the queues back, then recurses into each bucket with the next digit,
+// falling back to insertion sort for tiny buckets. Like quicksort, each
+// level confines later work to ever-smaller buckets, so an imprecise
+// element's damage stays local (Section 3.5).
+type MSD struct {
+	// Bits is the digit width (bins per pass = 2^Bits). Must be 1..16.
+	Bits int
+}
+
+// Name implements Algorithm.
+func (m MSD) Name() string { return fmt.Sprintf("%d-bit MSD", m.Bits) }
+
+// Sort implements Algorithm.
+func (m MSD) Sort(p Pair, env Env) {
+	p.validate()
+	_, width := digitWidth(m.Bits)
+	if p.Len() <= 1 {
+		return
+	}
+	m.sortRange(p, 0, p.Len(), width-m.Bits, env)
+}
+
+func (m *MSD) sortRange(p Pair, lo, hi, shift int, env Env) {
+	n := hi - lo
+	if n <= 1 || shift < 0 {
+		return
+	}
+	if n <= insertionThreshold {
+		insertionSortPair(p, lo, hi)
+		return
+	}
+	mask := uint32(1)<<m.Bits - 1
+	bins := 1 << m.Bits
+	keyQs := make([]*queue, bins)
+	var idQs []*queue
+	if p.IDs != nil {
+		idQs = make([]*queue, bins)
+	}
+	for b := range keyQs {
+		keyQs[b] = newQueue(env.KeySpace)
+		if idQs != nil {
+			idQs[b] = newQueue(env.IDSpace)
+		}
+	}
+	for i := lo; i < hi; i++ {
+		k := p.Keys.Get(i)
+		b := k >> shift & mask
+		keyQs[b].append(k)
+		if idQs != nil {
+			idQs[b].append(p.IDs.Get(i))
+		}
+	}
+	pos := lo
+	starts := make([]int, bins+1)
+	for b := range keyQs {
+		starts[b] = pos
+		for j := 0; j < keyQs[b].len(); j++ {
+			p.Keys.Set(pos, keyQs[b].get(j))
+			if idQs != nil {
+				p.IDs.Set(pos, idQs[b].get(j))
+			}
+			pos++
+		}
+	}
+	starts[bins] = pos
+	for b := 0; b < bins; b++ {
+		m.sortRange(p, starts[b], starts[b+1], shift-m.Bits, env)
+	}
+}
+
+// SortIDs implements Algorithm: MSD over the ID array keyed by lookup.
+func (m MSD) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env Env) {
+	_, width := digitWidth(m.Bits)
+	if count <= 1 {
+		return
+	}
+	m.sortIDRange(ids, 0, count, width-m.Bits, key, env)
+}
+
+func (m *MSD) sortIDRange(ids mem.Words, lo, hi, shift int, key func(uint32) uint32, env Env) {
+	n := hi - lo
+	if n <= 1 || shift < 0 {
+		return
+	}
+	if n <= insertionThreshold {
+		insertionSortIDs(ids, lo, hi, key)
+		return
+	}
+	mask := uint32(1)<<m.Bits - 1
+	bins := 1 << m.Bits
+	qs := make([]*queue, bins)
+	for b := range qs {
+		qs[b] = newQueue(env.IDSpace)
+	}
+	for i := lo; i < hi; i++ {
+		id := ids.Get(i)
+		qs[key(id)>>shift&mask].append(id)
+	}
+	pos := lo
+	starts := make([]int, bins+1)
+	for b := range qs {
+		starts[b] = pos
+		for j := 0; j < qs[b].len(); j++ {
+			ids.Set(pos, qs[b].get(j))
+			pos++
+		}
+	}
+	starts[bins] = pos
+	for b := 0; b < bins; b++ {
+		m.sortIDRange(ids, starts[b], starts[b+1], shift-m.Bits, key, env)
+	}
+}
+
+// Standard returns the paper's algorithm roster: quicksort, mergesort, and
+// LSD/MSD at the given digit widths (Section 3.1 evaluates 3..6 bits;
+// passing no widths selects 6-bit, the paper's default for "LSD"/"MSD").
+func Standard(bits ...int) []Algorithm {
+	if len(bits) == 0 {
+		bits = []int{6}
+	}
+	algs := []Algorithm{Quicksort{}, Mergesort{}}
+	for _, b := range bits {
+		algs = append(algs, LSD{Bits: b})
+	}
+	for _, b := range bits {
+		algs = append(algs, MSD{Bits: b})
+	}
+	return algs
+}

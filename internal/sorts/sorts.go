@@ -1,0 +1,182 @@
+// Package sorts implements the paper's four sorting algorithms —
+// randomized quicksort, bottom-up mergesort, and LSD/MSD radix sort with
+// queue buckets (Section 3.1) — over instrumented hybrid-memory arrays.
+//
+// Every algorithm sorts a Pair: a key array (typically living in
+// approximate memory) and an optional parallel record-ID array (always in
+// precise memory). Each algorithm additionally knows how to sort a bare ID
+// array by a key-lookup function (SortIDs), which is how the refine stage's
+// Step 2 sorts REMID "using the sorting algorithm of the approx stage"
+// without writing any key data (Section 4.2).
+//
+// Algorithms read keys through Words.Get, so on approximate memory they
+// observe — and propagate — corrupted values, exactly as the paper's
+// trace-driven study does. All temporaries (merge buffers, bucket queues)
+// are allocated from the Env's spaces so their writes are charged to the
+// correct memory kind.
+package sorts
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+)
+
+// Pair is a dataset view: parallel key and record-ID arrays. IDs may be nil
+// for key-only studies (Section 3 does not touch the payload).
+type Pair struct {
+	Keys mem.Words
+	IDs  mem.Words
+}
+
+// Len returns the number of records.
+func (p Pair) Len() int { return p.Keys.Len() }
+
+// validate panics when IDs is present but mismatched; silently accepting a
+// shorter payload array would corrupt record identity.
+func (p Pair) validate() {
+	if p.IDs != nil && p.IDs.Len() != p.Keys.Len() {
+		panic(fmt.Sprintf("sorts: key/ID length mismatch %d != %d", p.Keys.Len(), p.IDs.Len()))
+	}
+}
+
+// swap exchanges records i and j (two reads and two writes per array).
+func (p Pair) swap(i, j int) {
+	ki, kj := p.Keys.Get(i), p.Keys.Get(j)
+	p.Keys.Set(i, kj)
+	p.Keys.Set(j, ki)
+	if p.IDs != nil {
+		ii, ij := p.IDs.Get(i), p.IDs.Get(j)
+		p.IDs.Set(i, ij)
+		p.IDs.Set(j, ii)
+	}
+}
+
+// Env supplies an algorithm's execution context: where temporaries live and
+// where pivot randomness comes from.
+type Env struct {
+	// KeySpace allocates key temporaries (merge buffers, key bucket
+	// queues). It must be the space the Pair's key array lives in so
+	// temporaries inherit its precision.
+	KeySpace mem.Space
+	// IDSpace allocates record-ID temporaries. IDs always live in
+	// precise memory in the paper's design.
+	IDSpace mem.Space
+	// R provides pivot randomness for quicksort. If nil a fixed-seed
+	// stream is used.
+	R *rng.Source
+}
+
+func (e Env) rng() *rng.Source {
+	if e.R != nil {
+		return e.R
+	}
+	return rng.New(0x5eed)
+}
+
+// Algorithm is one of the paper's sorting algorithms.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("Quicksort", "6-bit LSD", ...).
+	Name() string
+	// Sort sorts p in place by non-decreasing key.
+	Sort(p Pair, env Env)
+	// SortIDs reorders ids[0:count] so key(ids[0]) <= ... <=
+	// key(ids[count-1]), writing only the ID array. key must be a pure
+	// lookup (it is called multiple times per element).
+	SortIDs(ids mem.Words, count int, key func(uint32) uint32, env Env)
+}
+
+// insertionThreshold is the segment size below which MSD radix falls back
+// to insertion sort, the usual cutoff for queue-bucket implementations.
+const insertionThreshold = 16
+
+// insertionSortPair sorts p[lo:hi) by insertion; used for small MSD
+// buckets. Write cost is one key (and one ID) write per element shift.
+func insertionSortPair(p Pair, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		k := p.Keys.Get(i)
+		var id uint32
+		if p.IDs != nil {
+			id = p.IDs.Get(i)
+		}
+		j := i
+		for j > lo {
+			kj := p.Keys.Get(j - 1)
+			if kj <= k {
+				break
+			}
+			p.Keys.Set(j, kj)
+			if p.IDs != nil {
+				p.IDs.Set(j, p.IDs.Get(j-1))
+			}
+			j--
+		}
+		if j != i {
+			p.Keys.Set(j, k)
+			if p.IDs != nil {
+				p.IDs.Set(j, id)
+			}
+		}
+	}
+}
+
+// insertionSortIDs sorts ids[lo:hi) by key lookup.
+func insertionSortIDs(ids mem.Words, lo, hi int, key func(uint32) uint32) {
+	for i := lo + 1; i < hi; i++ {
+		id := ids.Get(i)
+		k := key(id)
+		j := i
+		for j > lo {
+			idj := ids.Get(j - 1)
+			if key(idj) <= k {
+				break
+			}
+			ids.Set(j, idj)
+			j--
+		}
+		if j != i {
+			ids.Set(j, id)
+		}
+	}
+}
+
+// queue is a growable FIFO of words allocated chunk-wise from a Space. It
+// is the "queues as buckets" structure of the paper's radix sorts: each
+// append is one data write in the owning space.
+type queue struct {
+	space  mem.Space
+	chunks []mem.Words
+	n      int
+}
+
+// queueChunkWords is the allocation granularity of bucket queues (one 4 KB
+// page of 32-bit words).
+const queueChunkWords = 1024
+
+func newQueue(space mem.Space) *queue { return &queue{space: space} }
+
+func (q *queue) append(v uint32) {
+	chunk, off := q.n/queueChunkWords, q.n%queueChunkWords
+	if chunk == len(q.chunks) {
+		q.chunks = append(q.chunks, q.space.Alloc(queueChunkWords))
+	}
+	q.chunks[chunk].Set(off, v)
+	q.n++
+}
+
+func (q *queue) get(i int) uint32 {
+	return q.chunks[i/queueChunkWords].Get(i % queueChunkWords)
+}
+
+func (q *queue) len() int { return q.n }
+
+// digitWidth returns the number of radix passes and the padded bit width
+// for b-bit digits over 32-bit keys.
+func digitWidth(bits int) (passes, width int) {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("sorts: radix digit width %d out of range [1,16]", bits))
+	}
+	passes = (32 + bits - 1) / bits
+	return passes, passes * bits
+}

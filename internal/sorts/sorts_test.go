@@ -1,0 +1,389 @@
+package sorts
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+)
+
+func allAlgorithms() []Algorithm {
+	return Standard(3, 4, 5, 6)
+}
+
+func preciseEnv() (Env, *mem.PreciseSpace) {
+	s := mem.NewPreciseSpace()
+	return Env{KeySpace: s, IDSpace: s, R: rng.New(7)}, s
+}
+
+// runSort loads keys (and identity IDs) into precise memory, sorts, and
+// returns the resulting keys and ids.
+func runSort(alg Algorithm, keys []uint32, withIDs bool) ([]uint32, []uint32) {
+	env, space := preciseEnv()
+	p := Pair{Keys: space.Alloc(len(keys))}
+	mem.Load(p.Keys, keys)
+	if withIDs {
+		p.IDs = space.Alloc(len(keys))
+		mem.Load(p.IDs, dataset.IDs(len(keys)))
+	}
+	alg.Sort(p, env)
+	var ids []uint32
+	if withIDs {
+		ids = mem.ReadAll(p.IDs)
+	}
+	return mem.ReadAll(p.Keys), ids
+}
+
+func TestAlgorithmsSortFixedInputs(t *testing.T) {
+	inputs := map[string][]uint32{
+		"empty":      {},
+		"single":     {42},
+		"pair":       {2, 1},
+		"sorted":     dataset.Sorted(100),
+		"reverse":    dataset.Reverse(101),
+		"uniform":    dataset.Uniform(500, 1),
+		"duplicates": dataset.FewDistinct(300, 3, 2),
+		"zipf":       dataset.Zipf(300, 20, 1.2, 3),
+		"allsame":    dataset.FewDistinct(200, 1, 4),
+		"extremes":   {0, 0xffffffff, 0, 0xffffffff, 7},
+	}
+	for _, alg := range allAlgorithms() {
+		for name, keys := range inputs {
+			got, _ := runSort(alg, keys, false)
+			if !sortedness.IsSorted(got) {
+				t.Errorf("%s on %s: output not sorted", alg.Name(), name)
+			}
+			if !sortedness.SameMultiset(got, keys) {
+				t.Errorf("%s on %s: output not a permutation", alg.Name(), name)
+			}
+		}
+	}
+}
+
+func TestAlgorithmsCarryIDs(t *testing.T) {
+	keys := dataset.Uniform(400, 5)
+	for _, alg := range allAlgorithms() {
+		gotKeys, gotIDs := runSort(alg, keys, true)
+		if !sortedness.IsSorted(gotKeys) {
+			t.Errorf("%s: keys not sorted", alg.Name())
+			continue
+		}
+		seen := make([]bool, len(keys))
+		for i, id := range gotIDs {
+			if int(id) >= len(keys) || seen[id] {
+				t.Errorf("%s: IDs are not a permutation", alg.Name())
+				break
+			}
+			seen[id] = true
+			if keys[id] != gotKeys[i] {
+				t.Errorf("%s: ID %d detached from its key (pos %d: key %d, original %d)",
+					alg.Name(), id, i, gotKeys[i], keys[id])
+				break
+			}
+		}
+	}
+}
+
+func TestAlgorithmsQuick(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		f := func(keys []uint32) bool {
+			if len(keys) > 300 {
+				keys = keys[:300]
+			}
+			got, _ := runSort(alg, keys, false)
+			return sortedness.IsSorted(got) && sortedness.SameMultiset(got, keys)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+func TestSortIDsOrdersByKey(t *testing.T) {
+	keys := dataset.Uniform(300, 9)
+	for _, alg := range allAlgorithms() {
+		env, space := preciseEnv()
+		ids := space.Alloc(len(keys))
+		mem.Load(ids, dataset.IDs(len(keys)))
+		alg.SortIDs(ids, len(keys), func(id uint32) uint32 { return keys[id] }, env)
+		got := mem.ReadAll(ids)
+		seen := make([]bool, len(keys))
+		prev := uint32(0)
+		for i, id := range got {
+			if seen[id] {
+				t.Errorf("%s: SortIDs duplicated id %d", alg.Name(), id)
+				break
+			}
+			seen[id] = true
+			if k := keys[id]; i > 0 && k < prev {
+				t.Errorf("%s: SortIDs order violated at %d", alg.Name(), i)
+				break
+			} else {
+				prev = k
+			}
+		}
+	}
+}
+
+func TestSortIDsPartialCount(t *testing.T) {
+	// Only the first `count` entries may be touched.
+	keys := dataset.Uniform(100, 11)
+	for _, alg := range allAlgorithms() {
+		env, space := preciseEnv()
+		ids := space.Alloc(100)
+		mem.Load(ids, dataset.IDs(100))
+		alg.SortIDs(ids, 60, func(id uint32) uint32 { return keys[id] }, env)
+		got := mem.ReadAll(ids)
+		for i := 60; i < 100; i++ {
+			if got[i] != uint32(i) {
+				t.Errorf("%s: SortIDs touched index %d beyond count", alg.Name(), i)
+			}
+		}
+		prev := uint32(0)
+		for i := 0; i < 60; i++ {
+			if k := keys[got[i]]; i > 0 && k < prev {
+				t.Errorf("%s: prefix not sorted at %d", alg.Name(), i)
+				break
+			} else {
+				prev = k
+			}
+		}
+	}
+}
+
+func TestSortIDsEmptyAndSingle(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		env, space := preciseEnv()
+		ids := space.Alloc(4)
+		mem.Load(ids, []uint32{3, 2, 1, 0})
+		alg.SortIDs(ids, 0, func(id uint32) uint32 { return id }, env)
+		alg.SortIDs(ids, 1, func(id uint32) uint32 { return id }, env)
+		got := mem.ReadAll(ids)
+		for i, want := range []uint32{3, 2, 1, 0} {
+			if got[i] != want {
+				t.Errorf("%s: count<=1 SortIDs mutated array", alg.Name())
+			}
+		}
+	}
+}
+
+func TestWriteCountScales(t *testing.T) {
+	// Sanity-check the write-count hierarchy the paper's cost analysis
+	// relies on (Section 4.3): quicksort ≈ n·log2(n)/2 key writes,
+	// mergesort ≈ n·log2(n), LSD(b) ≈ 2n·ceil(32/b).
+	const n = 4096 // log2 = 12
+	keys := dataset.Uniform(n, 13)
+
+	measure := func(alg Algorithm) int {
+		env, _ := preciseEnv()
+		ks := mem.NewPreciseSpace() // isolate key writes
+		env.KeySpace = ks
+		p := Pair{Keys: ks.Alloc(n)}
+		mem.Load(p.Keys, keys)
+		alg.Sort(p, env)
+		return ks.Stats().Writes - n // discount the initial Load
+	}
+
+	qs := measure(Quicksort{})
+	ms := measure(Mergesort{})
+	lsd6 := measure(LSD{Bits: 6})
+	lsd3 := measure(LSD{Bits: 3})
+
+	if lo, hi := n*12/2*6/10, n*12/2*2; qs < lo || qs > hi {
+		t.Errorf("quicksort key writes = %d, want within [%d, %d] (~n·log2(n)/2)", qs, lo, hi)
+	}
+	if lo, hi := n*12, n*13+n; ms < lo || ms > hi {
+		t.Errorf("mergesort key writes = %d, want ~n·log2(n) in [%d, %d]", ms, lo, hi)
+	}
+	if want := 2 * n * 6; lsd6 != want {
+		t.Errorf("6-bit LSD key writes = %d, want exactly %d (2n per pass)", lsd6, want)
+	}
+	if want := 2 * n * 11; lsd3 != want {
+		t.Errorf("3-bit LSD key writes = %d, want exactly %d", lsd3, want)
+	}
+	if ms <= qs {
+		t.Errorf("mergesort writes (%d) should exceed quicksort writes (%d)", ms, qs)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	s := mem.NewPreciseSpace()
+	q := newQueue(s)
+	const total = queueChunkWords*2 + 37 // span three chunks
+	for i := 0; i < total; i++ {
+		q.append(uint32(i * 3))
+	}
+	if q.len() != total {
+		t.Fatalf("len = %d, want %d", q.len(), total)
+	}
+	for i := 0; i < total; i++ {
+		if got := q.get(i); got != uint32(i*3) {
+			t.Fatalf("get(%d) = %d, want %d", i, got, i*3)
+		}
+	}
+}
+
+func TestDigitWidth(t *testing.T) {
+	cases := []struct{ bits, passes, width int }{
+		{3, 11, 33},
+		{4, 8, 32},
+		{5, 7, 35},
+		{6, 6, 36},
+		{8, 4, 32},
+	}
+	for _, tc := range cases {
+		p, w := digitWidth(tc.bits)
+		if p != tc.passes || w != tc.width {
+			t.Errorf("digitWidth(%d) = (%d, %d), want (%d, %d)", tc.bits, p, w, tc.passes, tc.width)
+		}
+	}
+}
+
+func TestDigitWidthPanics(t *testing.T) {
+	for _, bits := range []int{0, -1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("digitWidth(%d) did not panic", bits)
+				}
+			}()
+			digitWidth(bits)
+		}()
+	}
+}
+
+func TestPairValidatePanicsOnMismatch(t *testing.T) {
+	s := mem.NewPreciseSpace()
+	p := Pair{Keys: s.Alloc(4), IDs: s.Alloc(3)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sort with mismatched IDs did not panic")
+		}
+	}()
+	Quicksort{}.Sort(p, Env{KeySpace: s, IDSpace: s})
+}
+
+func TestInsertionSortPair(t *testing.T) {
+	s := mem.NewPreciseSpace()
+	keys := []uint32{9, 1, 8, 2, 7, 3, 7, 7}
+	p := Pair{Keys: s.Alloc(len(keys)), IDs: s.Alloc(len(keys))}
+	mem.Load(p.Keys, keys)
+	mem.Load(p.IDs, dataset.IDs(len(keys)))
+	insertionSortPair(p, 0, len(keys))
+	got := mem.ReadAll(p.Keys)
+	want := append([]uint32(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("insertion sort wrong at %d: %v", i, got)
+		}
+	}
+	ids := mem.ReadAll(p.IDs)
+	for i, id := range ids {
+		if keys[id] != got[i] {
+			t.Fatalf("insertion sort detached id at %d", i)
+		}
+	}
+}
+
+// TestLSDIsStable checks the classic radix property: queue-bucket LSD
+// preserves the input order of equal keys (the FIFO queues guarantee it),
+// which database ORDER BY implementations rely on for multi-key sorts.
+func TestLSDIsStable(t *testing.T) {
+	keys := dataset.FewDistinct(2000, 4, 41)
+	for _, alg := range []Algorithm{LSD{Bits: 3}, LSD{Bits: 6}} {
+		gotKeys, gotIDs := runSort(alg, keys, true)
+		for i := 1; i < len(gotKeys); i++ {
+			if gotKeys[i] == gotKeys[i-1] && gotIDs[i] < gotIDs[i-1] {
+				t.Errorf("%s: equal keys reordered at %d (ids %d before %d)",
+					alg.Name(), i, gotIDs[i-1], gotIDs[i])
+				break
+			}
+		}
+	}
+}
+
+// TestSortsWorstCaseShapes stresses the inputs that break naive
+// implementations: organ-pipe, sawtooth, and single-swap arrays.
+func TestSortsWorstCaseShapes(t *testing.T) {
+	organ := make([]uint32, 501)
+	for i := range organ {
+		if i <= 250 {
+			organ[i] = uint32(i)
+		} else {
+			organ[i] = uint32(500 - i)
+		}
+	}
+	saw := make([]uint32, 500)
+	for i := range saw {
+		saw[i] = uint32(i % 17)
+	}
+	oneSwap := dataset.Sorted(400)
+	oneSwap[10], oneSwap[350] = oneSwap[350], oneSwap[10]
+
+	for _, alg := range allAlgorithms() {
+		for name, keys := range map[string][]uint32{"organ": organ, "saw": saw, "oneswap": oneSwap} {
+			got, _ := runSort(alg, keys, false)
+			if !sortedness.IsSorted(got) || !sortedness.SameMultiset(got, keys) {
+				t.Errorf("%s on %s: incorrect", alg.Name(), name)
+			}
+		}
+	}
+}
+
+// TestSortsOnApproxMemoryTerminate exercises every algorithm at the
+// harshest precision: corruption mid-sort must never hang or panic.
+func TestSortsOnApproxMemoryTerminate(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		approx := mem.NewApproxSpaceAt(0.12, 17)
+		precise := mem.NewPreciseSpace()
+		env := Env{KeySpace: approx, IDSpace: precise, R: rng.New(18)}
+		p := Pair{Keys: approx.Alloc(2000), IDs: precise.Alloc(2000)}
+		mem.Load(p.Keys, dataset.Uniform(2000, 19))
+		mem.Load(p.IDs, dataset.IDs(2000))
+		alg.Sort(p, env) // must terminate
+		ids := mem.ReadAll(p.IDs)
+		seen := make([]bool, len(ids))
+		for _, id := range ids {
+			if int(id) >= len(ids) || seen[id] {
+				t.Errorf("%s: IDs no longer a permutation after approx sort", alg.Name())
+				break
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestApproxSortednessOrdering reproduces the qualitative Section 3.5
+// finding at small scale: at T=0.055 quicksort and radix outputs are
+// nearly sorted while mergesort is far worse.
+func TestApproxSortednessOrdering(t *testing.T) {
+	const n = 20000
+	keys := dataset.Uniform(n, 23)
+	remOf := func(alg Algorithm) float64 {
+		approx := mem.NewApproxSpaceAt(0.055, 29)
+		precise := mem.NewPreciseSpace()
+		env := Env{KeySpace: approx, IDSpace: precise, R: rng.New(31)}
+		p := Pair{Keys: approx.Alloc(n)}
+		mem.Load(p.Keys, keys)
+		alg.Sort(p, env)
+		return sortedness.RemRatio(mem.ReadAll(p.Keys))
+	}
+	qs := remOf(Quicksort{})
+	ms := remOf(Mergesort{})
+	lsd := remOf(LSD{Bits: 6})
+	msd := remOf(MSD{Bits: 6})
+	for name, r := range map[string]float64{"quicksort": qs, "LSD": lsd, "MSD": msd} {
+		if r > 0.10 {
+			t.Errorf("%s Rem ratio at T=0.055 = %v, want nearly sorted (< 0.10)", name, r)
+		}
+	}
+	if ms < 3*qs {
+		t.Errorf("mergesort Rem ratio %v not clearly worse than quicksort %v", ms, qs)
+	}
+}

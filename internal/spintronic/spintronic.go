@@ -1,0 +1,189 @@
+// Package spintronic implements the approximate spintronic-memory model of
+// the paper's Appendix A (after Ranjan et al., DAC'15). Lowering the
+// magnetic tunnel junction's write voltage/current saves a fixed fraction
+// of the write energy at the cost of independent per-bit write errors;
+// reads are assumed precise. The appendix evaluates four operating points
+// pairing per-write energy savings of 5/20/33/50 % with per-bit error
+// probabilities of 1e-7/1e-6/1e-5/1e-4.
+//
+// Space satisfies the same allocation/accounting contract as the MLC PCM
+// spaces in package mem, so the approx-refine engine (internal/core) runs
+// on it unchanged — which is exactly the appendix's point: the mechanism is
+// not tied to one approximate-memory technology.
+package spintronic
+
+import (
+	"fmt"
+	"math"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+)
+
+// Config is one operating point of the approximate spintronic memory.
+type Config struct {
+	// Saving is the fraction of the precise write energy saved by each
+	// approximate write (e.g. 0.33 = each write costs 67% of precise).
+	Saving float64
+	// BitErrorProb is the independent per-bit flip probability of one
+	// write at this operating point.
+	BitErrorProb float64
+	// ReadBitErrorProb, when nonzero, lifts the appendix's "reads are
+	// always precise for simplicity" assumption: each read returns the
+	// stored value with independent per-bit flips at this probability.
+	// Read errors are transient — the stored value is unchanged — so
+	// repeated reads of one cell can disagree, like mlc.AnalogArray.
+	ReadBitErrorProb float64
+}
+
+// Validate reports whether the operating point is meaningful.
+func (c Config) Validate() error {
+	if c.Saving < 0 || c.Saving >= 1 {
+		return fmt.Errorf("spintronic: Saving = %v out of [0, 1)", c.Saving)
+	}
+	if c.BitErrorProb < 0 || c.BitErrorProb > 0.5 {
+		return fmt.Errorf("spintronic: BitErrorProb = %v out of [0, 0.5]", c.BitErrorProb)
+	}
+	if c.ReadBitErrorProb < 0 || c.ReadBitErrorProb > 0.5 {
+		return fmt.Errorf("spintronic: ReadBitErrorProb = %v out of [0, 0.5]", c.ReadBitErrorProb)
+	}
+	return nil
+}
+
+// Presets returns the four operating points evaluated in Appendix A, in
+// increasing aggressiveness.
+func Presets() []Config {
+	return []Config{
+		{Saving: 0.05, BitErrorProb: 1e-7},
+		{Saving: 0.20, BitErrorProb: 1e-6},
+		{Saving: 0.33, BitErrorProb: 1e-5},
+		{Saving: 0.50, BitErrorProb: 1e-4},
+	}
+}
+
+// Space is an approximate spintronic memory region compatible with
+// mem.Space.
+type Space struct {
+	cfg   Config
+	r     *rng.Source
+	stats mem.Stats
+	sink  mem.Sink
+	next  uint64 // bump address allocator (page aligned)
+
+	// logOneMinusWrite and logOneMinusRead cache ln(1−p) for geometric
+	// bit-flip skipping on writes and reads respectively.
+	logOneMinusWrite float64
+	logOneMinusRead  float64
+}
+
+// NewSpace returns a spintronic space at operating point cfg. It panics on
+// an invalid configuration (programming error).
+func NewSpace(cfg Config, seed uint64) *Space {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Space{
+		cfg:              cfg,
+		r:                rng.New(seed),
+		logOneMinusWrite: math.Log1p(-cfg.BitErrorProb),
+		logOneMinusRead:  math.Log1p(-cfg.ReadBitErrorProb),
+	}
+}
+
+// Config returns the space's operating point.
+func (s *Space) Config() Config { return s.cfg }
+
+// SetSink attaches a trace sink.
+func (s *Space) SetSink(sink mem.Sink) { s.sink = sink }
+
+// Alloc implements mem.Space.
+func (s *Space) Alloc(n int) mem.Words {
+	base := s.next
+	bytes := uint64(n) * 4
+	pages := (bytes + 4095) / 4096
+	if pages == 0 {
+		pages = 1
+	}
+	s.next += pages * 4096
+	return &words{space: s, base: base, data: make([]uint32, n)}
+}
+
+// Stats implements mem.Space.
+func (s *Space) Stats() mem.Stats { return s.stats }
+
+// ResetStats clears the aggregate counters.
+func (s *Space) ResetStats() { s.stats = mem.Stats{} }
+
+// Approximate implements mem.Space.
+func (s *Space) Approximate() bool { return true }
+
+// corrupt flips each of v's 32 bits independently with probability p
+// (whose ln(1−p) is passed precomputed), using geometric skipping so the
+// common error-free case costs a single uniform draw.
+func (s *Space) corrupt(v uint32, p, logOneMinusP float64) uint32 {
+	if p == 0 {
+		return v
+	}
+	bit := 0
+	for {
+		// Draw the distance to the next flipped bit: geometric with
+		// success probability p. 1−Float64() lies in (0, 1], keeping
+		// the logarithm finite.
+		u := 1 - s.r.Float64()
+		skip := int(math.Log(u) / logOneMinusP)
+		bit += skip
+		if bit >= 32 {
+			return v
+		}
+		v ^= 1 << uint(bit)
+		bit++
+	}
+}
+
+type words struct {
+	space *Space
+	base  uint64
+	data  []uint32
+	stats mem.Stats
+}
+
+func (w *words) Len() int { return len(w.data) }
+
+func (w *words) Get(i int) uint32 {
+	w.stats.Reads++
+	w.stats.ReadNanos += mlc.ReadNanos
+	w.space.stats.Reads++
+	w.space.stats.ReadNanos += mlc.ReadNanos
+	if w.space.sink != nil {
+		w.space.sink.Access(mem.OpRead, w.base+uint64(i)*4, 4)
+	}
+	// Transient read flips (off unless ReadBitErrorProb is set): the
+	// stored value stays intact.
+	return w.space.corrupt(w.data[i], w.space.cfg.ReadBitErrorProb, w.space.logOneMinusRead)
+}
+
+func (w *words) Set(i int, v uint32) {
+	stored := w.space.corrupt(v, w.space.cfg.BitErrorProb, w.space.logOneMinusWrite)
+	energy := 1 - w.space.cfg.Saving
+
+	w.stats.Writes++
+	w.stats.WriteNanos += mlc.PreciseWriteNanos
+	w.stats.WriteEnergy += energy
+	w.space.stats.Writes++
+	w.space.stats.WriteNanos += mlc.PreciseWriteNanos
+	w.space.stats.WriteEnergy += energy
+	if stored != v {
+		w.stats.Corrupted++
+		w.space.stats.Corrupted++
+	}
+	if w.space.sink != nil {
+		w.space.sink.Access(mem.OpWrite, w.base+uint64(i)*4, 4)
+	}
+	w.data[i] = stored
+}
+
+func (w *words) Stats() mem.Stats { return w.stats }
+
+// Peek implements mem.Peeker.
+func (w *words) Peek(i int) uint32 { return w.data[i] }

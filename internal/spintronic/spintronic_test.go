@@ -1,0 +1,226 @@
+package spintronic
+
+import (
+	"math"
+	"testing"
+
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/sorts"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Saving: -0.1, BitErrorProb: 0},
+		{Saving: 1.0, BitErrorProb: 0},
+		{Saving: 0.5, BitErrorProb: -1},
+		{Saving: 0.5, BitErrorProb: 0.6},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("Config %+v accepted", c)
+		}
+	}
+	for _, c := range Presets() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("preset %+v rejected: %v", c, err)
+		}
+	}
+}
+
+func TestPresetsOrdering(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 4 {
+		t.Fatalf("want 4 presets, got %d", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Saving <= ps[i-1].Saving || ps[i].BitErrorProb <= ps[i-1].BitErrorProb {
+			t.Errorf("presets not ordered by aggressiveness at %d", i)
+		}
+	}
+}
+
+func TestBitErrorRateCalibration(t *testing.T) {
+	// Empirical flip rate must match the configured probability.
+	cfg := Config{Saving: 0.5, BitErrorProb: 1e-3}
+	s := NewSpace(cfg, 1)
+	w := s.Alloc(1)
+	const writes = 200000
+	flips := 0
+	for i := 0; i < writes; i++ {
+		w.Set(0, 0)
+		v := w.Get(0)
+		for v != 0 {
+			flips += int(v & 1)
+			v >>= 1
+		}
+	}
+	got := float64(flips) / float64(writes*32)
+	if math.Abs(got-cfg.BitErrorProb) > 0.15*cfg.BitErrorProb {
+		t.Errorf("bit flip rate %v, want %v ± 15%%", got, cfg.BitErrorProb)
+	}
+}
+
+func TestZeroErrorProbabilityIsClean(t *testing.T) {
+	s := NewSpace(Config{Saving: 0.2, BitErrorProb: 0}, 2)
+	w := s.Alloc(1000)
+	for i := 0; i < 1000; i++ {
+		w.Set(i, uint32(i)*2654435761)
+	}
+	for i := 0; i < 1000; i++ {
+		if w.Get(i) != uint32(i)*2654435761 {
+			t.Fatal("corruption with zero error probability")
+		}
+	}
+	if got := s.Stats().Corrupted; got != 0 {
+		t.Fatalf("Corrupted = %d", got)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	s := NewSpace(Config{Saving: 0.33, BitErrorProb: 1e-6}, 3)
+	w := s.Alloc(100)
+	for i := 0; i < 100; i++ {
+		w.Set(i, 1)
+	}
+	st := s.Stats()
+	if math.Abs(st.WriteEnergy-67.0) > 1e-9 {
+		t.Errorf("WriteEnergy = %v, want 67 (100 writes at 0.67 units)", st.WriteEnergy)
+	}
+	if st.Writes != 100 {
+		t.Errorf("Writes = %d", st.Writes)
+	}
+	if !s.Approximate() {
+		t.Error("spintronic space must report approximate")
+	}
+}
+
+func TestPeekDoesNotCharge(t *testing.T) {
+	s := NewSpace(Presets()[2], 4)
+	w := s.Alloc(10)
+	w.Set(0, 7)
+	before := s.Stats()
+	_ = mem.PeekAll(w)
+	if s.Stats() != before {
+		t.Error("PeekAll charged accesses")
+	}
+}
+
+func TestReadErrorsAreTransient(t *testing.T) {
+	s := NewSpace(Config{Saving: 0.3, BitErrorProb: 0, ReadBitErrorProb: 0.01}, 5)
+	w := s.Alloc(200)
+	for i := 0; i < 200; i++ {
+		w.Set(i, 0xAAAA5555)
+	}
+	// Stored values are intact (Peek bypasses the read path)…
+	for i := 0; i < 200; i++ {
+		if mem.PeekAll(w)[i] != 0xAAAA5555 {
+			t.Fatal("write-side corruption with BitErrorProb=0")
+		}
+		break
+	}
+	// …but repeated reads disagree sometimes.
+	diff := 0
+	for i := 0; i < 200; i++ {
+		if w.Get(i) != w.Get(i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("no transient read disagreement at 1% read-bit error")
+	}
+	if s.Stats().Corrupted != 0 {
+		t.Error("read flips must not count as stored corruption")
+	}
+}
+
+func TestReadErrorValidation(t *testing.T) {
+	if (Config{Saving: 0.1, ReadBitErrorProb: 0.9}).Validate() == nil {
+		t.Error("ReadBitErrorProb > 0.5 accepted")
+	}
+}
+
+// TestRefineSurvivesNoisyReads: even with unstable approximate reads the
+// engine's output is exact, because every refine decision reads precise
+// memory.
+func TestRefineSurvivesNoisyReads(t *testing.T) {
+	cfg := Config{Saving: 0.33, BitErrorProb: 1e-5, ReadBitErrorProb: 1e-4}
+	keys := dataset.Uniform(10000, 11)
+	res, err := core.Run(keys, core.Config{
+		Algorithm: sorts.Quicksort{},
+		NewSpace:  func(seed uint64) core.Space { return NewSpace(cfg, seed) },
+		Seed:      12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Sorted {
+		t.Fatal("output unsorted under noisy reads")
+	}
+	prev := uint32(0)
+	for i, k := range res.Keys {
+		if i > 0 && k < prev {
+			t.Fatalf("unsorted at %d", i)
+		}
+		prev = k
+	}
+}
+
+// TestApproxRefineOnSpintronic is the Appendix A integration check: the
+// unchanged core engine must produce precise results on the spintronic
+// model, and aggressive savings must show up as energy reduction relative
+// to less aggressive points with comparable error.
+func TestApproxRefineOnSpintronic(t *testing.T) {
+	keys := dataset.Uniform(20000, 5)
+	for _, preset := range Presets() {
+		preset := preset
+		res, err := core.Run(keys, core.Config{
+			Algorithm: sorts.MSD{Bits: 6},
+			NewSpace:  func(seed uint64) core.Space { return NewSpace(preset, seed) },
+			Seed:      6,
+		})
+		if err != nil {
+			t.Fatalf("saving %v: %v", preset.Saving, err)
+		}
+		if !res.Report.Sorted {
+			t.Fatalf("saving %v: output not sorted", preset.Saving)
+		}
+		prev := uint32(0)
+		for i, k := range res.Keys {
+			if i > 0 && k < prev {
+				t.Fatalf("saving %v: output not sorted at %d", preset.Saving, i)
+			}
+			prev = k
+		}
+	}
+}
+
+// TestEnergySavingSweetSpot reproduces the Appendix A shape: moderate
+// operating points (20/33%) save energy, the timid one (5%) saves almost
+// nothing, and mergesort never wins.
+func TestEnergySavingSweetSpot(t *testing.T) {
+	keys := dataset.Uniform(30000, 7)
+	run := func(alg sorts.Algorithm, cfg Config) float64 {
+		res, err := core.Run(keys, core.Config{
+			Algorithm: alg,
+			NewSpace:  func(seed uint64) core.Space { return NewSpace(cfg, seed) },
+			Seed:      8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.EnergySaving()
+	}
+	mid := run(sorts.MSD{Bits: 3}, Presets()[2])   // 33% saving point
+	timid := run(sorts.MSD{Bits: 3}, Presets()[0]) // 5% saving point
+	if mid <= 0 {
+		t.Errorf("MSD energy saving at 33%% point = %v, want positive", mid)
+	}
+	if timid >= mid {
+		t.Errorf("5%% point saving %v not below 33%% point %v", timid, mid)
+	}
+	if ms := run(sorts.Mergesort{}, Presets()[2]); ms > 0.02 {
+		t.Errorf("mergesort energy saving = %v, appendix finds none", ms)
+	}
+}

@@ -1,0 +1,241 @@
+// Package stats provides the small numerical and reporting utilities the
+// experiment harnesses share: online moments, fixed-bucket histograms,
+// aligned-table and CSV rendering, and a terminal scatter plot for the
+// paper's sequence-shape figures (Figures 5–7).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Running accumulates mean and variance online (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the observation count.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Histogram is a fixed-range, equal-width bucket histogram.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int
+	under   int
+	over    int
+	n       int
+}
+
+// NewHistogram returns a histogram over [lo, hi) with the given number of
+// buckets. It panics on a degenerate range (programming error).
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi <= lo || buckets < 1 {
+		panic(fmt.Sprintf("stats: bad histogram range [%v, %v) x %d", lo, hi, buckets))
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, buckets)}
+}
+
+// Add incorporates one observation; values outside the range go to the
+// underflow/overflow counters.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i == len(h.buckets) { // x == hi within float error
+			i--
+		}
+		h.buckets[i]++
+	}
+}
+
+// Counts returns (underflow, per-bucket counts, overflow).
+func (h *Histogram) Counts() (int, []int, int) {
+	out := make([]int, len(h.buckets))
+	copy(out, h.buckets)
+	return h.under, out, h.over
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Table renders aligned text tables for harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float compactly: fixed 4 decimals for moderate
+// magnitudes, scientific for tiny non-zero values.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 0.0001:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (no quoting — harness values are
+// plain numbers and identifiers).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScatterPlot renders ys (indexed by position) as a rows×cols ASCII
+// scatter, the terminal analogue of the paper's Figures 5–7 sequence
+// shapes: a clean diagonal means sorted, salt-and-pepper noise means
+// disorder.
+func ScatterPlot(w io.Writer, ys []uint32, rows, cols int) error {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("stats: bad plot size %dx%d", rows, cols))
+	}
+	grid := make([][]bool, rows)
+	for r := range grid {
+		grid[r] = make([]bool, cols)
+	}
+	n := len(ys)
+	if n == 0 {
+		_, err := fmt.Fprintln(w, "(empty sequence)")
+		return err
+	}
+	for i, y := range ys {
+		c := i * cols / n
+		r := int(uint64(y) * uint64(rows) / (1 << 32))
+		grid[rows-1-r][c] = true
+	}
+	for r := 0; r < rows; r++ {
+		var b strings.Builder
+		b.WriteByte('|')
+		for c := 0; c < cols; c++ {
+			if grid[r][c] {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('|')
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "+%s+ n=%d (x: index, y: key value)\n", strings.Repeat("-", cols), n)
+	return err
+}

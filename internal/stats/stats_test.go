@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 32/7.
+	if math.Abs(r.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", r.Var(), 32.0/7)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.Std() != 0 {
+		t.Error("empty Running should be all zeros")
+	}
+	r.Add(3)
+	if r.Var() != 0 {
+		t.Error("single observation variance should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	under, counts, over := h.Counts()
+	if under != 1 || over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", under, over)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate histogram did not panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("short", 1)
+	tab.AddRow("a-much-longer-name", 0.5)
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "0.5000") {
+		t.Errorf("float not formatted: %q", lines[3])
+	}
+	col := strings.Index(lines[0], "value")
+	if got := strings.Index(lines[2], "1"); got < col {
+		t.Errorf("columns not aligned: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow(1, 2.5)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n1,2.5000\n" {
+		t.Errorf("CSV = %q", b.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5000",
+		1e-6:    "1.00e-06",
+		-0.25:   "-0.2500",
+		12.3456: "12.3456",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScatterPlotDiagonal(t *testing.T) {
+	ys := make([]uint32, 100)
+	for i := range ys {
+		ys[i] = uint32(uint64(i) << 32 / 100)
+	}
+	var b strings.Builder
+	if err := ScatterPlot(&b, ys, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+	// A sorted sequence puts marks on an ascending diagonal: the top row
+	// has marks only on the right, the bottom row only on the left.
+	top, bottom := lines[0], lines[9]
+	if strings.IndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Errorf("diagonal inverted:\n%s", b.String())
+	}
+	if strings.Count(top[:10], "*") > 0 {
+		t.Errorf("sorted plot has top-left marks:\n%s", b.String())
+	}
+}
+
+func TestScatterPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := ScatterPlot(&b, nil, 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty") {
+		t.Errorf("empty plot output: %q", b.String())
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary byte strings to the trace decoder: it must
+// either decode events or return an error, never panic or loop.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte(magic))
+	f.Add([]byte(magic + "\x00\x00"))
+	f.Add([]byte(magic + "\x05\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any event sequence derived from fuzz input
+// encodes and decodes losslessly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []Event
+		addr := uint64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			addr += uint64(data[i])
+			e := Event{Addr: addr, Size: int(data[i+1])%64 + 1}
+			if data[i]%2 == 1 {
+				e.Op = 1
+			}
+			events = append(events, e)
+			w.Access(e.Op, e.Addr, e.Size)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range events {
+			got, err := r.Next()
+			if err != nil {
+				t.Fatalf("event %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("event %d: %+v != %+v", i, got, want)
+			}
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("trailing data: %v", err)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+// Package trace implements the memory-trace infrastructure behind the
+// paper's trace-driven methodology (Section 3.2): access events, a compact
+// binary on-disk encoding, and sinks that record or persist the access
+// stream produced by the instrumented arrays in package mem.
+//
+// A trace can be captured once from a sorting run and replayed any number
+// of times through the cache + PCM pipeline (internal/cache, internal/pcm)
+// with different memory configurations — exactly how the paper separates
+// trace collection on a real machine from simulation.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"approxsort/internal/mem"
+)
+
+// Event is one memory access.
+type Event struct {
+	// Op is the access type.
+	Op mem.Op
+	// Addr is the byte address in the simulated physical address space.
+	Addr uint64
+	// Size is the access width in bytes.
+	Size int
+}
+
+// Recorder is a mem.Sink that buffers events in memory.
+type Recorder struct {
+	events []Event
+}
+
+// Access implements mem.Sink.
+func (r *Recorder) Access(op mem.Op, addr uint64, size int) {
+	r.events = append(r.events, Event{Op: op, Addr: addr, Size: size})
+}
+
+// Events returns the recorded access stream.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Replay feeds every recorded event into sink, in order.
+func (r *Recorder) Replay(sink mem.Sink) {
+	for _, e := range r.events {
+		sink.Access(e.Op, e.Addr, e.Size)
+	}
+}
+
+// magic identifies the binary trace format; version bumps on layout
+// changes.
+const magic = "APXTRC1\n"
+
+// Writer encodes events to an io.Writer as they arrive; it is itself a
+// mem.Sink, so it can capture a live run straight to disk. Events are
+// delta-encoded: [flagByte][uvarint addrDelta], where the flag byte packs
+// the op, the sign of the address delta, and a small size code. Sorting
+// traces sweep arrays linearly, so deltas are tiny and the stream
+// averages ~2.5 bytes per event.
+type Writer struct {
+	w        *bufio.Writer
+	lastAddr uint64
+	err      error
+	n        int
+}
+
+// NewWriter writes the trace header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+const (
+	flagWrite   = 1 << 0
+	flagNegAddr = 1 << 1
+	// Size is encoded in bits 2..7 (sizes up to 63 bytes cover word and
+	// cache-line accesses; 0 means 64).
+	sizeShift = 2
+)
+
+// Access implements mem.Sink. Errors are latched and surfaced by Close.
+func (t *Writer) Access(op mem.Op, addr uint64, size int) {
+	if t.err != nil {
+		return
+	}
+	var flag byte
+	if op == mem.OpWrite {
+		flag |= flagWrite
+	}
+	delta := int64(addr - t.lastAddr)
+	if delta < 0 {
+		flag |= flagNegAddr
+		delta = -delta
+	}
+	if size <= 0 || size > 64 {
+		t.err = fmt.Errorf("trace: unsupported access size %d", size)
+		return
+	}
+	flag |= byte(size%64) << sizeShift
+	var buf [binary.MaxVarintLen64 + 1]byte
+	buf[0] = flag
+	n := binary.PutUvarint(buf[1:], uint64(delta))
+	if _, err := t.w.Write(buf[:n+1]); err != nil {
+		t.err = err
+		return
+	}
+	t.lastAddr = addr
+	t.n++
+}
+
+// Count returns the number of events written so far.
+func (t *Writer) Count() int { return t.n }
+
+// Close flushes the stream and returns any latched error.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a trace stream written by Writer.
+type Reader struct {
+	r        *bufio.Reader
+	lastAddr uint64
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next event, or io.EOF at end of stream.
+func (t *Reader) Next() (Event, error) {
+	flag, err := t.r.ReadByte()
+	if err != nil {
+		return Event{}, err // io.EOF passes through
+	}
+	delta, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	if flag&flagNegAddr != 0 {
+		t.lastAddr -= delta
+	} else {
+		t.lastAddr += delta
+	}
+	size := int(flag >> sizeShift)
+	if size == 0 {
+		size = 64
+	}
+	op := mem.OpRead
+	if flag&flagWrite != 0 {
+		op = mem.OpWrite
+	}
+	return Event{Op: op, Addr: t.lastAddr, Size: size}, nil
+}
+
+// ReplayAll streams every remaining event into sink and returns the count.
+func (t *Reader) ReplayAll(sink mem.Sink) (int, error) {
+	n := 0
+	for {
+		e, err := t.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Access(e.Op, e.Addr, e.Size)
+		n++
+	}
+}
+
+// Tee fans one access stream out to multiple sinks (e.g. record to disk
+// and simulate simultaneously).
+type Tee []mem.Sink
+
+// Access implements mem.Sink.
+func (t Tee) Access(op mem.Op, addr uint64, size int) {
+	for _, s := range t {
+		s.Access(op, addr, size)
+	}
+}

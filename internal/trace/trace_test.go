@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+)
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Access(mem.OpRead, 100, 4)
+	r.Access(mem.OpWrite, 200, 4)
+	if len(r.Events()) != 2 {
+		t.Fatalf("recorded %d events", len(r.Events()))
+	}
+	if e := r.Events()[1]; e.Op != mem.OpWrite || e.Addr != 200 || e.Size != 4 {
+		t.Errorf("event = %+v", e)
+	}
+	var sink Recorder
+	r.Replay(&sink)
+	if len(sink.Events()) != 2 {
+		t.Error("replay lost events")
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func roundTrip(t *testing.T, events []Event) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		w.Access(e.Op, e.Addr, e.Size)
+	}
+	if w.Count() != len(events) {
+		t.Fatalf("writer count %d, want %d", w.Count(), len(events))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	return got
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	events := []Event{
+		{mem.OpRead, 0, 4},
+		{mem.OpWrite, 4096, 4},
+		{mem.OpRead, 4, 64}, // backwards delta
+		{mem.OpWrite, 1 << 40, 8},
+		{mem.OpRead, 1<<40 - 17, 1},
+	}
+	got := roundTrip(t, events)
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		r := rng.New(seed)
+		events := make([]Event, int(n)%500)
+		addr := uint64(0)
+		for i := range events {
+			// Mix small forward deltas (typical array sweeps) with jumps.
+			switch r.Intn(4) {
+			case 0:
+				addr += 4
+			case 1:
+				addr += uint64(r.Intn(4096))
+			case 2:
+				if addr > 1024 {
+					addr -= uint64(r.Intn(1024))
+				}
+			default:
+				addr = uint64(r.Uint32())
+			}
+			op := mem.OpRead
+			if r.Bernoulli(0.5) {
+				op = mem.OpWrite
+			}
+			events[i] = Event{op, addr, []int{1, 4, 8, 64}[r.Intn(4)]}
+		}
+		got := roundTrip(t, events)
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterRejectsBadSize(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Access(mem.OpRead, 0, 65)
+	if err := w.Close(); err == nil {
+		t.Error("size 65 not rejected")
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOTATRACE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Access(mem.OpWrite, 123456, 4)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last byte of the event payload.
+	data := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated event not reported")
+	}
+}
+
+func TestReplayAllAndTee(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Access(mem.OpWrite, uint64(i*4), 4)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b Recorder
+	n, err := r.ReplayAll(Tee{&a, &b})
+	if err != nil || n != 100 {
+		t.Fatalf("ReplayAll = (%d, %v)", n, err)
+	}
+	if len(a.Events()) != 100 || len(b.Events()) != 100 {
+		t.Error("tee did not fan out")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Sequential sweeps must encode in ~2 bytes per event.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 10000; i++ {
+		w.Access(mem.OpWrite, uint64(i*4), 4)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if perEvent := float64(buf.Len()) / 10000; perEvent > 3 {
+		t.Errorf("sequential trace costs %.2f bytes/event, want <= 3", perEvent)
+	}
+}
