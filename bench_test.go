@@ -9,6 +9,7 @@ package approxsort_test
 // binaries (see EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"testing"
 
 	"approxsort/internal/adaptive"
@@ -169,7 +170,7 @@ func BenchmarkFig12SpintronicSortOnly(b *testing.B) {
 	var rows []experiments.SpinSortRow
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Fig12([]sorts.Algorithm{sorts.Mergesort{}},
-			spintronic.Presets()[3:], benchN, benchSeed)
+			spintronic.Presets()[3:], benchN, benchSeed, 0)
 	}
 	b.ReportMetric(rows[0].RemRatio, "remRatio@50%")
 }
@@ -370,7 +371,7 @@ func BenchmarkRobustness(b *testing.B) {
 	var rows []experiments.RobustnessRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Robustness([]sorts.Algorithm{sorts.MSD{Bits: 6}}, 0.055, 5000, benchSeed)
+		rows, err = experiments.Robustness([]sorts.Algorithm{sorts.MSD{Bits: 6}}, 0.055, 5000, benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -383,6 +384,43 @@ func boolMetric(v bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// BenchmarkFig9Workers runs the full Figure 9 grid (StudyAlgorithms x
+// StandardTs) at increasing worker counts. Results are bit-identical at
+// every count; only the wall clock changes, and only on multi-core hosts.
+func BenchmarkFig9Workers(b *testing.B) {
+	algs := experiments.StudyAlgorithms()
+	ts := mlc.StandardTs(false)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig9(algs, ts, 4000, benchSeed, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableCache measures the shared MLC table cache: with the cache
+// on, a sweep of A algorithms x K T-points builds K transition tables; off,
+// it builds one per grid point.
+func BenchmarkTableCache(b *testing.B) {
+	algs := experiments.StudyAlgorithms()
+	ts := mlc.StandardTs(false)
+	for _, on := range []bool{true, false} {
+		b.Run(fmt.Sprintf("cache=%v", on), func(b *testing.B) {
+			prev := mlc.SetSharedTableCache(on)
+			defer mlc.SetSharedTableCache(prev)
+			for i := 0; i < b.N; i++ {
+				mlc.SharedTables().Reset()
+				if _, err := experiments.Fig9(algs, ts, 4000, benchSeed, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationRadixBins sweeps the paper's bin-width tuning parameter.

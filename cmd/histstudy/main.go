@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"approxsort/internal/experiments"
 	"approxsort/internal/mlc"
@@ -34,6 +35,7 @@ func run(args []string, stdout io.Writer) error {
 	n := fs.Int("n", 100000, "number of records (paper: 16M)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (<=0: one per CPU; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,7 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	fmt.Fprintf(stdout, "Figure 15: approx-refine write reduction, histogram-based radix (%d records)\n\n", *n)
-	rows, err := experiments.Fig15(mlc.StandardTs(false), *n, *seed)
+	rows, err := experiments.Fig15(mlc.StandardTs(false), *n, *seed, *workers)
 	if err != nil {
 		return err
 	}

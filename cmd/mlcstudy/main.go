@@ -20,9 +20,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"approxsort/internal/experiments"
 	"approxsort/internal/mlc"
+	"approxsort/internal/parallel"
+	"approxsort/internal/rng"
 	"approxsort/internal/stats"
 )
 
@@ -41,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	density := fs.Bool("density", false, "sweep cell density (SLC/4-level/16-level) at fixed guard fractions instead")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (<=0: one per CPU; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,11 +53,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *density {
-		return densityStudy(stdout, *words, *seed, *csv)
+		return densityStudy(stdout, *words, *seed, *csv, *workers)
 	}
 
 	fmt.Fprintf(stdout, "Figure 2: MLC write performance and accuracy vs T (%d words/point)\n\n", *words)
-	rows := experiments.Fig2(*words, *seed, true)
+	rows := experiments.Fig2(*words, *seed, true, *workers)
 	tab := stats.NewTable("T", "avg#P (2a)", "p(t)", "cellErr (2b)", "wordErr (2b)", "writeReduction")
 	for _, r := range rows {
 		tab.AddRow(r.T, r.AvgP, r.PRatio(), r.CellErrorRate, r.WordErrorRate, r.WriteReduction())
@@ -69,15 +73,26 @@ func run(args []string, stdout io.Writer) error {
 // densityStudy sweeps the Sampson density axis: cells with more levels
 // store more bits but demand tighter absolute targets, costing pulses and
 // reliability at the same relative guard fraction.
-func densityStudy(stdout io.Writer, words int, seed uint64, csv bool) error {
+func densityStudy(stdout io.Writer, words int, seed uint64, csv bool, workers int) error {
 	fmt.Fprintf(stdout, "Cell-density study: SLC vs 4-level vs 16-level at fixed guard fractions (%d words/point)\n\n", words)
 	tab := stats.NewTable("levels", "bits/cell", "guardFrac", "T", "avg#P", "cellErr", "wordErr")
+	type point struct {
+		levels int
+		f      float64
+	}
+	var pts []point
 	for _, levels := range []int{2, 4, 16} {
 		for _, f := range []float64{0.2, 0.4, 0.6, 0.8} {
-			p := mlc.GuardFraction(levels, f)
-			s := mlc.MonteCarlo(p, words, seed)
-			tab.AddRow(levels, p.BitsPerCell(), f, p.T, s.AvgP, s.CellErrorRate, s.WordErrorRate)
+			pts = append(pts, point{levels, f})
 		}
+	}
+	rows, _ := parallel.Map(pts, workers, func(_ int, pt point) (mlc.Stats, error) {
+		return mlc.MonteCarlo(mlc.GuardFraction(pt.levels, pt.f), words, rng.Split(seed, pt.levels, pt.f)), nil
+	})
+	for i, pt := range pts {
+		p := mlc.GuardFraction(pt.levels, pt.f)
+		s := rows[i]
+		tab.AddRow(pt.levels, p.BitsPerCell(), pt.f, p.T, s.AvgP, s.CellErrorRate, s.WordErrorRate)
 	}
 	if err := emit(tab, stdout, csv); err != nil {
 		return err

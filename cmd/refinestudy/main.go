@@ -29,9 +29,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"approxsort/internal/experiments"
 	"approxsort/internal/mlc"
+	"approxsort/internal/parallel"
 	"approxsort/internal/pcm"
 	"approxsort/internal/sorts"
 	"approxsort/internal/stats"
@@ -56,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	tFlag := fs.Float64("T", 0.055, "target half-width for -fig 11 / -memsim / -robust")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (<=0: one per CPU; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,7 +70,7 @@ func run(args []string, stdout io.Writer) error {
 	case *fig == 9:
 		algs := experiments.StudyAlgorithms()
 		fmt.Fprintf(stdout, "Figure 9: approx-refine write reduction vs T (%d records)\n\n", *n)
-		rows, err := experiments.Fig9(algs, mlc.StandardTs(false), *n, *seed)
+		rows, err := experiments.Fig9(algs, mlc.StandardTs(false), *n, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -81,7 +84,7 @@ func run(args []string, stdout io.Writer) error {
 		algs := experiments.StudyAlgorithms(3, 6)
 		ns := []int{1600, 16000, 160000, 1600000}
 		fmt.Fprintf(stdout, "Figure 10: approx-refine write reduction vs n at T=%.3f\n\n", *tFlag)
-		rows, err := experiments.Fig10(algs, *tFlag, ns, *seed)
+		rows, err := experiments.Fig10(algs, *tFlag, ns, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -95,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		algs := experiments.StudyAlgorithms()
 		fmt.Fprintf(stdout, "Figure 11: write-latency breakdown at T=%.3f (%d records),\n", *tFlag, *n)
 		fmt.Fprintf(stdout, "normalized to 3-bit LSD's approx phase\n\n")
-		rows, err := experiments.Fig11(algs, *tFlag, *n, *seed)
+		rows, err := experiments.Fig11(algs, *tFlag, *n, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -130,11 +133,14 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, ")\n\n")
 		tab := stats.NewTable("algorithm", "latency-sum reduction", "hybrid clock (ms)",
 			"baseline clock (ms)", "queue-aware reduction")
-		for _, alg := range []sorts.Algorithm{sorts.LSD{Bits: 3}, sorts.MSD{Bits: 3}, sorts.Quicksort{}, sorts.Mergesort{}} {
-			row, err := experiments.AccessTimeWithDevice(alg, *tFlag, *n, *seed, dev)
-			if err != nil {
-				return err
-			}
+		memAlgs := []sorts.Algorithm{sorts.LSD{Bits: 3}, sorts.MSD{Bits: 3}, sorts.Quicksort{}, sorts.Mergesort{}}
+		memRows, err := parallel.Map(memAlgs, *workers, func(_ int, alg sorts.Algorithm) (experiments.AccessTimeRow, error) {
+			return experiments.AccessTimeWithDevice(alg, *tFlag, *n, *seed, dev)
+		})
+		if err != nil {
+			return err
+		}
+		for _, row := range memRows {
 			tab.AddRow(row.Algorithm, row.LatencyReduction, row.HybridClockNanos/1e6,
 				row.BaselineClockNanos/1e6, row.QueueAwareReduction)
 		}
@@ -147,7 +153,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	case *robust:
 		fmt.Fprintf(stdout, "Robustness: approx-refine across key distributions at T=%.3f (%d records)\n\n", *tFlag, *n)
-		rows, err := experiments.Robustness(experiments.StudyAlgorithms(6), *tFlag, *n, *seed)
+		rows, err := experiments.Robustness(experiments.StudyAlgorithms(6), *tFlag, *n, *seed, *workers)
 		if err != nil {
 			return err
 		}

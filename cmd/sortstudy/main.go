@@ -26,6 +26,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"approxsort/internal/experiments"
 	"approxsort/internal/mlc"
@@ -52,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 	bits := fs.Int("bits", 6, "radix digit width for LSD/MSD")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (<=0: one per CPU; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,11 +69,11 @@ func run(args []string, stdout io.Writer) error {
 	switch {
 	case *fig == 4:
 		fmt.Fprintf(stdout, "Figure 4: sorting %d keys in approximate memory only\n\n", *n)
-		rows := experiments.Fig4(algs, mlc.StandardTs(false), *n, *seed)
+		rows := experiments.Fig4(algs, mlc.StandardTs(false), *n, *seed, *workers)
 		return emitSortOnly(stdout, rows, *csv)
 	case *table == 3:
 		fmt.Fprintf(stdout, "Table 3: Rem ratio after sorting %d keys in approximate memory\n\n", *n)
-		rows := experiments.Fig4(algs, []float64{0.03, 0.055, 0.1}, *n, *seed)
+		rows := experiments.Fig4(algs, []float64{0.03, 0.055, 0.1}, *n, *seed, *workers)
 		if err := emitSortOnly(stdout, rows, *csv); err != nil {
 			return err
 		}
@@ -100,7 +102,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	case *measures:
 		fmt.Fprintf(stdout, "Disorder-measure comparison (Section 3.3) on quicksort output, %d keys\n\n", *n)
-		rows := experiments.MeasureComparison(sorts.Quicksort{}, mlc.StandardTs(false), *n, *seed)
+		rows := experiments.MeasureComparison(sorts.Quicksort{}, mlc.StandardTs(false), *n, *seed, *workers)
 		tab := stats.NewTable("T", "Rem", "Ham", "Dis", "Runs", "Inv", "Osc", "Max")
 		for _, r := range rows {
 			tab.AddRow(r.T, r.Rem, r.Ham, r.Dis, r.Runs, r.Inv, r.Osc, r.Max)

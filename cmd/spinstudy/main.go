@@ -22,6 +22,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"approxsort/internal/experiments"
 	"approxsort/internal/sorts"
@@ -44,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 	n := fs.Int("n", 100000, "number of records (paper: 16M)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (<=0: one per CPU; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,7 +57,7 @@ func run(args []string, stdout io.Writer) error {
 	case 12:
 		algs := []sorts.Algorithm{sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}, sorts.Quicksort{}, sorts.Mergesort{}}
 		fmt.Fprintf(stdout, "Figure 12: Rem ratio after sorting %d keys in approximate spintronic memory\n\n", *n)
-		rows := experiments.Fig12(algs, spintronic.Presets(), *n, *seed)
+		rows := experiments.Fig12(algs, spintronic.Presets(), *n, *seed, *workers)
 		tab := stats.NewTable("algorithm", "saving/write", "bitErrProb", "remRatio", "errorRate")
 		for _, r := range rows {
 			tab.AddRow(r.Algorithm, r.Saving, r.BitErrorProb, r.RemRatio, r.ErrorRate)
@@ -69,7 +71,7 @@ func run(args []string, stdout io.Writer) error {
 	case 13:
 		algs := experiments.StudyAlgorithms()
 		fmt.Fprintf(stdout, "Figure 13: write-energy saving under approx-refine (%d records)\n\n", *n)
-		rows, err := experiments.Fig13(algs, spintronic.Presets(), *n, *seed)
+		rows, err := experiments.Fig13(algs, spintronic.Presets(), *n, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -89,7 +91,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "Figure 14: write-energy breakdown at %.0f%% saving/write (%d records),\n",
 			cfg.Saving*100, *n)
 		fmt.Fprintf(stdout, "normalized to 3-bit LSD's approx energy\n\n")
-		rows, err := experiments.Fig13(algs, []spintronic.Config{cfg}, *n, *seed)
+		rows, err := experiments.Fig13(algs, []spintronic.Config{cfg}, *n, *seed, *workers)
 		if err != nil {
 			return err
 		}

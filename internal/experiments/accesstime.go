@@ -65,7 +65,7 @@ func AccessTimeWithDevice(alg sorts.Algorithm, t float64, n int, seed uint64, de
 	// Hybrid run: approx-refine with both spaces sinked into one system.
 	// The un-sinked precise baseline inside Run provides the latency-sum
 	// denominator.
-	table := mlc.NewTable(mlc.Approximate(t), 0, seed^0x11)
+	table := mlc.CachedTable(mlc.Approximate(t), 0, mlc.CalibrationSeed)
 	approxWriteNanos := table.AvgP() / mlc.ReferenceAvgP * mlc.PreciseWriteNanos
 	sys := hybrid.NewWithConfig(dev)
 	res, err := core.Run(keys, core.Config{

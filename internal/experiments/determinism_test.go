@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"approxsort/internal/mlc"
+	"approxsort/internal/sorts"
+	"approxsort/internal/spintronic"
+)
+
+// Every sweep in this package must be a pure function of its arguments:
+// the worker count only changes wall-clock time, never a single bit of
+// the result. Each test runs the same sweep at workers=1 and workers=8
+// and requires reflect.DeepEqual equality.
+
+const (
+	detN    = 3000
+	detSeed = 0x5eed
+)
+
+func detAlgs() []sorts.Algorithm {
+	return []sorts.Algorithm{sorts.LSD{Bits: 3}, sorts.Quicksort{}}
+}
+
+func detTs() []float64 { return []float64{0.03, 0.055} }
+
+func TestFig2WorkerInvariant(t *testing.T) {
+	seq := Fig2(2000, detSeed, false, 1)
+	par := Fig2(2000, detSeed, false, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig2: workers=8 differs from workers=1")
+	}
+}
+
+func TestFig4WorkerInvariant(t *testing.T) {
+	seq := Fig4(detAlgs(), detTs(), detN, detSeed, 1)
+	par := Fig4(detAlgs(), detTs(), detN, detSeed, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig4: workers=8 differs from workers=1")
+	}
+}
+
+func TestFig9WorkerInvariant(t *testing.T) {
+	seq, err := Fig9(detAlgs(), detTs(), detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig9(detAlgs(), detTs(), detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig9: workers=8 differs from workers=1")
+	}
+}
+
+func TestFig10WorkerInvariant(t *testing.T) {
+	ns := []int{1000, 3000}
+	seq, err := Fig10(detAlgs(), 0.055, ns, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig10(detAlgs(), 0.055, ns, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig10: workers=8 differs from workers=1")
+	}
+}
+
+func TestFig11WorkerInvariant(t *testing.T) {
+	seq, err := Fig11(detAlgs(), 0.055, detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig11(detAlgs(), 0.055, detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig11: workers=8 differs from workers=1")
+	}
+}
+
+func TestMeasureComparisonWorkerInvariant(t *testing.T) {
+	seq := MeasureComparison(sorts.Quicksort{}, detTs(), detN, detSeed, 1)
+	par := MeasureComparison(sorts.Quicksort{}, detTs(), detN, detSeed, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("MeasureComparison: workers=8 differs from workers=1")
+	}
+}
+
+func TestRobustnessWorkerInvariant(t *testing.T) {
+	seq, err := Robustness(detAlgs(), 0.055, detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Robustness(detAlgs(), 0.055, detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Robustness: workers=8 differs from workers=1")
+	}
+}
+
+func TestFig12WorkerInvariant(t *testing.T) {
+	cfgs := spintronic.Presets()[:2]
+	seq := Fig12(detAlgs(), cfgs, detN, detSeed, 1)
+	par := Fig12(detAlgs(), cfgs, detN, detSeed, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig12: workers=8 differs from workers=1")
+	}
+}
+
+func TestFig13WorkerInvariant(t *testing.T) {
+	cfgs := spintronic.Presets()[:2]
+	seq, err := Fig13(detAlgs(), cfgs, detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig13(detAlgs(), cfgs, detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig13: workers=8 differs from workers=1")
+	}
+}
+
+func TestFig15WorkerInvariant(t *testing.T) {
+	seq, err := Fig15(detTs(), detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig15(detTs(), detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("Fig15: workers=8 differs from workers=1")
+	}
+}
+
+// The shared table cache must be a pure performance optimization: running
+// a sweep with the cache disabled has to produce byte-identical rows.
+func TestFig9CacheInvariant(t *testing.T) {
+	cached, err := Fig9(detAlgs(), detTs(), detN, detSeed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := mlc.SetSharedTableCache(false)
+	defer mlc.SetSharedTableCache(prev)
+	uncached, err := Fig9(detAlgs(), detTs(), detN, detSeed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Error("Fig9 with the shared cache differs from Fig9 without it")
+	}
+}
+
+// A sweep of A algorithms over K precision points must build exactly K
+// transition tables: the table is a calibration artifact of its Params,
+// shared across algorithms and run seeds.
+func TestFig9BuildsOneTablePerT(t *testing.T) {
+	algs := detAlgs()
+	ts := detTs()
+	mlc.SharedTables().Reset()
+	if _, err := Fig9(algs, ts, detN, detSeed, 4); err != nil {
+		t.Fatal(err)
+	}
+	misses := mlc.SharedTables().Misses()
+	if misses != uint64(len(ts)) {
+		t.Errorf("built %d tables for %d T-points (%d algorithms); want exactly %d",
+			misses, len(ts), len(algs), len(ts))
+	}
+	if hits := mlc.SharedTables().Hits(); hits < uint64((len(algs)-1)*len(ts)) {
+		t.Errorf("hits = %d, want at least %d", hits, (len(algs)-1)*len(ts))
+	}
+}

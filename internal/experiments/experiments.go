@@ -7,6 +7,14 @@
 // much smaller n (the cost model of Section 4.3 is size-aware, and
 // Figure 10's n-sweep is itself one of the experiments). See EXPERIMENTS.md
 // for the sizes used in the recorded results.
+//
+// Every sweep runs its grid points on the shared bounded worker pool
+// (internal/parallel); workers <= 0 means one worker per CPU. Per-point
+// RNG streams are keyed by the point's coordinates via rng.Split — never
+// by loop index — so each sweep's rows are bit-identical for any worker
+// count and stable under roster reordering, and the shared mlc table cache
+// means a sweep touching A algorithms × K T-points calibrates K transition
+// tables instead of A×K.
 package experiments
 
 import (
@@ -14,10 +22,27 @@ import (
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
 	"approxsort/internal/mlc"
+	"approxsort/internal/parallel"
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
 )
+
+// algT is one (algorithm, T) point of a row-major flattened study grid.
+type algT struct {
+	alg sorts.Algorithm
+	t   float64
+}
+
+func algTGrid(algs []sorts.Algorithm, ts []float64) []algT {
+	pts := make([]algT, 0, len(algs)*len(ts))
+	for _, alg := range algs {
+		for _, t := range ts {
+			pts = append(pts, algT{alg, t})
+		}
+	}
+	return pts
+}
 
 // StudyAlgorithms returns the algorithm roster of the Section 3 and 5
 // studies: quicksort, mergesort, and LSD/MSD at every evaluated bin width.
@@ -31,9 +56,9 @@ func StudyAlgorithms(bits ...int) []sorts.Algorithm {
 // Fig2 runs the Figure 2 Monte-Carlo campaign: per-T average P&V pulse
 // count (panel a) and cell/word error rates (panel b). words is the number
 // of 32-bit writes per point (the paper uses ~6M words ≙ 1e8 cells).
-// Points run in parallel; results are identical to a sequential sweep.
-func Fig2(words int, seed uint64, extended bool) []mlc.Stats {
-	return mlc.SweepParallel(mlc.Precise(), mlc.StandardTs(extended), words, seed)
+// Points run on the worker pool; results are identical for any workers.
+func Fig2(words int, seed uint64, extended bool, workers int) []mlc.Stats {
+	return mlc.SweepParallel(mlc.Precise(), mlc.StandardTs(extended), words, seed, workers)
 }
 
 // SortOnlyRow is one point of the Section 3 approximate-only study
@@ -97,15 +122,13 @@ func SortOnly(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) SortOn
 }
 
 // Fig4 sweeps T over the standard grid for each algorithm (Figure 4; the
-// T ∈ {0.03, 0.055, 0.1} rows are Table 3).
-func Fig4(algs []sorts.Algorithm, ts []float64, n int, seed uint64) []SortOnlyRow {
+// T ∈ {0.03, 0.055, 0.1} rows are Table 3). Per-point seeds are keyed by
+// the (algorithm, T) coordinates, so a row's numbers survive roster edits.
+func Fig4(algs []sorts.Algorithm, ts []float64, n int, seed uint64, workers int) []SortOnlyRow {
 	keys := dataset.Uniform(n, seed)
-	rows := make([]SortOnlyRow, 0, len(algs)*len(ts))
-	for _, alg := range algs {
-		for i, t := range ts {
-			rows = append(rows, SortOnly(alg, t, keys, seed+uint64(i)*31+uint64(len(rows))*7))
-		}
-	}
+	rows, _ := parallel.Map(algTGrid(algs, ts), workers, func(_ int, p algT) (SortOnlyRow, error) {
+		return SortOnly(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t)), nil
+	})
 	return rows
 }
 
@@ -180,51 +203,41 @@ func measuredP(r *core.Report) float64 {
 }
 
 // Fig9 sweeps T for each algorithm at fixed n (Figure 9).
-func Fig9(algs []sorts.Algorithm, ts []float64, n int, seed uint64) ([]RefineRow, error) {
+func Fig9(algs []sorts.Algorithm, ts []float64, n int, seed uint64, workers int) ([]RefineRow, error) {
 	keys := dataset.Uniform(n, seed)
-	rows := make([]RefineRow, 0, len(algs)*len(ts))
-	for _, alg := range algs {
-		for i, t := range ts {
-			row, err := Refine(alg, t, keys, seed+uint64(i)*131)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+	return parallel.Map(algTGrid(algs, ts), workers, func(_ int, p algT) (RefineRow, error) {
+		return Refine(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t))
+	})
 }
 
 // Fig10 sweeps n for each algorithm at fixed T (Figure 10; the paper uses
-// T = 0.055 and n from 1.6K to 16M in decades).
-func Fig10(algs []sorts.Algorithm, t float64, ns []int, seed uint64) ([]RefineRow, error) {
-	rows := make([]RefineRow, 0, len(algs)*len(ns))
+// T = 0.055 and n from 1.6K to 16M in decades). Every algorithm sorts the
+// same keys at a given n: the key material is keyed by the n coordinate
+// alone.
+func Fig10(algs []sorts.Algorithm, t float64, ns []int, seed uint64, workers int) ([]RefineRow, error) {
+	type point struct {
+		alg sorts.Algorithm
+		n   int
+	}
+	pts := make([]point, 0, len(algs)*len(ns))
 	for _, alg := range algs {
-		for i, n := range ns {
-			keys := dataset.Uniform(n, seed+uint64(i))
-			row, err := Refine(alg, t, keys, seed+uint64(i)*977)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+		for _, n := range ns {
+			pts = append(pts, point{alg, n})
 		}
 	}
-	return rows, nil
+	return parallel.Map(pts, workers, func(_ int, p point) (RefineRow, error) {
+		keys := dataset.Uniform(p.n, rng.Split(seed, "keys", p.n))
+		return Refine(p.alg, t, keys, rng.Split(seed, p.alg.Name(), p.n))
+	})
 }
 
 // Fig11 runs every algorithm at the sweet spot T and returns the rows
 // whose Approx/Refine write-latency split is Figure 11 (normalize to the
 // first row's approx segment when plotting, as the paper does with
 // 3-bit LSD).
-func Fig11(algs []sorts.Algorithm, t float64, n int, seed uint64) ([]RefineRow, error) {
+func Fig11(algs []sorts.Algorithm, t float64, n int, seed uint64, workers int) ([]RefineRow, error) {
 	keys := dataset.Uniform(n, seed)
-	rows := make([]RefineRow, 0, len(algs))
-	for _, alg := range algs {
-		row, err := Refine(alg, t, keys, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return parallel.Map(algs, workers, func(_ int, alg sorts.Algorithm) (RefineRow, error) {
+		return Refine(alg, t, keys, rng.Split(seed, alg.Name()))
+	})
 }

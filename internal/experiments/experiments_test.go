@@ -8,7 +8,7 @@ import (
 )
 
 func TestFig2Shape(t *testing.T) {
-	rows := Fig2(4000, 1, true)
+	rows := Fig2(4000, 1, true, 0)
 	if len(rows) < 16 {
 		t.Fatalf("Fig2 returned %d points", len(rows))
 	}
@@ -24,7 +24,7 @@ func TestFig2Shape(t *testing.T) {
 
 func TestFig4TableThreeOrdering(t *testing.T) {
 	algs := []sorts.Algorithm{sorts.Quicksort{}, sorts.Mergesort{}, sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}}
-	rows := Fig4(algs, []float64{0.03, 0.055, 0.1}, 20000, 2)
+	rows := Fig4(algs, []float64{0.03, 0.055, 0.1}, 20000, 2, 0)
 	get := func(name string, T float64) SortOnlyRow {
 		for _, r := range rows {
 			if r.Algorithm == name && r.T == T {
@@ -81,7 +81,7 @@ func TestShapeLooksSorted(t *testing.T) {
 }
 
 func TestFig9SweetSpot(t *testing.T) {
-	rows, err := Fig9([]sorts.Algorithm{sorts.MSD{Bits: 3}}, []float64{0.025, 0.055, 0.09}, 30000, 4)
+	rows, err := Fig9([]sorts.Algorithm{sorts.MSD{Bits: 3}}, []float64{0.025, 0.055, 0.09}, 30000, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestFig9SweetSpot(t *testing.T) {
 }
 
 func TestFig10GrowsWithNForQuicksort(t *testing.T) {
-	rows, err := Fig10([]sorts.Algorithm{sorts.Quicksort{}}, 0.055, []int{1600, 16000, 160000}, 5)
+	rows, err := Fig10([]sorts.Algorithm{sorts.Quicksort{}}, 0.055, []int{1600, 16000, 160000}, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestFig10GrowsWithNForQuicksort(t *testing.T) {
 }
 
 func TestFig11RefineOverheadSmallExceptMergesort(t *testing.T) {
-	rows, err := Fig11([]sorts.Algorithm{sorts.LSD{Bits: 6}, sorts.Mergesort{}}, 0.055, 20000, 6)
+	rows, err := Fig11([]sorts.Algorithm{sorts.LSD{Bits: 6}, sorts.Mergesort{}}, 0.055, 20000, 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestFig11RefineOverheadSmallExceptMergesort(t *testing.T) {
 }
 
 func TestFig12SpintronicRemGrowsWithAggressiveness(t *testing.T) {
-	rows := Fig12([]sorts.Algorithm{sorts.Mergesort{}}, spintronic.Presets(), 20000, 7)
+	rows := Fig12([]sorts.Algorithm{sorts.Mergesort{}}, spintronic.Presets(), 20000, 7, 0)
 	if len(rows) != 4 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -152,7 +152,7 @@ func TestFig12SpintronicRemGrowsWithAggressiveness(t *testing.T) {
 }
 
 func TestFig13EnergySweetSpot(t *testing.T) {
-	rows, err := Fig13([]sorts.Algorithm{sorts.MSD{Bits: 3}}, spintronic.Presets(), 30000, 8)
+	rows, err := Fig13([]sorts.Algorithm{sorts.MSD{Bits: 3}}, spintronic.Presets(), 30000, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestFig13EnergySweetSpot(t *testing.T) {
 }
 
 func TestFig15HistRadixStillWins(t *testing.T) {
-	rows, err := Fig15([]float64{0.055}, 20000, 9)
+	rows, err := Fig15([]float64{0.055}, 20000, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

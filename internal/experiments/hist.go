@@ -3,6 +3,8 @@ package experiments
 import (
 	"approxsort/internal/dataset"
 	"approxsort/internal/histsort"
+	"approxsort/internal/parallel"
+	"approxsort/internal/rng"
 	"approxsort/internal/sorts"
 )
 
@@ -25,18 +27,9 @@ func HistAlgorithms(bits ...int) []sorts.Algorithm {
 // Fig15 sweeps T for the histogram-based radix sorts under approx-refine
 // (Figure 15). The rows are RefineRows like Figure 9's, but ModelWR is
 // zero: Appendix B's implementation has no closed-form α in the paper.
-func Fig15(ts []float64, n int, seed uint64) ([]RefineRow, error) {
+func Fig15(ts []float64, n int, seed uint64, workers int) ([]RefineRow, error) {
 	keys := dataset.Uniform(n, seed)
-	algs := HistAlgorithms()
-	rows := make([]RefineRow, 0, len(algs)*len(ts))
-	for _, alg := range algs {
-		for i, t := range ts {
-			row, err := Refine(alg, t, keys, seed+uint64(i)*193)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+	return parallel.Map(algTGrid(HistAlgorithms(), ts), workers, func(_ int, p algT) (RefineRow, error) {
+		return Refine(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t))
+	})
 }

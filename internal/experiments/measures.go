@@ -3,6 +3,7 @@ package experiments
 import (
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
+	"approxsort/internal/parallel"
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
@@ -24,19 +25,19 @@ type MeasureRow struct {
 // the refine write bill), while Inv and Osc blow up quadratically under
 // the same corruption and Dis/Max saturate almost immediately — so they
 // cannot budget a write-limited refinement.
-func MeasureComparison(alg sorts.Algorithm, ts []float64, n int, seed uint64) []MeasureRow {
+func MeasureComparison(alg sorts.Algorithm, ts []float64, n int, seed uint64, workers int) []MeasureRow {
 	keys := dataset.Uniform(n, seed)
-	rows := make([]MeasureRow, 0, len(ts))
-	for i, t := range ts {
-		approx := mem.NewApproxSpaceAt(t, seed+uint64(i)*17)
+	rows, _ := parallel.Map(ts, workers, func(_ int, t float64) (MeasureRow, error) {
+		s := rng.Split(seed, alg.Name(), t)
+		approx := mem.NewApproxSpaceAt(t, s)
 		p := sorts.Pair{Keys: approx.Alloc(n)}
 		mem.Load(p.Keys, keys)
-		alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: mem.NewPreciseSpace(), R: rng.New(seed ^ 0x42)})
-		rows = append(rows, MeasureRow{
+		alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: mem.NewPreciseSpace(), R: rng.New(rng.Split(s, "sort"))})
+		return MeasureRow{
 			Algorithm: alg.Name(),
 			T:         t,
 			Measures:  sortedness.MeasureAll(mem.PeekAll(p.Keys)),
-		})
-	}
+		}, nil
+	})
 	return rows
 }

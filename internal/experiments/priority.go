@@ -66,7 +66,7 @@ func PriorityStudy(alg sorts.Algorithm, meanT, tLow, tHigh float64, n int, seed 
 	}
 
 	row.Uniform.RemRatio, row.Uniform.ErrorRate, row.Uniform.MeanAbsDeviation =
-		measure(mlc.NewTable(mlc.Approximate(meanT), 0, seed^0x1), seed^0x2)
+		measure(mlc.CachedTable(mlc.Approximate(meanT), 0, mlc.CalibrationSeed), seed^0x2)
 	row.Priority.RemRatio, row.Priority.ErrorRate, row.Priority.MeanAbsDeviation =
 		measure(mlc.NewPriority(mlc.Approximate(meanT), tLow, tHigh), seed^0x3)
 	return row

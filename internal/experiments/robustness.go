@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"approxsort/internal/dataset"
+	"approxsort/internal/parallel"
+	"approxsort/internal/rng"
 	"approxsort/internal/sorts"
 )
 
@@ -57,22 +59,28 @@ type RobustnessRow struct {
 // T, n) point — the extension study behind DESIGN.md's workload-generator
 // inventory. A row with Sorted == false would indicate a precision bug;
 // none should ever appear.
-func Robustness(algs []sorts.Algorithm, t float64, n int, seed uint64) ([]RobustnessRow, error) {
-	rows := make([]RobustnessRow, 0, len(algs)*len(Distributions()))
+func Robustness(algs []sorts.Algorithm, t float64, n int, seed uint64, workers int) ([]RobustnessRow, error) {
+	type point struct {
+		alg sorts.Algorithm
+		d   Distribution
+	}
+	pts := make([]point, 0, len(algs)*len(Distributions()))
 	for _, alg := range algs {
-		for i, d := range Distributions() {
-			keys, err := d.Generate(n, seed+uint64(i))
-			if err != nil {
-				return nil, err
-			}
-			row, err := Refine(alg, t, keys, seed+uint64(i)*59)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, RobustnessRow{Distribution: d, RefineRow: row})
+		for _, d := range Distributions() {
+			pts = append(pts, point{alg, d})
 		}
 	}
-	return rows, nil
+	return parallel.Map(pts, workers, func(_ int, p point) (RobustnessRow, error) {
+		keys, err := p.d.Generate(n, rng.Split(seed, "keys", string(p.d)))
+		if err != nil {
+			return RobustnessRow{}, err
+		}
+		row, err := Refine(p.alg, t, keys, rng.Split(seed, p.alg.Name(), string(p.d)))
+		if err != nil {
+			return RobustnessRow{}, err
+		}
+		return RobustnessRow{Distribution: p.d, RefineRow: row}, nil
+	})
 }
 
 func maxInt(a, b int) int {

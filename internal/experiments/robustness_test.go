@@ -22,7 +22,7 @@ func TestDistributionsGenerate(t *testing.T) {
 }
 
 func TestRobustnessPrecisionAcrossDistributions(t *testing.T) {
-	rows, err := Robustness([]sorts.Algorithm{sorts.Quicksort{}, sorts.LSD{Bits: 6}}, 0.08, 5000, 2)
+	rows, err := Robustness([]sorts.Algorithm{sorts.Quicksort{}, sorts.LSD{Bits: 6}}, 0.08, 5000, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestRobustnessPrecisionAcrossDistributions(t *testing.T) {
 }
 
 func TestMeasureComparisonJustifiesRem(t *testing.T) {
-	rows := MeasureComparison(sorts.Quicksort{}, []float64{0.055, 0.08}, 10000, 4)
+	rows := MeasureComparison(sorts.Quicksort{}, []float64{0.055, 0.08}, 10000, 4, 0)
 	mid, high := rows[0], rows[1]
 	// At the sweet spot Rem is a tiny fraction of n while Inv is already
 	// enormous relative to Rem — the write-limited refine budget must be
@@ -63,7 +63,7 @@ func TestRobustnessDuplicatesShrinkRemainder(t *testing.T) {
 	// With 16 distinct values a non-decreasing LIS survives most
 	// corruption (a flipped key often still fits the run), so Rem~ on
 	// fewdistinct inputs should undercut uniform at the same T.
-	rows, err := Robustness([]sorts.Algorithm{sorts.Quicksort{}}, 0.07, 20000, 3)
+	rows, err := Robustness([]sorts.Algorithm{sorts.Quicksort{}}, 0.07, 20000, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

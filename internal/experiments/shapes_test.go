@@ -19,7 +19,7 @@ func TestPaperShapes(t *testing.T) {
 	const seed = 20260706
 
 	t.Run("Fig2", func(t *testing.T) {
-		rows := Fig2(20000, seed, false)
+		rows := Fig2(20000, seed, false, 0)
 		first, mid, last := rows[0], rows[6], rows[len(rows)-1]
 		if first.AvgP < 2.8 || first.AvgP > 3.2 {
 			t.Errorf("avg #P at precise T = %v, want ~2.98", first.AvgP)
@@ -34,7 +34,7 @@ func TestPaperShapes(t *testing.T) {
 
 	t.Run("Table3", func(t *testing.T) {
 		algs := []sorts.Algorithm{sorts.Quicksort{}, sorts.Mergesort{}, sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}}
-		rows := Fig4(algs, []float64{0.055, 0.1}, n, seed)
+		rows := Fig4(algs, []float64{0.055, 0.1}, n, seed, 0)
 		for _, r := range rows {
 			switch {
 			case r.T == 0.055 && r.Algorithm != "Mergesort":
@@ -55,7 +55,7 @@ func TestPaperShapes(t *testing.T) {
 
 	t.Run("Fig9", func(t *testing.T) {
 		rows, err := Fig9([]sorts.Algorithm{sorts.LSD{Bits: 3}, sorts.Mergesort{}},
-			[]float64{0.025, 0.055, 0.09}, n, seed)
+			[]float64{0.025, 0.055, 0.09}, n, seed, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestPaperShapes(t *testing.T) {
 	})
 
 	t.Run("Fig13", func(t *testing.T) {
-		rows, err := Fig13([]sorts.Algorithm{sorts.LSD{Bits: 3}}, spintronic.Presets()[1:3], n, seed)
+		rows, err := Fig13([]sorts.Algorithm{sorts.LSD{Bits: 3}}, spintronic.Presets()[1:3], n, seed, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func TestPaperShapes(t *testing.T) {
 	})
 
 	t.Run("Fig15", func(t *testing.T) {
-		rows, err := Fig15([]float64{0.055}, n, seed)
+		rows, err := Fig15([]float64{0.055}, n, seed, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

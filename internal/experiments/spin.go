@@ -4,11 +4,35 @@ import (
 	"approxsort/internal/core"
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
+	"approxsort/internal/parallel"
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
 	"approxsort/internal/spintronic"
 )
+
+// algCfg is one (algorithm, operating point) grid point of the Appendix A
+// studies.
+type algCfg struct {
+	alg sorts.Algorithm
+	cfg spintronic.Config
+}
+
+func algCfgGrid(algs []sorts.Algorithm, cfgs []spintronic.Config) []algCfg {
+	pts := make([]algCfg, 0, len(algs)*len(cfgs))
+	for _, alg := range algs {
+		for _, cfg := range cfgs {
+			pts = append(pts, algCfg{alg, cfg})
+		}
+	}
+	return pts
+}
+
+// splitSpin keys a point's seed by its coordinates: the algorithm name and
+// the operating point's (saving, error-probability) pair.
+func splitSpin(seed uint64, p algCfg) uint64 {
+	return rng.Split(seed, p.alg.Name(), p.cfg.Saving, p.cfg.BitErrorProb)
+}
 
 // SpinSortRow is one point of the Appendix A sorting-only study
 // (Figure 12): sortedness after sorting entirely in approximate spintronic
@@ -26,33 +50,31 @@ type SpinSortRow struct {
 
 // Fig12 sorts in approximate spintronic memory only, per operating point
 // (Figure 12).
-func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64) []SpinSortRow {
+func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64, workers int) []SpinSortRow {
 	keys := dataset.Uniform(n, seed)
-	rows := make([]SpinSortRow, 0, len(algs)*len(cfgs))
-	for _, alg := range algs {
-		for i, cfg := range cfgs {
-			space := spintronic.NewSpace(cfg, seed+uint64(i)*13)
-			shadow := mem.NewPreciseSpace()
-			p := sorts.Pair{Keys: space.Alloc(n), IDs: shadow.Alloc(n)}
-			mem.Load(p.Keys, keys)
-			mem.Load(p.IDs, dataset.IDs(n))
-			alg.Sort(p, sorts.Env{KeySpace: space, IDSpace: shadow, R: rng.New(seed ^ 0x77)})
-			out := mem.PeekAll(p.Keys)
-			idsRaw := mem.PeekAll(p.IDs)
-			ids := make([]int, n)
-			for j, v := range idsRaw {
-				ids[j] = int(v)
-			}
-			rows = append(rows, SpinSortRow{
-				Algorithm:    alg.Name(),
-				Saving:       cfg.Saving,
-				BitErrorProb: cfg.BitErrorProb,
-				N:            n,
-				RemRatio:     sortedness.RemRatio(out),
-				ErrorRate:    sortedness.ErrorRate(out, ids, keys),
-			})
+	rows, _ := parallel.Map(algCfgGrid(algs, cfgs), workers, func(_ int, p algCfg) (SpinSortRow, error) {
+		ps := splitSpin(seed, p)
+		space := spintronic.NewSpace(p.cfg, rng.Split(ps, "space"))
+		shadow := mem.NewPreciseSpace()
+		pair := sorts.Pair{Keys: space.Alloc(n), IDs: shadow.Alloc(n)}
+		mem.Load(pair.Keys, keys)
+		mem.Load(pair.IDs, dataset.IDs(n))
+		p.alg.Sort(pair, sorts.Env{KeySpace: space, IDSpace: shadow, R: rng.New(rng.Split(ps, "sort"))})
+		out := mem.PeekAll(pair.Keys)
+		idsRaw := mem.PeekAll(pair.IDs)
+		ids := make([]int, n)
+		for j, v := range idsRaw {
+			ids[j] = int(v)
 		}
-	}
+		return SpinSortRow{
+			Algorithm:    p.alg.Name(),
+			Saving:       p.cfg.Saving,
+			BitErrorProb: p.cfg.BitErrorProb,
+			N:            n,
+			RemRatio:     sortedness.RemRatio(out),
+			ErrorRate:    sortedness.ErrorRate(out, ids, keys),
+		}, nil
+	})
 	return rows
 }
 
@@ -100,17 +122,9 @@ func SpinRefine(alg sorts.Algorithm, cfg spintronic.Config, keys []uint32, seed 
 
 // Fig13 sweeps the operating points for each algorithm (Figure 13; the
 // same rows' energy decomposition at the 33% point is Figure 14).
-func Fig13(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64) ([]SpinRefineRow, error) {
+func Fig13(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64, workers int) ([]SpinRefineRow, error) {
 	keys := dataset.Uniform(n, seed)
-	rows := make([]SpinRefineRow, 0, len(algs)*len(cfgs))
-	for _, alg := range algs {
-		for i, cfg := range cfgs {
-			row, err := SpinRefine(alg, cfg, keys, seed+uint64(i)*37)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+	return parallel.Map(algCfgGrid(algs, cfgs), workers, func(_ int, p algCfg) (SpinRefineRow, error) {
+		return SpinRefine(p.alg, p.cfg, keys, splitSpin(seed, p))
+	})
 }

@@ -30,9 +30,12 @@ func NewApproxSpace(model mlc.WordModel, seed uint64) *ApproxSpace {
 }
 
 // NewApproxSpaceAt is a convenience constructor: a table-driven MLC model
-// at target half-width T with default calibration sampling.
+// at target half-width T with default calibration sampling. The model
+// comes from the shared mlc table cache under the fixed calibration seed,
+// so every space at the same T reuses one calibrated table; seed drives
+// only this space's noise stream.
 func NewApproxSpaceAt(t float64, seed uint64) *ApproxSpace {
-	return NewApproxSpace(mlc.NewTable(mlc.Approximate(t), 0, seed^0xa5a5a5a5), seed)
+	return NewApproxSpace(mlc.CachedTable(mlc.Approximate(t), 0, mlc.CalibrationSeed), seed)
 }
 
 // SetSink attaches a trace sink receiving every access in this space.

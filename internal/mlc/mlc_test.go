@@ -208,7 +208,7 @@ func TestWordLatencyNanosAnchors(t *testing.T) {
 func TestSweepParallelMatchesSequential(t *testing.T) {
 	ts := []float64{0.03, 0.06, 0.09, 0.12}
 	seq := Sweep(Precise(), ts, 3000, 77)
-	par := SweepParallel(Precise(), ts, 3000, 77)
+	par := SweepParallel(Precise(), ts, 3000, 77, 8)
 	if len(seq) != len(par) {
 		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
 	}

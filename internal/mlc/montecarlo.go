@@ -1,8 +1,7 @@
 package mlc
 
 import (
-	"sync"
-
+	"approxsort/internal/parallel"
 	"approxsort/internal/rng"
 )
 
@@ -70,37 +69,31 @@ func MonteCarlo(p Params, words int, seed uint64) Stats {
 }
 
 // Sweep runs MonteCarlo for each T in ts and returns the per-T statistics,
-// reproducing both panels of Figure 2 in one pass.
+// reproducing both panels of Figure 2 in one pass. Each point's RNG stream
+// is keyed by its T coordinate (rng.Split), so a point's numbers do not
+// depend on where it sits in the grid.
 func Sweep(base Params, ts []float64, words int, seed uint64) []Stats {
 	out := make([]Stats, 0, len(ts))
-	for i, t := range ts {
+	for _, t := range ts {
 		p := base
 		p.T = t
-		out = append(out, MonteCarlo(p, words, seed+uint64(i)*0x9e37))
+		out = append(out, MonteCarlo(p, words, rng.Split(seed, t)))
 	}
 	return out
 }
 
-// SweepParallel is Sweep with one goroutine per T point. Every point owns
-// an independent RNG stream derived from the same seeds as Sweep, so the
-// two functions return identical results; only wall-clock time differs.
-// (The paper reports that multithreading had insignificant impact on the
-// *studied metrics* — write counts are deterministic — which is exactly
-// why parallel simulation is safe here.)
-func SweepParallel(base Params, ts []float64, words int, seed uint64) []Stats {
-	out := make([]Stats, len(ts))
-	var wg sync.WaitGroup
-	for i, t := range ts {
-		i, t := i, t
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			p := base
-			p.T = t
-			out[i] = MonteCarlo(p, words, seed+uint64(i)*0x9e37)
-		}()
-	}
-	wg.Wait()
+// SweepParallel is Sweep on the shared bounded worker pool (workers <= 0
+// means one per CPU). Point streams are coordinate-keyed, so the output is
+// bit-identical to Sweep for every worker count. (The paper reports that
+// multithreading had insignificant impact on the *studied metrics* — write
+// counts are deterministic — which is exactly why parallel simulation is
+// safe here.)
+func SweepParallel(base Params, ts []float64, words int, seed uint64, workers int) []Stats {
+	out, _ := parallel.Map(ts, workers, func(_ int, t float64) (Stats, error) {
+		p := base
+		p.T = t
+		return MonteCarlo(p, words, rng.Split(seed, t)), nil
+	})
 	return out
 }
 

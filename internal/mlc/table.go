@@ -18,6 +18,10 @@ import (
 // every experiment in the paper reports); only the latency↔error
 // correlation within a single cell write is lost, and nothing consumes it.
 // TestTableMatchesExact asserts the statistical agreement.
+//
+// A Table is immutable after construction: WriteWord only reads the
+// distributions and draws randomness from the caller-supplied source, so
+// one table may be shared by any number of goroutines (see TableCache).
 type Table struct {
 	p Params
 
@@ -171,6 +175,6 @@ func (t *Table) WordErrorProb() float64 {
 func (t *Table) PRatio(samples int, seed uint64) float64 {
 	precise := t.p
 	precise.T = PreciseT
-	ref := NewTable(precise, samples, seed)
+	ref := CachedTable(precise, samples, seed)
 	return t.avgP / ref.avgP
 }

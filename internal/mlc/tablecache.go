@@ -1,0 +1,137 @@
+package mlc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CalibrationSeed is the fixed seed under which shared transition tables
+// are calibrated. A Table is a calibration artifact of its Params: two
+// spaces at the same cell configuration should sample the same empirical
+// distributions, exactly as two banks of the same silicon share one
+// datasheet. Pinning the seed is what lets a sweep of A algorithms × K
+// T-points build K tables instead of A×K — the per-run seed then drives
+// only the noise stream drawn *through* the table, never the table itself.
+const CalibrationSeed uint64 = 0xa5a5a5a5
+
+// TableKey identifies one calibrated table: the cell configuration, the
+// per-level Monte-Carlo sample count, and the calibration seed.
+type TableKey struct {
+	Params  Params
+	Samples int
+	Seed    uint64
+}
+
+type tableEntry struct {
+	ready chan struct{}
+	table *Table
+}
+
+// TableCache is a concurrency-safe, build-once store of calibrated
+// transition tables. Get is singleflight per key: the first caller builds
+// the table, concurrent callers for the same key block until that build
+// finishes, and every caller receives the identical *Table. Tables are
+// immutable after construction and safe for concurrent WriteWord use (each
+// caller supplies its own rng.Source), so sharing one across sweep workers
+// is deterministic.
+type TableCache struct {
+	mu      sync.Mutex
+	entries map[TableKey]*tableEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewTableCache returns an empty cache.
+func NewTableCache() *TableCache {
+	return &TableCache{entries: make(map[TableKey]*tableEntry)}
+}
+
+// Get returns the table for (p, samples, seed), building it at most once
+// per key. samples <= 0 normalizes to DefaultTableSamples, so explicit and
+// defaulted callers share an entry. Like NewTable, it panics on invalid
+// params.
+func (c *TableCache) Get(p Params, samples int, seed uint64) *Table {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if samples <= 0 {
+		samples = DefaultTableSamples
+	}
+	key := TableKey{Params: p, Samples: samples, Seed: seed}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.table
+	}
+	e := &tableEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.table = NewTable(p, samples, seed)
+	close(e.ready)
+	return e.table
+}
+
+// Hits returns how many Get calls found an existing entry (including calls
+// that blocked on an in-flight build).
+func (c *TableCache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns how many Get calls created an entry — equivalently, the
+// number of tables this cache has built.
+func (c *TableCache) Misses() uint64 { return c.misses.Load() }
+
+// Len returns the number of cached tables, counting in-flight builds.
+func (c *TableCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every cached table and zeroes the counters. In-flight builds
+// complete against their old entries; subsequent Gets rebuild.
+func (c *TableCache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[TableKey]*tableEntry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// shared is the process-wide cache behind CachedTable (and therefore
+// behind mem.NewApproxSpaceAt and core.Run). sharedDisabled's zero value
+// means the cache is on.
+var (
+	shared         = NewTableCache()
+	sharedDisabled atomic.Bool
+)
+
+// SharedTables exposes the process-wide table cache, mainly so tests and
+// harnesses can read its hit/miss counters or Reset it.
+func SharedTables() *TableCache { return shared }
+
+// SetSharedTableCache turns the process-wide cache on or off and returns
+// the previous setting. Disabled, CachedTable builds a fresh table per
+// call — byte-identical to the cached one (same params, samples, seed),
+// just slower; the determinism tests and the cache benchmark compare the
+// two modes.
+func SetSharedTableCache(on bool) bool {
+	prev := !sharedDisabled.Load()
+	sharedDisabled.Store(!on)
+	return prev
+}
+
+// CachedTable returns the calibrated table for (p, samples, seed) from the
+// process-wide cache, or a freshly built identical table when the cache is
+// disabled.
+func CachedTable(p Params, samples int, seed uint64) *Table {
+	if sharedDisabled.Load() {
+		if samples <= 0 {
+			samples = DefaultTableSamples
+		}
+		return NewTable(p, samples, seed)
+	}
+	return shared.Get(p, samples, seed)
+}

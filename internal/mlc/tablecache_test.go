@@ -1,0 +1,111 @@
+package mlc
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestTableCacheBuildsOnce(t *testing.T) {
+	c := NewTableCache()
+	p := Approximate(0.055)
+	const callers = 16
+	tables := make([]*Table, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tables[i] = c.Get(p, 2000, 7)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if tables[i] != tables[0] {
+			t.Fatalf("caller %d received a different table instance", i)
+		}
+	}
+	if got := c.Misses(); got != 1 {
+		t.Errorf("misses (= builds) = %d, want exactly 1", got)
+	}
+	if got := c.Hits(); got != callers-1 {
+		t.Errorf("hits = %d, want %d", got, callers-1)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestTableCacheDistinctKeys(t *testing.T) {
+	c := NewTableCache()
+	a := c.Get(Approximate(0.055), 1000, 1)
+	b := c.Get(Approximate(0.06), 1000, 1)   // different T
+	d := c.Get(Approximate(0.055), 2000, 1)  // different samples
+	e := c.Get(Approximate(0.055), 1000, 2)  // different seed
+	f := c.Get(GuardFraction(2, 0.4), 0, 1)  // different geometry
+	for i, tab := range []*Table{b, d, e, f} {
+		if tab == a {
+			t.Errorf("key variant %d shared the base entry", i)
+		}
+	}
+	if c.Len() != 5 || c.Misses() != 5 {
+		t.Errorf("Len/Misses = %d/%d, want 5/5", c.Len(), c.Misses())
+	}
+	// Re-fetching any of them hits.
+	if c.Get(Approximate(0.06), 1000, 1) != b {
+		t.Error("re-fetch did not hit the cached entry")
+	}
+	if c.Hits() != 1 {
+		t.Errorf("hits = %d, want 1", c.Hits())
+	}
+}
+
+func TestTableCacheNormalizesDefaultSamples(t *testing.T) {
+	c := NewTableCache()
+	a := c.Get(Approximate(0.1), 0, 3)
+	b := c.Get(Approximate(0.1), DefaultTableSamples, 3)
+	if a != b {
+		t.Error("samples=0 and samples=DefaultTableSamples should share an entry")
+	}
+}
+
+func TestTableCacheReset(t *testing.T) {
+	c := NewTableCache()
+	c.Get(Approximate(0.055), 500, 1)
+	c.Get(Approximate(0.055), 500, 1)
+	c.Reset()
+	if c.Len() != 0 || c.Hits() != 0 || c.Misses() != 0 {
+		t.Errorf("Reset left Len/Hits/Misses = %d/%d/%d", c.Len(), c.Hits(), c.Misses())
+	}
+	c.Get(Approximate(0.055), 500, 1)
+	if c.Misses() != 1 {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestCachedTableMatchesNewTable(t *testing.T) {
+	p := Approximate(0.08)
+	cached := CachedTable(p, 1500, 11)
+	direct := NewTable(p, 1500, 11)
+	if !reflect.DeepEqual(cached, direct) {
+		t.Error("cached table differs from a directly built table with the same key")
+	}
+}
+
+func TestSetSharedTableCacheDisables(t *testing.T) {
+	prev := SetSharedTableCache(false)
+	defer SetSharedTableCache(prev)
+	a := CachedTable(Approximate(0.055), 800, 5)
+	b := CachedTable(Approximate(0.055), 800, 5)
+	if a == b {
+		t.Error("disabled cache returned a shared instance")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("disabled cache built non-identical tables for the same key")
+	}
+	if on := SetSharedTableCache(true); on {
+		t.Error("SetSharedTableCache did not report the disabled state")
+	}
+	SetSharedTableCache(false) // restore pre-defer state symmetry
+}

@@ -1,0 +1,155 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"approxsort/internal/rng"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i * 3
+	}
+	for _, workers := range []int{1, 2, 7, 100, 200} {
+		got, err := Map(points, workers, func(i, p int) (int, error) {
+			return p + i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*4 {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*4)
+			}
+		}
+	}
+}
+
+func TestMapWorkerCountInvariant(t *testing.T) {
+	points := make([]float64, 64)
+	for i := range points {
+		points[i] = float64(i) / 7
+	}
+	// A compute-heavy pure function: results must not depend on workers.
+	run := func(workers int) []float64 {
+		out, err := Map(points, workers, func(_ int, p float64) (float64, error) {
+			r := rng.New(rng.Split(42, p))
+			sum := 0.0
+			for k := 0; k < 1000; k++ {
+				sum += r.Float64()
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if par := run(workers); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d produced different results than workers=1", workers)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	points := make([]int, 50)
+	for i := range points {
+		points[i] = i
+	}
+	fail := map[int]bool{7: true, 12: true, 33: true}
+	// Regardless of scheduling, the reported error must always be the one
+	// at the lowest failing index: every lower point is claimed first.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(points, 8, func(i, p int) (int, error) {
+			if fail[p] {
+				return 0, fmt.Errorf("point %d failed", p)
+			}
+			time.Sleep(time.Microsecond)
+			return p, nil
+		})
+		if err == nil || err.Error() != "point 7 failed" {
+			t.Fatalf("trial %d: err = %v, want point 7 failed", trial, err)
+		}
+	}
+}
+
+func TestMapErrorStopsDispatch(t *testing.T) {
+	points := make([]int, 1000)
+	for i := range points {
+		points[i] = i
+	}
+	ran := make([]bool, len(points))
+	_, err := Map(points, 4, func(i, p int) (int, error) {
+		ran[i] = true
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(5 * time.Microsecond)
+		return p, nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	executed := 0
+	for _, r := range ran {
+		if r {
+			executed++
+		}
+	}
+	if executed == len(points) {
+		t.Error("all points ran despite an error at index 0; dispatch should stop early")
+	}
+}
+
+func TestMapNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	points := make([]int, 200)
+	for i := range points {
+		points[i] = i
+	}
+	for trial := 0; trial < 10; trial++ {
+		if _, err := Map(points, 16, func(i, p int) (int, error) {
+			if p == 50 {
+				return 0, errors.New("injected")
+			}
+			return p * p, nil
+		}); err == nil {
+			t.Fatal("expected injected error")
+		}
+	}
+	// Workers exit before Map returns; allow brief scheduler settling.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestMapEmptyInput(t *testing.T) {
+	got, err := Map(nil, 8, func(i int, p struct{}) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(nil) = %v, %v", got, err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-3); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(5); w != 5 {
+		t.Errorf("Workers(5) = %d", w)
+	}
+}

@@ -206,3 +206,45 @@ func BenchmarkNorm(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSplitKeyedByCoordinates(t *testing.T) {
+	base := Split(1, "quicksort", 0.055)
+	if base != Split(1, "quicksort", 0.055) {
+		t.Error("Split is not deterministic for identical coordinates")
+	}
+	variants := []uint64{
+		Split(2, "quicksort", 0.055),  // different base
+		Split(1, "mergesort", 0.055),  // different string coord
+		Split(1, "quicksort", 0.06),   // different float coord
+		Split(1, 0.055, "quicksort"),  // coordinate order matters
+		Split(1, "quicksort"),         // arity matters
+		Split(1, "quicksort", 0.055, 0), // trailing coord matters
+	}
+	seen := map[uint64]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collided with an earlier stream seed", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitTypeTagging(t *testing.T) {
+	// The same numeric value under different Go types must not collide:
+	// int(3), uint64(3) and float64(3) are distinct coordinates.
+	a := Split(9, 3)
+	b := Split(9, uint64(3))
+	c := Split(9, float64(3))
+	if a == b || b == c || a == c {
+		t.Errorf("type tags failed to separate coordinates: %x %x %x", a, b, c)
+	}
+}
+
+func TestSplitPanicsOnUnsupportedType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Split accepted an unsupported coordinate type")
+		}
+	}()
+	Split(1, struct{}{})
+}
