@@ -1,0 +1,115 @@
+// Command sortd is the sorting-as-a-service daemon: a long-lived HTTP
+// server that executes sort jobs on the simulated hybrid
+// precise/approximate memory system, routing each job through the
+// Section 4.3 planner when asked to.
+//
+// API:
+//
+//	POST /v1/sort          submit a job; ?wait=1 blocks for the result
+//	GET  /v1/jobs/{id}     poll a job record
+//	GET  /healthz          readiness (503 while draining)
+//	GET  /metrics          Prometheus text metrics
+//
+// Usage:
+//
+//	go run ./cmd/sortd [-addr :8080] [-workers 0] [-queue 64]
+//	                   [-pilot 4096] [-maxn 8388608] [-drain 30s]
+//
+// SIGINT/SIGTERM trigger a graceful drain: health flips to 503, new jobs
+// are refused, queued and in-flight jobs finish (up to -drain), then the
+// listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"approxsort/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sortd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// onListen, when non-nil, receives the bound address once the listener is
+// up — the end-to-end test uses it to find a :0 port.
+var onListen func(addr string)
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sortd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	queue := fs.Int("queue", 64, "bounded job-queue depth (full => 429)")
+	pilot := fs.Int("pilot", 0, "planner pilot sample size (0 = default 4096)")
+	maxN := fs.Int("maxn", 8<<20, "largest accepted input size")
+	retain := fs.Int("retain", 4096, "finished job records kept for GET /v1/jobs")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *queue < 1 {
+		return fmt.Errorf("-queue must be at least 1, got %d", *queue)
+	}
+	if *maxN < 1 {
+		return fmt.Errorf("-maxn must be positive, got %d", *maxN)
+	}
+
+	s := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		PilotSize:  *pilot,
+		MaxN:       *maxN,
+		RetainJobs: *retain,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sortd listening on %s (workers=%d queue=%d maxn=%d)\n",
+		ln.Addr(), *workers, *queue, *maxN)
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "sortd draining (budget %s)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := s.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(stdout, "sortd drained cleanly")
+	return nil
+}

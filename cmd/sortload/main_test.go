@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"approxsort/internal/server"
+)
+
+// TestJobStreamDeterministic pins the satellite contract: the generated
+// workload is a pure function of the invocation — two builds of the same
+// level are deeply equal, every request seed derives from the stream
+// coordinates, and no two requests share a seed.
+func TestJobStreamDeterministic(t *testing.T) {
+	cfg := loadConfig{
+		Levels: []int{1, 4}, Jobs: 13, N: 1000, Dist: "uniform",
+		Alg: "auto", Bits: 6, Mode: "auto", T: 0.055, Seed: 42,
+	}
+	for _, level := range cfg.Levels {
+		a := buildRequests(cfg, level)
+		b := buildRequests(cfg, level)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("level %d: rerun produced a different job stream", level)
+		}
+		total := 0
+		seeds := map[uint64]bool{}
+		for w := range a {
+			for _, req := range a[w] {
+				total++
+				if seeds[req.Seed] || seeds[req.Dataset.Seed] {
+					t.Fatalf("level %d: duplicate seed in stream", level)
+				}
+				seeds[req.Seed] = true
+				seeds[req.Dataset.Seed] = true
+			}
+		}
+		if total != cfg.Jobs {
+			t.Fatalf("level %d: stream has %d jobs, want %d", level, total, cfg.Jobs)
+		}
+	}
+	// Coordinates, not positions: the same (worker, index) pair keeps its
+	// seed when the level list changes, and distinct levels differ.
+	a1 := buildRequests(cfg, 1)
+	a4 := buildRequests(cfg, 4)
+	if a1[0][0].Seed == a4[0][0].Seed {
+		t.Error("different levels share request seeds")
+	}
+}
+
+// TestSortloadEndToEnd drives a real in-process sortd at two concurrency
+// levels and checks the benchmark artifact.
+func TestSortloadEndToEnd(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, QueueDepth: 16})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_sortd.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-conc", "1,2",
+		"-jobs", "6",
+		"-n", "5000",
+		"-alg", "msd",
+		"-mode", "auto",
+		"-out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("sortload: %v\n%s", err, stdout.String())
+	}
+
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(report.Levels) != 2 {
+		t.Fatalf("artifact has %d levels, want 2", len(report.Levels))
+	}
+	for _, lvl := range report.Levels {
+		if lvl.Jobs != 6 || lvl.Errors != 0 {
+			t.Errorf("level %d: jobs=%d errors=%d", lvl.Concurrency, lvl.Jobs, lvl.Errors)
+		}
+		if lvl.P50Millis <= 0 || lvl.P99Millis < lvl.P50Millis {
+			t.Errorf("level %d: implausible latency summary %+v", lvl.Concurrency, lvl)
+		}
+		if lvl.JobsPerSec <= 0 {
+			t.Errorf("level %d: jobs/sec = %v", lvl.Concurrency, lvl.JobsPerSec)
+		}
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Errorf("stdout missing artifact line:\n%s", stdout.String())
+	}
+}
+
+func TestSortloadFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-conc", "0"}, &out); err == nil {
+		t.Error("-conc 0 accepted")
+	}
+	if err := run([]string{"-conc", "abc"}, &out); err == nil {
+		t.Error("-conc abc accepted")
+	}
+	if err := run([]string{"-jobs", "0"}, &out); err == nil {
+		t.Error("-jobs 0 accepted")
+	}
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("-n 0 accepted")
+	}
+	if _, err := parseLevels("1, 2,4"); err != nil {
+		t.Errorf("spaced levels rejected: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"approxsort/internal/mlc"
 )
@@ -72,11 +73,7 @@ func (pl Planner) Plan(keys []uint32) (Plan, error) {
 		// at these sizes anyway.
 		return Plan{UseHybrid: false, PredictedWR: -1, P: 1, PilotSize: m}, nil
 	}
-	pilot := make([]uint32, m)
-	stride := n / m
-	for i := 0; i < m; i++ {
-		pilot[i] = keys[i*stride]
-	}
+	pilot := pilotSample(keys, m)
 
 	res, err := Run(pilot, cfg)
 	if err != nil {
@@ -101,6 +98,13 @@ func (pl Planner) Plan(keys []uint32) (Plan, error) {
 
 	model := CostModel{P: p, Alpha: alpha}
 	wr := model.WriteReduction(n, predictedRem)
+	// Service inputs must always yield a JSON-encodable verdict:
+	// Equation 4 returns −Inf when α(n) is 0 (n < 2 for the comparison
+	// sorts), which still means "don't use hybrid" — clamp it to the same
+	// finite sentinel the tiny-input path uses.
+	if math.IsInf(wr, 0) || math.IsNaN(wr) {
+		wr = -1
+	}
 	return Plan{
 		UseHybrid:     wr > 0,
 		PredictedWR:   wr,
@@ -109,6 +113,20 @@ func (pl Planner) Plan(keys []uint32) (Plan, error) {
 		PredictedRem:  predictedRem,
 		PilotSize:     m,
 	}, nil
+}
+
+// pilotSample draws an m-element even-spread sample: element i comes from
+// index ⌊i·n/m⌋, so the sample covers the whole input even when m does not
+// divide n. (A ⌊n/m⌋ stride degenerates to a prefix sample for any
+// n < 2m — stride 1 reads only the first m keys — which skews the pilot
+// badly on clustered or value-banded service inputs.)
+func pilotSample(keys []uint32, m int) []uint32 {
+	n := len(keys)
+	pilot := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		pilot[i] = keys[i*n/m]
+	}
+	return pilot
 }
 
 func measuredPilotP(r *Report) float64 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"approxsort/internal/dataset"
@@ -142,6 +143,113 @@ func TestExactLISQuickEquivalence(t *testing.T) {
 		for i := range a.Keys {
 			if a.Keys[i] != b.Keys[i] {
 				t.Fatalf("seed %d: outputs differ at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestPlannerServiceInputs is the service-hardening table: every input a
+// client can post — tiny, sub-pilot-sized, constant-key, clustered — must
+// come back as a valid, JSON-encodable Plan (finite floats, remainder
+// within [0, n], pilot no larger than the input), never an error or a
+// skewed extrapolation.
+func TestPlannerServiceInputs(t *testing.T) {
+	constant := func(n int) []uint32 {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = 42
+		}
+		return keys
+	}
+	algs := []sorts.Algorithm{
+		sorts.Quicksort{}, sorts.Mergesort{}, sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6},
+	}
+	cases := []struct {
+		name string
+		keys []uint32
+	}{
+		{"empty", nil},
+		{"single", []uint32{7}},
+		{"pair", []uint32{9, 3}},
+		{"three", []uint32{2, 2, 1}},
+		{"tiny-constant", constant(5)},
+		{"sub-pilot-uniform", dataset.Uniform(1000, 21)},
+		{"sub-pilot-constant", constant(1000)},
+		{"just-under-2x-pilot", dataset.Uniform(8000, 22)}, // old stride bug: prefix-only sample
+		{"constant-large", constant(50000)},
+		{"sorted-large", dataset.Sorted(50000)},
+		{"fewdistinct", dataset.FewDistinct(30000, 2, 23)},
+	}
+	for _, alg := range algs {
+		for _, tc := range cases {
+			t.Run(alg.Name()+"/"+tc.name, func(t *testing.T) {
+				n := len(tc.keys)
+				plan, err := Planner{Config: Config{Algorithm: alg, T: 0.055, Seed: 3}}.Plan(tc.keys)
+				if err != nil {
+					t.Fatalf("planner failed on service input: %v", err)
+				}
+				for name, f := range map[string]float64{
+					"PredictedWR":   plan.PredictedWR,
+					"P":             plan.P,
+					"PilotRemRatio": plan.PilotRemRatio,
+				} {
+					if math.IsNaN(f) || math.IsInf(f, 0) {
+						t.Errorf("%s = %v not finite", name, f)
+					}
+				}
+				if plan.PredictedRem < 0 || plan.PredictedRem > n {
+					t.Errorf("PredictedRem = %d out of [0, %d]", plan.PredictedRem, n)
+				}
+				if plan.PilotSize > n {
+					t.Errorf("PilotSize = %d exceeds n = %d", plan.PilotSize, n)
+				}
+				if plan.P < 0 || plan.P > 1.5 {
+					t.Errorf("P = %v implausible", plan.P)
+				}
+			})
+		}
+	}
+}
+
+// TestPilotSampleSpansInput pins the even-spread sampling fix: for any
+// n >= m the sample's indices must cover the whole input, in particular
+// reaching the final n/m window. The old ⌊n/m⌋ stride degenerated to a
+// prefix sample (stride 1, first m keys only) whenever n < 2m — exactly
+// the sub-2×-pilot sizes a service sees all the time.
+func TestPilotSampleSpansInput(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{4096, 4096},  // pilot == input
+		{4097, 4096},  // barely larger
+		{6000, 4096},  // old bug zone: stride would be 1
+		{8191, 4096},  // largest pre-fix prefix-degenerate size
+		{8192, 4096},  // exact 2×
+		{100000, 4096},
+		{5, 2},
+		{7, 3},
+	} {
+		keys := make([]uint32, tc.n)
+		for i := range keys {
+			keys[i] = uint32(i) // key == index, so values reveal indices
+		}
+		pilot := pilotSample(keys, tc.m)
+		if len(pilot) != tc.m {
+			t.Fatalf("n=%d m=%d: sample length %d", tc.n, tc.m, len(pilot))
+		}
+		// The last sampled index must land in the final n/m window…
+		last := int(pilot[tc.m-1])
+		if last < tc.n-tc.n/tc.m-1 {
+			t.Errorf("n=%d m=%d: last sampled index %d leaves a %d-key tail unseen",
+				tc.n, tc.m, last, tc.n-1-last)
+		}
+		// …indices must be strictly increasing (order-preserving sample,
+		// no repeats) and start at 0.
+		if pilot[0] != 0 {
+			t.Errorf("n=%d m=%d: sample does not start at index 0", tc.n, tc.m)
+		}
+		for i := 1; i < tc.m; i++ {
+			if pilot[i] <= pilot[i-1] {
+				t.Errorf("n=%d m=%d: sample indices not strictly increasing at %d", tc.n, tc.m, i)
+				break
 			}
 		}
 	}

@@ -1,0 +1,81 @@
+package parallel
+
+import "sync"
+
+// Pool is the long-lived counterpart of Map: a fixed set of workers
+// draining a bounded task queue. Map serves the batch sweeps — a known
+// grid, run to completion, results in point order. Pool serves the sortd
+// daemon — an open-ended stream of independent jobs arriving over HTTP,
+// where the interesting property is not result order (each job carries its
+// own completion signal) but *backpressure*: TrySubmit never blocks and
+// never buffers beyond the configured queue depth, so a saturated pool is
+// visible to the caller immediately and can be turned into a 429 instead
+// of unbounded memory growth.
+//
+// Determinism still holds per job for the same reason it holds per grid
+// point: each task derives its randomness from its own coordinates (see
+// rng.Split), never from which worker runs it or when.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts Workers(workers) goroutines draining a queue of the given
+// capacity. queue < 0 is treated as 0 (hand-off only: TrySubmit succeeds
+// only when a worker is idle and ready to receive).
+func NewPool(workers, queue int) *Pool {
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	for w := 0; w < Workers(workers); w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit offers fn to the pool without blocking. It returns false when
+// the queue is full or the pool is closed; the caller decides what
+// rejection means (sortd answers 429 with Retry-After).
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Queued returns the number of submitted tasks no worker has picked up
+// yet. It is a point-in-time reading for metrics; by the time the caller
+// looks at it, workers may already have drained more.
+func (p *Pool) Queued() int { return len(p.tasks) }
+
+// Cap returns the queue capacity.
+func (p *Pool) Cap() int { return cap(p.tasks) }
+
+// Close stops admission, lets the workers drain every already-accepted
+// task, and returns when the last one has finished. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 16)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		for !p.TrySubmit(func() { ran.Add(1); wg.Done() }) {
+			// Queue full: spin until a worker frees a slot. The test
+			// intentionally over-submits to exercise both outcomes.
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 tasks", got)
+	}
+	p.Close()
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+
+	// Occupy the only worker, then wait until it has actually dequeued the
+	// task so the queue slot is observably free.
+	if !p.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("submit to idle pool failed")
+	}
+	<-started
+	// Fill the single queue slot.
+	if !p.TrySubmit(func() { <-block }) {
+		t.Fatal("submit to empty queue failed")
+	}
+	if p.Queued() != 1 {
+		t.Fatalf("Queued() = %d, want 1", p.Queued())
+	}
+	// Worker busy + queue full: the next offer must be rejected.
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit succeeded past worker+queue capacity")
+	}
+	if p.Cap() != 1 {
+		t.Fatalf("Cap() = %d, want 1", p.Cap())
+	}
+	close(block)
+	p.Close()
+}
+
+func TestPoolCloseDrainsAndRejects(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		for !p.TrySubmit(func() { ran.Add(1) }) {
+		}
+	}
+	p.Close() // must wait for all 8
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("Close returned with %d of 8 tasks done", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit succeeded after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolConcurrentSubmitAndClose(t *testing.T) {
+	// Racing TrySubmit against Close must never panic (send on closed
+	// channel) and every accepted task must run before Close returns.
+	for iter := 0; iter < 50; iter++ {
+		p := NewPool(2, 4)
+		var accepted, ran atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if p.TrySubmit(func() { ran.Add(1) }) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		p.Close()
+		wg.Wait()
+		// Tasks accepted after Close started cannot exist; all accepted
+		// tasks ran by the time Close returned, but the goroutines may
+		// accept zero afterwards — only equality matters.
+		if ran.Load() != accepted.Load() {
+			t.Fatalf("iter %d: accepted %d but ran %d", iter, accepted.Load(), ran.Load())
+		}
+	}
+}

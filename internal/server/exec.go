@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/hybrid"
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+	"approxsort/internal/sorts"
+)
+
+// execute runs one normalized request to completion. pilotSize tunes the
+// planner sample (0 = planner default). The request's Seed is split by the
+// job's coordinates, never by arrival order, so resubmitting the same
+// request — on any worker, at any concurrency — reproduces the same
+// numbers (the serving-side analogue of the sweep determinism contract).
+func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
+	keys := req.Keys
+	if req.Dataset != nil {
+		var err error
+		keys, err = req.Dataset.materialize()
+		if err != nil {
+			return nil, err
+		}
+	}
+	alg, err := req.algorithm()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &JobResult{
+		Algorithm: alg.Name(),
+		N:         len(keys),
+		T:         req.T,
+	}
+
+	mode := req.Mode
+	if mode == ModeAuto {
+		plan, err := core.Planner{
+			Config: core.Config{
+				Algorithm: alg,
+				T:         req.T,
+				Seed:      rng.Split(req.Seed, "sortd", "pilot", alg.Name(), req.T),
+			},
+			PilotSize: pilotSize,
+		}.Plan(keys)
+		if err != nil {
+			return nil, fmt.Errorf("planner: %w", err)
+		}
+		res.Plan = &PlanView{
+			UseHybrid:     plan.UseHybrid,
+			PredictedWR:   plan.PredictedWR,
+			P:             plan.P,
+			PilotRemRatio: plan.PilotRemRatio,
+			PredictedRem:  plan.PredictedRem,
+			PilotSize:     plan.PilotSize,
+		}
+		res.PredictedWR = plan.PredictedWR
+		if plan.UseHybrid {
+			mode = ModeHybrid
+		} else {
+			mode = ModePrecise
+		}
+	}
+	res.Mode = mode
+
+	runSeed := rng.Split(req.Seed, "sortd", "run", alg.Name(), req.T, len(keys))
+	if mode == ModeHybrid {
+		err = executeHybrid(res, keys, alg, req, runSeed)
+	} else {
+		err = executePrecise(res, keys, alg, req, runSeed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.sanitize()
+	return res, nil
+}
+
+// executeHybrid runs approx-refine with both spaces sinked into one
+// Table 1 memory system, plus the precise-only baseline for the measured
+// write reduction.
+func executeHybrid(res *JobResult, keys []uint32, alg sorts.Algorithm, req *SortRequest, seed uint64) error {
+	table := mlc.CachedTable(mlc.Approximate(req.T), 0, mlc.CalibrationSeed)
+	approxWriteNanos := table.AvgP() / mlc.ReferenceAvgP * mlc.PreciseWriteNanos
+	sys := hybrid.New()
+	out, err := core.Run(keys, core.Config{
+		Algorithm:   alg,
+		T:           req.T,
+		Seed:        seed,
+		PreciseSink: sys.Region("precise", mlc.PreciseWriteNanos),
+		ApproxSink:  sys.Region("approx", approxWriteNanos),
+	})
+	if err != nil {
+		return err
+	}
+	r := out.Report
+	total := r.Total()
+	res.Rem = r.RemTilde
+	res.Writes = WriteCounts{
+		Approx:   total.Approx.Writes,
+		Precise:  total.Precise.Writes,
+		Baseline: r.Baseline.Writes,
+	}
+	res.ActualWR = r.WriteReduction()
+	res.WriteNanos = total.WriteNanos()
+	res.PCMNanos = sys.Clock()
+	res.Sorted = r.Sorted
+	if !r.Sorted {
+		return fmt.Errorf("hybrid run produced unsorted output")
+	}
+	if req.ReturnKeys {
+		res.Keys = out.Keys
+	}
+	return nil
+}
+
+// executePrecise runs the traditional sort — keys and IDs both precise —
+// through its own memory system. It is the baseline, so ActualWR is 0 by
+// construction and Baseline mirrors the run itself.
+func executePrecise(res *JobResult, keys []uint32, alg sorts.Algorithm, req *SortRequest, seed uint64) error {
+	n := len(keys)
+	sys := hybrid.New()
+	space := mem.NewPreciseSpace()
+	p := sorts.Pair{Keys: space.Alloc(n), IDs: space.Alloc(n)}
+	mem.Load(p.Keys, keys)
+	mem.Load(p.IDs, dataset.IDs(n))
+	// Accounting and the device clock start after warm-up, matching
+	// core.Run and the paper's methodology.
+	space.ResetStats()
+	space.SetSink(sys.Region("precise", mlc.PreciseWriteNanos))
+	alg.Sort(p, sorts.Env{KeySpace: space, IDSpace: space, R: rng.New(seed)})
+
+	st := space.Stats()
+	sorted := mem.PeekAll(p.Keys)
+	res.Writes = WriteCounts{Precise: st.Writes, Baseline: st.Writes}
+	res.WriteNanos = st.WriteNanos
+	res.PCMNanos = sys.Clock()
+	res.Sorted = sortedness.IsSorted(sorted)
+	if !res.Sorted {
+		return fmt.Errorf("precise run produced unsorted output")
+	}
+	if req.ReturnKeys {
+		res.Keys = sorted
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/mlc"
+	"approxsort/internal/sorts"
+)
+
+// SortRequest is the body of POST /v1/sort. Exactly one of Keys or Dataset
+// supplies the input.
+type SortRequest struct {
+	// Keys is the inline input array.
+	Keys []uint32 `json:"keys,omitempty"`
+	// Dataset generates the input server-side from a spec, so load tests
+	// don't pay to ship megabytes of keys over the wire.
+	Dataset *DatasetSpec `json:"dataset,omitempty"`
+
+	// Algorithm selects the sort: quicksort|mergesort|lsd|msd, or
+	// auto/empty for the paper's default (6-bit MSD, the Figure 9
+	// winner). Bits sets the radix digit width (default 6).
+	Algorithm string `json:"algorithm,omitempty"`
+	Bits      int    `json:"bits,omitempty"`
+
+	// Mode picks the execution path: "hybrid" forces approx-refine,
+	// "precise" forces the traditional sort, and "auto" (default) runs
+	// core.Planner's pilot and routes per Equation 4.
+	Mode string `json:"mode,omitempty"`
+
+	// T is the approximate-memory target half-width. 0 defaults to
+	// 0.055, the paper's sweet spot (Figure 9).
+	T float64 `json:"t,omitempty"`
+
+	// Seed drives the run's noise and pivot streams. The planner pilot
+	// and execution derive sub-streams from it via rng.Split.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// ReturnKeys asks for the sorted key array in the response. Refused
+	// above maxReturnKeys to keep job records small.
+	ReturnKeys bool `json:"return_keys,omitempty"`
+}
+
+// maxReturnKeys bounds the sorted payload a job is willing to echo back.
+const maxReturnKeys = 1 << 20
+
+// DatasetSpec names a generated workload from internal/dataset.
+type DatasetSpec struct {
+	// Kind: uniform|sorted|reverse|nearlysorted|fewdistinct|zipf.
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+	// Seed for the generator; 0 is a valid seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// K is the distinct-value count for fewdistinct/zipf.
+	K int `json:"k,omitempty"`
+	// S is the Zipf exponent.
+	S float64 `json:"s,omitempty"`
+	// Swaps is the transposition count for nearlysorted.
+	Swaps int `json:"swaps,omitempty"`
+}
+
+// validKinds names every dataset generator the API accepts.
+var validKinds = map[string]bool{
+	"": true, "uniform": true, "sorted": true, "reverse": true,
+	"nearlysorted": true, "fewdistinct": true, "zipf": true,
+}
+
+// validate rejects malformed specs at admission time, so a bad request
+// fails with 400 instead of a failed job.
+func (d *DatasetSpec) validate() error {
+	if !validKinds[d.Kind] {
+		return fmt.Errorf("unknown dataset kind %q", d.Kind)
+	}
+	if d.K < 0 || d.Swaps < 0 || d.S < 0 {
+		return fmt.Errorf("dataset parameters must be non-negative")
+	}
+	return nil
+}
+
+// materialize generates the spec'd keys.
+func (d *DatasetSpec) materialize() ([]uint32, error) {
+	if d.N < 0 {
+		return nil, fmt.Errorf("dataset n = %d is negative", d.N)
+	}
+	switch d.Kind {
+	case "uniform", "":
+		return dataset.Uniform(d.N, d.Seed), nil
+	case "sorted":
+		return dataset.Sorted(d.N), nil
+	case "reverse":
+		return dataset.Reverse(d.N), nil
+	case "nearlysorted":
+		return dataset.NearlySorted(d.N, d.Swaps, d.Seed), nil
+	case "fewdistinct":
+		k := d.K
+		if k <= 0 {
+			k = 16
+		}
+		return dataset.FewDistinct(d.N, k, d.Seed), nil
+	case "zipf":
+		k, s := d.K, d.S
+		if k <= 0 {
+			k = 1024
+		}
+		if s <= 0 {
+			s = 1.2
+		}
+		return dataset.Zipf(d.N, k, s, d.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset kind %q", d.Kind)
+	}
+}
+
+// normalize validates the request and applies defaults in place. maxN
+// bounds the input size the server will accept.
+func (r *SortRequest) normalize(maxN int) error {
+	if (len(r.Keys) > 0) == (r.Dataset != nil) {
+		return fmt.Errorf("provide exactly one of keys or dataset")
+	}
+	n := len(r.Keys)
+	if r.Dataset != nil {
+		if err := r.Dataset.validate(); err != nil {
+			return err
+		}
+		n = r.Dataset.N
+	}
+	if n <= 0 {
+		return fmt.Errorf("input must have at least one key")
+	}
+	if n > maxN {
+		return fmt.Errorf("input size %d exceeds the server limit %d", n, maxN)
+	}
+	if r.ReturnKeys && n > maxReturnKeys {
+		return fmt.Errorf("return_keys allowed only up to %d keys, got %d", maxReturnKeys, n)
+	}
+	switch r.Mode {
+	case "":
+		r.Mode = ModeAuto
+	case ModeAuto, ModeHybrid, ModePrecise:
+	default:
+		return fmt.Errorf("unknown mode %q (want auto, hybrid or precise)", r.Mode)
+	}
+	if r.Algorithm == "" {
+		r.Algorithm = "auto"
+	}
+	if r.Bits == 0 {
+		r.Bits = 6
+	}
+	if r.Bits < 1 || r.Bits > 16 {
+		return fmt.Errorf("bits = %d out of range [1, 16]", r.Bits)
+	}
+	if _, err := r.algorithm(); err != nil {
+		return err
+	}
+	if r.T == 0 {
+		r.T = 0.055
+	}
+	if r.T < 0 || r.T > mlc.MaxT {
+		return fmt.Errorf("t = %v out of range (0, %v]", r.T, mlc.MaxT)
+	}
+	return nil
+}
+
+// algorithm resolves the request's algorithm name.
+func (r *SortRequest) algorithm() (sorts.Algorithm, error) {
+	switch r.Algorithm {
+	case "auto", "msd", "":
+		return sorts.MSD{Bits: r.Bits}, nil
+	case "lsd":
+		return sorts.LSD{Bits: r.Bits}, nil
+	case "quicksort":
+		return sorts.Quicksort{}, nil
+	case "mergesort":
+		return sorts.Mergesort{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", r.Algorithm)
+	}
+}
+
+// inputSize returns the job's n.
+func (r *SortRequest) inputSize() int {
+	if r.Dataset != nil {
+		return r.Dataset.N
+	}
+	return len(r.Keys)
+}
+
+// Job states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Execution modes.
+const (
+	ModeAuto    = "auto"
+	ModeHybrid  = "hybrid"
+	ModePrecise = "precise"
+)
+
+// PlanView is the planner verdict echoed in a job result.
+type PlanView struct {
+	UseHybrid     bool    `json:"use_hybrid"`
+	PredictedWR   float64 `json:"predicted_wr"`
+	P             float64 `json:"p"`
+	PilotRemRatio float64 `json:"pilot_rem_ratio"`
+	PredictedRem  int     `json:"predicted_rem"`
+	PilotSize     int     `json:"pilot_size"`
+}
+
+// WriteCounts breaks a run's word writes down by memory kind.
+type WriteCounts struct {
+	Approx   int `json:"approx"`
+	Precise  int `json:"precise"`
+	Baseline int `json:"baseline,omitempty"`
+}
+
+// JobResult is the completed job's payload.
+type JobResult struct {
+	Algorithm string  `json:"algorithm"`
+	Mode      string  `json:"mode"` // hybrid or precise (auto resolved)
+	N         int     `json:"n"`
+	T         float64 `json:"t"`
+
+	// Plan is present when the job consulted the planner (mode auto).
+	Plan *PlanView `json:"plan,omitempty"`
+
+	// Rem is the refine stage's heuristic remainder Rem~ (hybrid only).
+	Rem int `json:"rem"`
+	// Writes counts word writes by memory kind; Baseline is the
+	// precise-only reference when one was run.
+	Writes WriteCounts `json:"writes"`
+	// PredictedWR is Equation 4's verdict (mode auto only; otherwise 0),
+	// ActualWR the measured Equation 2 reduction versus the baseline.
+	PredictedWR float64 `json:"predicted_wr"`
+	ActualWR    float64 `json:"actual_wr"`
+	// WriteNanos is the modelled total memory write latency (TMWL).
+	WriteNanos float64 `json:"write_nanos"`
+	// PCMNanos is the CPU-visible clock of the run's access stream
+	// driven through the Table 1 cache hierarchy + banked PCM device.
+	PCMNanos float64 `json:"pcm_nanos"`
+	// Sorted confirms the output passed the precision check.
+	Sorted bool `json:"sorted"`
+	// Keys is the sorted output, when return_keys was set.
+	Keys []uint32 `json:"keys,omitempty"`
+}
+
+// sanitize clamps non-finite floats so the result is always JSON-encodable
+// (encoding/json rejects NaN and ±Inf).
+func (r *JobResult) sanitize() {
+	for _, f := range []*float64{&r.PredictedWR, &r.ActualWR, &r.WriteNanos, &r.PCMNanos} {
+		if math.IsNaN(*f) {
+			*f = 0
+		} else if math.IsInf(*f, 1) {
+			*f = math.MaxFloat64
+		} else if math.IsInf(*f, -1) {
+			*f = -math.MaxFloat64
+		}
+	}
+	if r.Plan != nil {
+		for _, f := range []*float64{&r.Plan.PredictedWR, &r.Plan.P, &r.Plan.PilotRemRatio} {
+			if math.IsNaN(*f) {
+				*f = 0
+			} else if math.IsInf(*f, 1) {
+				*f = math.MaxFloat64
+			} else if math.IsInf(*f, -1) {
+				*f = -math.MaxFloat64
+			}
+		}
+	}
+}
+
+// Job is one unit of work flowing queue → worker → store.
+type Job struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+
+	// Echoed request coordinates, for list/debug views.
+	Algorithm string  `json:"algorithm"`
+	Mode      string  `json:"mode"`
+	N         int     `json:"n"`
+	T         float64 `json:"t"`
+
+	Result *JobResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+
+	// done closes when the job reaches a terminal state; req carries the
+	// work. Unexported, so neither serializes.
+	done chan struct{}
+	req  *SortRequest
+}

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal, dependency-free metrics registry rendering the
+// Prometheus text exposition format (version 0.0.4). Three instrument
+// kinds cover the daemon's needs: monotonically increasing counters
+// (optionally labelled), callback-backed gauges, and fixed-bucket latency
+// histograms. All instruments are safe for concurrent use; the registry
+// renders families in registration order and label sets in sorted order so
+// /metrics output is stable for tests and diffing.
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be non-negative; counters never go down).
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a family of counters keyed by the values of a fixed label
+// set. Unobserved label combinations are absent from the rendering.
+type CounterVec struct {
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// declared label, in declaration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := labelString(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// Histogram is a cumulative-bucket latency histogram with fixed upper
+// bounds (in seconds, like Prometheus convention).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus +Inf at the end
+	count  atomic.Uint64
+	sumMu  sync.Mutex
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMu.Lock()
+	h.sum += v
+	h.sumMu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1) from
+// the bucket counts: the smallest bucket bound whose cumulative count
+// covers q. Returns +Inf when the quantile lands in the overflow bucket
+// and 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// HistogramVec is a family of histograms sharing bucket bounds.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := labelString(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[key]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.children[key] = h
+	}
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// DefaultLatencyBuckets spans 100 µs to ~100 s, wide enough for both a
+// five-key toy job and a multi-million-key radix run through the MLC
+// simulator.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// family is one registered metric family.
+type family struct {
+	name, help, kind string
+	render           func(w io.Writer, name string)
+}
+
+// Registry holds metric families and renders them in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []family
+	seen     map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool)}
+}
+
+func (r *Registry) register(name, help, kind string, render func(io.Writer, string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[name] {
+		panic(fmt.Sprintf("metrics: duplicate family %q", name))
+	}
+	r.seen[name] = true
+	r.families = append(r.families, family{name: name, help: help, kind: kind, render: render})
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	})
+	return c
+}
+
+// CounterVec registers and returns a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		for _, key := range sortedKeys(v) {
+			v.mu.Lock()
+			c := v.children[key]
+			v.mu.Unlock()
+			fmt.Fprintf(w, "%s{%s} %d\n", n, key, c.Value())
+		}
+	})
+	return v
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time —
+// the natural shape for queue depth, in-flight counts, and cache sizes
+// that already live elsewhere.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %s\n", n, formatFloat(fn()))
+	})
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time, for monotone values maintained by another package (e.g. the
+// mlc.TableCache hit/miss counters).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	})
+}
+
+// HistogramVec registers and returns a labelled histogram family with the
+// given bucket upper bounds (seconds).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{labels: labels, bounds: bounds, children: make(map[string]*Histogram)}
+	r.register(name, help, "histogram", func(w io.Writer, n string) {
+		for _, key := range sortedKeys2(v) {
+			v.mu.Lock()
+			h := v.children[key]
+			v.mu.Unlock()
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", n, key, formatFloat(b), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", n, key, cum)
+			h.sumMu.Lock()
+			sum := h.sum
+			h.sumMu.Unlock()
+			fmt.Fprintf(w, "%s_sum{%s} %s\n", n, key, formatFloat(sum))
+			fmt.Fprintf(w, "%s_count{%s} %d\n", n, key, h.Count())
+		}
+	})
+	return v
+}
+
+// Render writes the whole registry in the Prometheus text format.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f.render(w, f.name)
+	}
+}
+
+func labelString(labels, values []string) string {
+	parts := make([]string, len(labels))
+	for i := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", labels[i], values[i])
+	}
+	return strings.Join(parts, ",")
+}
+
+func sortedKeys(v *CounterVec) []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeys2(v *HistogramVec) []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatFloat renders floats the way Prometheus clients do: integral
+// values without a decimal point, everything else in shortest form.
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

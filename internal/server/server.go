@@ -1,0 +1,338 @@
+// Package server is the serving subsystem behind the sortd daemon: an
+// HTTP/JSON facade over the approx-refine machinery, turning the paper's
+// Section 4.3 switch decision into a per-request routing choice.
+//
+// Request flow:
+//
+//	POST /v1/sort ─► bounded queue (parallel.Pool) ─► worker ─► executor
+//	                   │ full → 429 + Retry-After        │
+//	                   ▼                                 ▼
+//	              /metrics registry ◄──── counters, latency histograms
+//
+// Each job materializes its input (inline keys or a dataset spec), runs
+// the planner pilot when the mode is "auto", executes either the hybrid
+// approx-refine pipeline or the precise-only sort, and records the
+// planner verdict, write accounting, predicted vs. actual write
+// reduction, and the simulated PCM clock. GET /v1/jobs/{id} serves the
+// job record; GET /healthz reports readiness and flips to 503 while
+// draining; GET /metrics renders Prometheus text, including the shared
+// mlc.TableCache hit/miss counters that prove concurrent jobs at the same
+// T reuse one calibrated transition table.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxsort/internal/mlc"
+	"approxsort/internal/parallel"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers is the worker-pool size (0 = one per CPU).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs
+	// (default 64). A full queue rejects with 429.
+	QueueDepth int
+	// PilotSize overrides the planner sample size (0 = planner default).
+	PilotSize int
+	// MaxN bounds accepted input sizes (default 8M keys).
+	MaxN int
+	// RetainJobs caps how many finished job records are kept for
+	// GET /v1/jobs (default 4096; oldest evicted first).
+	RetainJobs int
+	// MaxBodyBytes bounds a request body (default 64 MB, enough for a
+	// maxReturnKeys inline array with JSON overhead).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 8 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the sortd serving core. Create with New, mount Handler on an
+// http.Server, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	pool *parallel.Pool
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // retained terminal jobs, oldest first
+	seq      uint64
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	metrics      *Registry
+	requests     *CounterVec   // route, code
+	jobsTotal    *CounterVec   // algorithm, mode, status
+	jobLatency   *HistogramVec // algorithm, mode
+	queueRejects *Counter
+
+	// testHookBeforeExec, when non-nil, runs on the worker goroutine
+	// before a job executes — the lifecycle tests use it to hold jobs
+	// in-flight deterministically.
+	testHookBeforeExec func(*Job)
+}
+
+// New returns a ready server; its workers are running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+		metrics: NewRegistry(),
+	}
+	m := s.metrics
+	s.requests = m.CounterVec("sortd_requests_total",
+		"HTTP requests by route and status code.", "route", "code")
+	s.jobsTotal = m.CounterVec("sortd_jobs_total",
+		"Completed jobs by algorithm, resolved execution mode and status.",
+		"algorithm", "mode", "status")
+	s.jobLatency = m.HistogramVec("sortd_job_duration_seconds",
+		"Job execution latency (dequeue to completion).",
+		DefaultLatencyBuckets, "algorithm", "mode")
+	s.queueRejects = m.Counter("sortd_queue_rejected_total",
+		"Jobs rejected with 429 because the queue was full.")
+	m.GaugeFunc("sortd_queue_depth", "Accepted jobs not yet started.",
+		func() float64 { return float64(s.pool.Queued()) })
+	m.GaugeFunc("sortd_queue_capacity", "Bounded queue capacity.",
+		func() float64 { return float64(s.pool.Cap()) })
+	m.GaugeFunc("sortd_jobs_inflight", "Jobs currently executing.",
+		func() float64 { return float64(s.inflight.Load()) })
+	m.GaugeFunc("sortd_draining", "1 while the server refuses new jobs and drains.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	// The shared transition-table cache is process-wide on purpose: every
+	// job at the same (T, samples) draws noise through one calibrated
+	// table. Exporting its counters makes the sharing observable — two
+	// concurrent jobs at one T must show one miss, not two.
+	tables := mlc.SharedTables()
+	m.CounterFunc("sortd_mlc_table_cache_hits_total",
+		"Shared MLC transition-table cache hits.", tables.Hits)
+	m.CounterFunc("sortd_mlc_table_cache_misses_total",
+		"Shared MLC transition-table cache misses (tables built).", tables.Misses)
+	m.GaugeFunc("sortd_mlc_table_cache_size",
+		"Calibrated transition tables resident in the shared cache.",
+		func() float64 { return float64(tables.Len()) })
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sort", s.handleSort)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown drains: new jobs are refused (healthz flips to 503), queued and
+// in-flight jobs run to completion, then Shutdown returns. A cancelled ctx
+// abandons the wait (workers keep finishing in the background).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sortd: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Metrics exposes the registry (for embedding hosts and tests).
+func (s *Server) Metrics() *Registry { return s.metrics }
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, route string, code int, v any) {
+	s.requests.With(route, fmt.Sprintf("%d", code)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/sort"
+	if s.draining.Load() {
+		s.writeJSON(w, route, http.StatusServiceUnavailable, apiError{Error: "draining"})
+		return
+	}
+	var req SortRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		code := http.StatusBadRequest
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.writeJSON(w, route, code, apiError{Error: "bad request: " + err.Error()})
+		return
+	}
+	if err := req.normalize(s.cfg.MaxN); err != nil {
+		s.writeJSON(w, route, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+
+	job := &Job{
+		Status:     StatusQueued,
+		Algorithm:  req.Algorithm,
+		Mode:       req.Mode,
+		N:          req.inputSize(),
+		T:          req.T,
+		EnqueuedAt: time.Now().UTC(),
+		done:       make(chan struct{}),
+		req:        &req,
+	}
+	s.mu.Lock()
+	s.seq++
+	job.ID = fmt.Sprintf("job-%08d", s.seq)
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	if !s.pool.TrySubmit(func() { s.runJob(job) }) {
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.mu.Unlock()
+		s.queueRejects.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, route, http.StatusTooManyRequests,
+			apiError{Error: "queue full, retry later"})
+		return
+	}
+
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-job.done:
+			s.writeJSON(w, route, http.StatusOK, s.snapshot(job))
+		case <-r.Context().Done():
+			// Client gave up; the job keeps running and remains pollable.
+			s.requests.With(route, "499").Inc()
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	s.writeJSON(w, route, http.StatusAccepted, s.snapshot(job))
+}
+
+// runJob executes one job on a pool worker.
+func (s *Server) runJob(job *Job) {
+	if hook := s.testHookBeforeExec; hook != nil {
+		hook(job)
+	}
+	s.inflight.Add(1)
+	start := time.Now()
+	s.mu.Lock()
+	job.Status = StatusRunning
+	job.StartedAt = start.UTC()
+	s.mu.Unlock()
+
+	res, err := execute(job.req, s.cfg.PilotSize)
+
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	job.FinishedAt = time.Now().UTC()
+	mode := job.Mode
+	if res != nil {
+		mode = res.Mode
+		job.Mode = res.Mode
+		job.Result = res
+	}
+	if err != nil {
+		job.Status = StatusFailed
+		job.Error = err.Error()
+	} else {
+		job.Status = StatusDone
+	}
+	status := job.Status
+	s.retainLocked(job)
+	s.mu.Unlock()
+
+	s.inflight.Add(-1)
+	s.jobsTotal.With(job.Algorithm, mode, status).Inc()
+	s.jobLatency.With(job.Algorithm, mode).Observe(elapsed.Seconds())
+	close(job.done)
+}
+
+// retainLocked appends a terminal job to the retention ring, evicting the
+// oldest records past the cap. Caller holds s.mu.
+func (s *Server) retainLocked(job *Job) {
+	s.order = append(s.order, job.ID)
+	for len(s.order) > s.cfg.RetainJobs {
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// snapshot copies a job's public state under the store lock, so handlers
+// never marshal a record a worker is mutating.
+func (s *Server) snapshot(job *Job) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return *job
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/jobs"
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		s.writeJSON(w, route, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		return
+	}
+	s.writeJSON(w, route, http.StatusOK, s.snapshot(job))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	const route = "/healthz"
+	if s.draining.Load() {
+		s.writeJSON(w, route, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, route, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.With("/metrics", "200").Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Render(w)
+}
