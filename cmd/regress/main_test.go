@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"approxsort/internal/verify"
+)
+
+// collectOnce shares one grid replay across the tests in this package;
+// the determinism test pays for the second.
+var collectOnce = sync.OnceValues(func() ([]verify.Metric, error) {
+	return collect(defaultSeed, 1)
+})
+
+// TestReportByteIdentical is the acceptance criterion: two replays at the
+// pinned seed must render byte-identical reports.
+func TestReportByteIdentical(t *testing.T) {
+	first, err := collectOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := collect(defaultSeed, 4) // different worker count on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := marshalGolden(defaultSeed, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := marshalGolden(defaultSeed, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two replays at the pinned seed rendered different reports")
+	}
+}
+
+// TestCommittedGoldensMatch replays the grid against the goldens actually
+// committed in results/golden/ — the same comparison CI's regress-gate
+// job runs.
+func TestCommittedGoldensMatch(t *testing.T) {
+	metrics, err := collectOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := gate(filepath.Join("..", "..", "results", "golden", "regress.json"), defaultSeed, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("committed goldens drifted: %v (rerun `go run ./cmd/regress -update`)", rep.Drifts)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Fatal("gate passed vacuously with zero metrics")
+	}
+}
+
+// TestGateFailsOnPerturbedGolden proves the gate actually fires: nudge one
+// exact metric in a copy of the goldens and the comparison must fail.
+func TestGateFailsOnPerturbedGolden(t *testing.T) {
+	metrics, err := collectOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := make([]verify.Metric, len(metrics))
+	copy(perturbed, metrics)
+	hit := -1
+	for i, m := range perturbed {
+		if m.Tol.Kind == "" && m.Value > 0 { // an exact count
+			perturbed[i].Value++
+			hit = i
+			break
+		}
+	}
+	if hit < 0 {
+		t.Fatal("grid produced no exact metrics to perturb")
+	}
+	data, err := marshalGolden(defaultSeed, perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := gate(path, defaultSeed, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Drifts) != 1 || rep.Drifts[0].Name != metrics[hit].Name {
+		t.Fatalf("perturbed golden not caught: pass=%v drifts=%v", rep.Pass, rep.Drifts)
+	}
+}
+
+// TestGateRejectsSeedMismatch: goldens recorded at another seed are not
+// comparable and must refuse, not drift.
+func TestGateRejectsSeedMismatch(t *testing.T) {
+	data, err := marshalGolden(defaultSeed+1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = gate(path, defaultSeed, nil)
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed mismatch not rejected: %v", err)
+	}
+}

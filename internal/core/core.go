@@ -156,8 +156,15 @@ type Report struct {
 	RefineSort  StageBreakdown // refine step 2: sort REMID
 	RefineMerge StageBreakdown // refine step 3: merge into finalKey/finalID
 
-	// RemTilde is the size of REMID found by the heuristic (Rem~).
+	// RemTilde is the size of REMID found by the heuristic (Rem~), or
+	// the exact Rem when the run used the ExactLIS ablation.
 	RemTilde int
+
+	// ExactLIS records whether the refine stage ran the exact-LIS
+	// ablation instead of the paper's heuristic. Verification needs it:
+	// the find step's precise-write identity is Rem~ for the heuristic
+	// but 2n+Rem for the patience bookkeeping (see internal/verify).
+	ExactLIS bool
 
 	// PostApproxRem and PostApproxErrorRate are the exact Rem of the
 	// nearly sorted key view Key0[ID[i]] and the Figure 4(a) error rate
@@ -276,6 +283,7 @@ func Run(keys []uint32, cfg Config) (Result, error) {
 		Algorithm:           cfg.Algorithm.Name(),
 		N:                   n,
 		T:                   cfg.T,
+		ExactLIS:            cfg.ExactLIS,
 		PostApproxRem:       -1,
 		PostApproxErrorRate: -1,
 	}

@@ -18,6 +18,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"approxsort/internal/core"
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
@@ -26,6 +28,7 @@ import (
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
+	"approxsort/internal/verify"
 )
 
 // algT is one (algorithm, T) point of a row-major flattened study grid.
@@ -167,10 +170,16 @@ type RefineRow struct {
 }
 
 // Refine runs approx-refine once and derives the Figure 9–11 quantities.
+// Every run is audited by the invariant checker before its row is
+// reported: a sweep cannot silently emit figure data from a run that
+// violated the precision contract or the write-accounting identities.
 func Refine(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) (RefineRow, error) {
 	res, err := core.Run(keys, core.Config{Algorithm: alg, T: t, Seed: seed})
 	if err != nil {
 		return RefineRow{}, err
+	}
+	if err := verify.Check(keys, res).Err(); err != nil {
+		return RefineRow{}, fmt.Errorf("experiments: %s T=%g n=%d: %w", alg.Name(), t, len(keys), err)
 	}
 	r := res.Report
 	row := RefineRow{

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"approxsort/internal/core"
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
@@ -9,6 +11,7 @@ import (
 	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
 	"approxsort/internal/spintronic"
+	"approxsort/internal/verify"
 )
 
 // algCfg is one (algorithm, operating point) grid point of the Appendix A
@@ -96,7 +99,8 @@ type SpinRefineRow struct {
 }
 
 // SpinRefine runs approx-refine on the spintronic model at one operating
-// point.
+// point. Like Refine, the run is audited by the invariant checker (the
+// checker skips the MLC-only energy identities for custom spaces).
 func SpinRefine(alg sorts.Algorithm, cfg spintronic.Config, keys []uint32, seed uint64) (SpinRefineRow, error) {
 	res, err := core.Run(keys, core.Config{
 		Algorithm: alg,
@@ -105,6 +109,10 @@ func SpinRefine(alg sorts.Algorithm, cfg spintronic.Config, keys []uint32, seed 
 	})
 	if err != nil {
 		return SpinRefineRow{}, err
+	}
+	if err := verify.Check(keys, res).Err(); err != nil {
+		return SpinRefineRow{}, fmt.Errorf("experiments: %s spin(%g,%g) n=%d: %w",
+			alg.Name(), cfg.Saving, cfg.BitErrorProb, len(keys), err)
 	}
 	r := res.Report
 	return SpinRefineRow{

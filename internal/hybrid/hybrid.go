@@ -121,6 +121,40 @@ type Stats struct {
 	Device pcm.Stats
 }
 
+// Check verifies the snapshot's internal consistency — the system-level
+// half of the verification subsystem (internal/verify audits the
+// space-level accounting; this audits the cache + device pipeline):
+// every read resolved at exactly one level, the device never serviced
+// more requests than entered the hierarchy, every timing component is
+// non-negative, and the CPU clock covers their sum (idle time injected
+// via AdvanceClock can only add to it).
+func (s Stats) Check() error {
+	if got := s.L1Hits + s.L2Hits + s.L3Hits + s.MemReads; got != s.Reads {
+		return fmt.Errorf("hybrid: read hits sum to %d, want %d reads", got, s.Reads)
+	}
+	if s.Device.Reads != s.MemReads {
+		return fmt.Errorf("hybrid: device serviced %d reads, hierarchy missed %d",
+			s.Device.Reads, s.MemReads)
+	}
+	if s.Device.Writes != s.Writes {
+		return fmt.Errorf("hybrid: device serviced %d writes, hierarchy issued %d",
+			s.Device.Writes, s.Writes)
+	}
+	for name, v := range map[string]float64{
+		"Clock": s.Clock, "CacheReadNanos": s.CacheReadNanos,
+		"MemReadNanos": s.MemReadNanos, "WriteStallNanos": s.WriteStallNanos,
+	} {
+		if v < 0 {
+			return fmt.Errorf("hybrid: %s = %g is negative", name, v)
+		}
+	}
+	spent := s.CacheReadNanos + s.MemReadNanos + s.WriteStallNanos
+	if s.Clock < spent*(1-1e-9) {
+		return fmt.Errorf("hybrid: clock %g ns below accounted time %g ns", s.Clock, spent)
+	}
+	return nil
+}
+
 // Stats returns the current totals.
 func (s *System) Stats() Stats {
 	d := s.dev.Stats()

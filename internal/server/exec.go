@@ -9,8 +9,8 @@ import (
 	"approxsort/internal/mem"
 	"approxsort/internal/mlc"
 	"approxsort/internal/rng"
-	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
+	"approxsort/internal/verify"
 )
 
 // execute runs one normalized request to completion. pilotSize tunes the
@@ -49,6 +49,9 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 			PilotSize: pilotSize,
 		}.Plan(keys)
 		if err != nil {
+			return nil, fmt.Errorf("planner: %w", err)
+		}
+		if err := verify.CheckPlan(len(keys), plan).Err(); err != nil {
 			return nil, fmt.Errorf("planner: %w", err)
 		}
 		res.Plan = &PlanView{
@@ -98,6 +101,16 @@ func executeHybrid(res *JobResult, keys []uint32, alg sorts.Algorithm, req *Sort
 	if err != nil {
 		return err
 	}
+	// Every served job passes through the full invariant checker plus
+	// the memory-system consistency check before its result is stored —
+	// a routing or refine regression fails the job loudly instead of
+	// returning a slightly-wrong payload.
+	if err := verify.Check(keys, out).Err(); err != nil {
+		return err
+	}
+	if err := sys.Stats().Check(); err != nil {
+		return err
+	}
 	r := out.Report
 	total := r.Total()
 	res.Rem = r.RemTilde
@@ -110,9 +123,7 @@ func executeHybrid(res *JobResult, keys []uint32, alg sorts.Algorithm, req *Sort
 	res.WriteNanos = total.WriteNanos()
 	res.PCMNanos = sys.Clock()
 	res.Sorted = r.Sorted
-	if !r.Sorted {
-		return fmt.Errorf("hybrid run produced unsorted output")
-	}
+	res.Verified = true
 	if req.ReturnKeys {
 		res.Keys = out.Keys
 	}
@@ -137,13 +148,20 @@ func executePrecise(res *JobResult, keys []uint32, alg sorts.Algorithm, req *Sor
 
 	st := space.Stats()
 	sorted := mem.PeekAll(p.Keys)
+	// The precise path has no stage accounting, but its output contract
+	// is identical: sorted, a permutation, and equal to the reference
+	// oracle sort.
+	if err := verify.CheckOutput(keys, sorted).Err(); err != nil {
+		return err
+	}
+	if err := sys.Stats().Check(); err != nil {
+		return err
+	}
 	res.Writes = WriteCounts{Precise: st.Writes, Baseline: st.Writes}
 	res.WriteNanos = st.WriteNanos
 	res.PCMNanos = sys.Clock()
-	res.Sorted = sortedness.IsSorted(sorted)
-	if !res.Sorted {
-		return fmt.Errorf("precise run produced unsorted output")
-	}
+	res.Sorted = true
+	res.Verified = true
 	if req.ReturnKeys {
 		res.Keys = sorted
 	}

@@ -245,6 +245,13 @@ type JobResult struct {
 	PCMNanos float64 `json:"pcm_nanos"`
 	// Sorted confirms the output passed the precision check.
 	Sorted bool `json:"sorted"`
+	// Verified confirms the run passed the full internal/verify audit:
+	// differential oracle, permutation and record-identity checks, and
+	// (hybrid mode) the refine write-budget and stage-accounting
+	// identities. A job that fails verification fails outright, so a
+	// done job always reports true; the field makes the contract
+	// visible in the API.
+	Verified bool `json:"verified"`
 	// Keys is the sorted output, when return_keys was set.
 	Keys []uint32 `json:"keys,omitempty"`
 }

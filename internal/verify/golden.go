@@ -1,0 +1,129 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tolerance kinds for golden-metric comparison.
+const (
+	// TolExact requires bit-identical values — counts, booleans, modes.
+	TolExact = "exact"
+	// TolRel allows a relative deviation of Eps — simulated nanos,
+	// energy, and ratio metrics, where cross-platform float association
+	// may differ harmlessly.
+	TolRel = "rel"
+)
+
+// Tolerance declares how much a metric may drift from its golden value.
+// The zero value means exact.
+type Tolerance struct {
+	Kind string  `json:"kind,omitempty"`
+	Eps  float64 `json:"eps,omitempty"`
+}
+
+func (t Tolerance) String() string {
+	if t.Kind == TolRel {
+		return fmt.Sprintf("rel %g", t.Eps)
+	}
+	return TolExact
+}
+
+// within reports whether got is acceptable against want.
+func (t Tolerance) within(want, got float64) bool {
+	switch t.Kind {
+	case TolRel:
+		if want == got {
+			return true
+		}
+		scale := math.Max(math.Abs(want), math.Abs(got))
+		return math.Abs(want-got) <= t.Eps*scale
+	default: // exact
+		return want == got
+	}
+}
+
+// Metric is one golden-gated scalar. Names are hierarchical
+// ("fig9/msd-6/T=0.055/write_reduction") so reports group naturally and
+// stay byte-stable under sorting.
+type Metric struct {
+	Name  string    `json:"name"`
+	Value float64   `json:"value"`
+	Tol   Tolerance `json:"tol,omitempty"`
+}
+
+// Exact returns an exact-compare metric.
+func Exact(name string, value float64) Metric {
+	return Metric{Name: name, Value: value}
+}
+
+// Rel returns a metric compared under relative tolerance eps.
+func Rel(name string, value float64, eps float64) Metric {
+	return Metric{Name: name, Value: value, Tol: Tolerance{Kind: TolRel, Eps: eps}}
+}
+
+// SortMetrics orders metrics by name, the canonical report order.
+func SortMetrics(ms []Metric) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+}
+
+// Drift is one golden comparison failure.
+type Drift struct {
+	Name string  `json:"name"`
+	Want float64 `json:"want"`
+	Got  float64 `json:"got"`
+	// Tol is the tolerance the comparison ran under (the freshly
+	// collected metric's declaration, never the golden file's — a
+	// stale or tampered golden cannot loosen the gate).
+	Tol Tolerance `json:"tol,omitempty"`
+	// Missing marks a golden metric the current run no longer
+	// produces; Extra marks a new metric absent from the golden file.
+	// Both fail the gate: silently growing or shrinking the grid is
+	// itself a regression until the goldens are regenerated.
+	Missing bool `json:"missing,omitempty"`
+	Extra   bool `json:"extra,omitempty"`
+}
+
+// String implements fmt.Stringer.
+func (d Drift) String() string {
+	switch {
+	case d.Missing:
+		return fmt.Sprintf("%s: golden metric missing from this run", d.Name)
+	case d.Extra:
+		return fmt.Sprintf("%s: new metric not in goldens (value %v); rerun with -update", d.Name, d.Got)
+	default:
+		return fmt.Sprintf("%s: want %v, got %v (tolerance %s)", d.Name, d.Want, d.Got, d.Tol)
+	}
+}
+
+// CompareMetrics diffs a freshly collected metric set against the golden
+// set and returns every drift, sorted by name (empty means the gate
+// passes). Tolerances come from got — the code under test — so the golden
+// file only pins values.
+func CompareMetrics(golden, got []Metric) []Drift {
+	goldenByName := make(map[string]Metric, len(golden))
+	for _, m := range golden {
+		goldenByName[m.Name] = m
+	}
+	var drifts []Drift
+	seen := make(map[string]bool, len(got))
+	for _, m := range got {
+		seen[m.Name] = true
+		g, ok := goldenByName[m.Name]
+		if !ok {
+			drifts = append(drifts, Drift{Name: m.Name, Got: m.Value, Extra: true})
+			continue
+		}
+		if !m.Tol.within(g.Value, m.Value) {
+			drifts = append(drifts, Drift{Name: m.Name, Want: g.Value, Got: m.Value, Tol: m.Tol})
+		}
+	}
+	for _, m := range golden {
+		if !seen[m.Name] {
+			drifts = append(drifts, Drift{Name: m.Name, Want: m.Value, Missing: true})
+		}
+	}
+	sort.Slice(drifts, func(i, j int) bool { return drifts[i].Name < drifts[j].Name })
+	return drifts
+}

@@ -1,0 +1,101 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func driftNames(ds []Drift) []string {
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	return names
+}
+
+func TestCompareMetricsCleanPass(t *testing.T) {
+	golden := []Metric{
+		Exact("fig9/msd-6/rem", 137),
+		Rel("fig9/msd-6/write_nanos", 1.0e6, 1e-6),
+	}
+	got := []Metric{
+		Exact("fig9/msd-6/rem", 137),
+		Rel("fig9/msd-6/write_nanos", 1.0e6*(1+1e-9), 1e-6),
+	}
+	if ds := CompareMetrics(golden, got); len(ds) != 0 {
+		t.Fatalf("clean comparison drifted: %v", ds)
+	}
+}
+
+func TestCompareMetricsExactIsExact(t *testing.T) {
+	golden := []Metric{Exact("rem", 137)}
+	got := []Metric{Exact("rem", 138)}
+	ds := CompareMetrics(golden, got)
+	if len(ds) != 1 || ds[0].Name != "rem" || ds[0].Want != 137 || ds[0].Got != 138 {
+		t.Fatalf("off-by-one count not flagged: %v", ds)
+	}
+	if s := ds[0].String(); !strings.Contains(s, "want 137") || !strings.Contains(s, "got 138") {
+		t.Fatalf("drift string unhelpful: %q", s)
+	}
+}
+
+func TestCompareMetricsRelTolerance(t *testing.T) {
+	golden := []Metric{Rel("nanos", 1000, 1e-3)}
+	if ds := CompareMetrics(golden, []Metric{Rel("nanos", 1000.5, 1e-3)}); len(ds) != 0 {
+		t.Fatalf("0.05%% drift should pass a 0.1%% gate: %v", ds)
+	}
+	if ds := CompareMetrics(golden, []Metric{Rel("nanos", 1002, 1e-3)}); len(ds) != 1 {
+		t.Fatalf("0.2%% drift should fail a 0.1%% gate: %v", ds)
+	}
+}
+
+func TestCompareMetricsMissingAndExtraBothFail(t *testing.T) {
+	golden := []Metric{Exact("a", 1), Exact("gone", 2)}
+	got := []Metric{Exact("a", 1), Exact("new", 3)}
+	ds := CompareMetrics(golden, got)
+	if len(ds) != 2 {
+		t.Fatalf("want 2 drifts (missing + extra), got %v", ds)
+	}
+	// Drifts come back sorted by name: "gone" < "new".
+	if !ds[0].Missing || ds[0].Name != "gone" {
+		t.Fatalf("missing golden metric not flagged: %v", ds)
+	}
+	if !ds[1].Extra || ds[1].Name != "new" {
+		t.Fatalf("extra run metric not flagged: %v", ds)
+	}
+	if s := ds[0].String(); !strings.Contains(s, "missing") {
+		t.Fatalf("missing drift string unhelpful: %q", s)
+	}
+	if s := ds[1].String(); !strings.Contains(s, "-update") {
+		t.Fatalf("extra drift string should point at -update: %q", s)
+	}
+}
+
+func TestCompareMetricsToleranceComesFromRun(t *testing.T) {
+	// A tampered golden file declaring a huge tolerance must not loosen
+	// the gate: the comparison runs under got's declaration.
+	golden := []Metric{Rel("nanos", 1000, 0.5)}
+	got := []Metric{Exact("nanos", 1100)}
+	ds := CompareMetrics(golden, got)
+	if len(ds) != 1 || ds[0].Tol.Kind != "" {
+		t.Fatalf("golden-side tolerance leaked into the comparison: %v", ds)
+	}
+}
+
+func TestSortMetricsCanonicalOrder(t *testing.T) {
+	ms := []Metric{Exact("b", 2), Exact("a", 1), Exact("c", 3)}
+	SortMetrics(ms)
+	if got := []string{ms[0].Name, ms[1].Name, ms[2].Name}; got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("not sorted: %v", got)
+	}
+}
+
+func TestDriftNamesSorted(t *testing.T) {
+	golden := []Metric{Exact("z", 1), Exact("a", 1)}
+	got := []Metric{Exact("z", 2), Exact("a", 2)}
+	ds := CompareMetrics(golden, got)
+	names := driftNames(ds)
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("drifts not name-sorted: %v", names)
+	}
+}

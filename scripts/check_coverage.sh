@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Ratcheted coverage gate.
+#
+# Compares the total statement coverage of a Go cover profile against the
+# committed floor in scripts/coverage_floor.txt and fails when coverage
+# drops below it. The floor only moves in one direction: when real
+# coverage grows, raise the floor in the same PR (the script prints a
+# reminder when there is >= 1 point of slack). Lowering the floor is a
+# reviewed decision, not a drive-by.
+#
+# Usage: scripts/check_coverage.sh [profile]   (default: coverage.out)
+set -euo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+floor="$(tr -d '[:space:]' < "$here/coverage_floor.txt")"
+profile="${1:-coverage.out}"
+
+if [[ ! -f "$profile" ]]; then
+  echo "check_coverage: profile '$profile' not found" >&2
+  exit 2
+fi
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $NF); print $NF}')"
+if [[ -z "$total" ]]; then
+  echo "check_coverage: could not parse total from $profile" >&2
+  exit 2
+fi
+
+awk -v t="$total" -v f="$floor" 'BEGIN {
+  if (t + 0 < f + 0) {
+    printf "check_coverage: FAIL: total coverage %.1f%% is below the committed floor %.1f%%\n", t, f
+    exit 1
+  }
+  printf "check_coverage: OK: total coverage %.1f%% >= floor %.1f%%\n", t, f
+  if (t - f >= 1.0) {
+    printf "check_coverage: note: %.1f points of slack — consider ratcheting scripts/coverage_floor.txt up\n", t - f
+  }
+}'
