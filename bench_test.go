@@ -57,7 +57,11 @@ func benchSortOnly(b *testing.B, alg sorts.Algorithm, t float64) {
 	var row experiments.SortOnlyRow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row = experiments.SortOnly(alg, t, keys, benchSeed+uint64(i))
+		var err error
+		row, err = experiments.SortOnly(alg, t, keys, benchSeed+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(row.RemRatio, "remRatio")
 	b.ReportMetric(row.ErrorRate, "errRate")
@@ -169,8 +173,12 @@ func BenchmarkCostModelEq4(b *testing.B) {
 func BenchmarkFig12SpintronicSortOnly(b *testing.B) {
 	var rows []experiments.SpinSortRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig12([]sorts.Algorithm{sorts.Mergesort{}},
+		var err error
+		rows, err = experiments.Fig12([]sorts.Algorithm{sorts.Mergesort{}},
 			spintronic.Presets()[3:], benchN, benchSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(rows[0].RemRatio, "remRatio@50%")
 }

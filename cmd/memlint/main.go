@@ -1,0 +1,149 @@
+// Command memlint runs the repository's static-analysis suite
+// (internal/analysis): detrand, memescape, floatord, verifygate and
+// nolintreason — the compile-time guards for the simulator's
+// determinism, accounting and verification invariants.
+//
+// Two modes share the same analyzers:
+//
+// Standalone, over go list patterns (run from anywhere in the module):
+//
+//	go run ./cmd/memlint ./...
+//	memlint -floatord=false ./internal/...
+//
+// As a go vet tool, speaking vet's unitchecker protocol (-V=full,
+// -flags, and per-package *.cfg invocations):
+//
+//	go build -o "$(go env GOPATH)/bin/memlint" ./cmd/memlint
+//	go vet -vettool=$(which memlint) ./...
+//
+// Each analyzer has a boolean flag of the same name to toggle it;
+// all are on by default. Exit status is 2 when diagnostics were
+// reported, 1 on operational errors, 0 on a clean run.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"approxsort/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("memlint", flag.ContinueOnError)
+	enabled := make(map[string]*bool)
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	// The go command probes vet tools with `-V=full` (version/cache key)
+	// and `-flags` (supported flags) before the per-package runs; both
+	// are handled before normal flag parsing.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return 0
+		case "-flags", "--flags":
+			printFlags(fs)
+			return 0
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0], active)
+	}
+	return runStandalone(rest, active)
+}
+
+// printVersion implements the `-V=full` probe: the go command uses the
+// line as the tool's cache key, so it includes a content hash of the
+// binary — rebuilding memlint invalidates stale vet results.
+func printVersion() {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("memlint version devel buildID=%x\n", h.Sum(nil)[:12])
+}
+
+// printFlags implements the `-flags` probe go vet uses to validate
+// user-supplied flags against the tool.
+func printFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name     string
+		Bool     bool
+		Usage    string
+		DefValue string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V=full" {
+			return
+		}
+		flags = append(flags, jsonFlag{f.Name, true, f.Usage, f.DefValue})
+	})
+	data, _ := json.Marshal(flags)
+	fmt.Println(string(data))
+}
+
+// runStandalone loads packages via go list from the enclosing module and
+// analyzes them all.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 1
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 1
+	}
+	units, err := analysis.LoadPackages(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 1
+	}
+	found := false
+	for _, u := range units {
+		diags, err := analysis.RunAnalyzers(u, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}

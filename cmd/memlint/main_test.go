@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildMemlint compiles the binary once per test run.
+func buildMemlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "memlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/memlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// badModule writes a throwaway module with a known detrand violation.
+func badModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"bad.go": `package scratch
+
+import "time"
+
+// Stamp reads the wall clock: the canonical detrand violation.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestStandaloneFlagsKnownBad runs `memlint ./...` over the bad module:
+// it must exit 2 and name the analyzer and the offending call.
+func TestStandaloneFlagsKnownBad(t *testing.T) {
+	bin := buildMemlint(t)
+	dir := badModule(t)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want exit status 2\nstderr: %s", err, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "[detrand]") || !strings.Contains(out, "time.Now") {
+		t.Errorf("diagnostics missing detrand finding:\n%s", out)
+	}
+}
+
+// TestStandaloneCleanModule checks the zero-exit path.
+func TestStandaloneCleanModule(t *testing.T) {
+	bin := buildMemlint(t)
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module scratch\n\ngo 1.22\n",
+		"good.go": "package scratch\n\n// Add is deterministic.\nfunc Add(a, b int) int { return a + b }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("clean module: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolProtocol drives the binary through `go vet -vettool`, the
+// unitchecker path: -V=full, -flags, and per-package .cfg invocations.
+func TestVetToolProtocol(t *testing.T) {
+	bin := buildMemlint(t)
+	dir := badModule(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded on a known-bad module\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "time.Now") {
+		t.Errorf("vet output missing the detrand finding:\n%s", out.String())
+	}
+}
+
+// TestVersionProbe checks the -V=full handshake go vet uses as a cache
+// key: it must print one line and exit 0.
+func TestVersionProbe(t *testing.T) {
+	bin := buildMemlint(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	s := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(s, "memlint version") || strings.Count(s, "\n") != 0 {
+		t.Errorf("-V=full output = %q, want single 'memlint version ...' line", s)
+	}
+}

@@ -119,7 +119,11 @@ func collectFig2(seed uint64, workers int) ([]verify.Metric, error) {
 func collectFig4(seed uint64, workers int) ([]verify.Metric, error) {
 	algs := []sorts.Algorithm{sorts.Quicksort{}, sorts.MSD{Bits: 6}}
 	var ms []verify.Metric
-	for _, row := range experiments.Fig4(algs, []float64{0.03, 0.1}, figN, seed, workers) {
+	rows, err := experiments.Fig4(algs, []float64{0.03, 0.1}, figN, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		p := fmt.Sprintf("fig4/%s/T=%g", row.Algorithm, row.T)
 		ms = append(ms,
 			verify.Rel(p+"/error_rate", row.ErrorRate, relEps),
@@ -182,7 +186,11 @@ func collectSpinFigs(seed uint64, workers int) ([]verify.Metric, error) {
 	algs := []sorts.Algorithm{sorts.MSD{Bits: 6}}
 	cfgs := spintronic.Presets()[2:] // 33% and 50% energy-saving points
 	var ms []verify.Metric
-	for _, row := range experiments.Fig12(algs, cfgs, spinN, seed, workers) {
+	spinRows, err := experiments.Fig12(algs, cfgs, spinN, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range spinRows {
 		p := fmt.Sprintf("fig12/%s/save=%g", row.Algorithm, row.Saving)
 		ms = append(ms,
 			verify.Rel(p+"/rem_ratio", row.RemRatio, relEps),

@@ -45,16 +45,16 @@ func main() {
 
 // loadConfig is the parsed invocation.
 type loadConfig struct {
-	Addr   string   `json:"addr"`
-	Levels []int    `json:"concurrency_levels"`
-	Jobs   int      `json:"jobs_per_level"`
-	N      int      `json:"n"`
-	Dist   string   `json:"dist"`
-	Alg    string   `json:"algorithm"`
-	Bits   int      `json:"bits"`
-	Mode   string   `json:"mode"`
-	T      float64  `json:"t"`
-	Seed   uint64   `json:"seed"`
+	Addr   string  `json:"addr"`
+	Levels []int   `json:"concurrency_levels"`
+	Jobs   int     `json:"jobs_per_level"`
+	N      int     `json:"n"`
+	Dist   string  `json:"dist"`
+	Alg    string  `json:"algorithm"`
+	Bits   int     `json:"bits"`
+	Mode   string  `json:"mode"`
+	T      float64 `json:"t"`
+	Seed   uint64  `json:"seed"`
 	out    string
 	client *http.Client
 }
@@ -207,7 +207,7 @@ func drive(cfg loadConfig, stdout io.Writer) error {
 func driveLevel(cfg loadConfig, level int) (levelSummary, error) {
 	reqs := buildRequests(cfg, level)
 	outcomes := make([][]jobOutcome, level)
-	start := time.Now()
+	start := time.Now() //nolint:detrand // wall-clock by design: the load generator measures real throughput
 	var wg sync.WaitGroup
 	for w := 0; w < level; w++ {
 		wg.Add(1)
@@ -219,7 +219,7 @@ func driveLevel(cfg loadConfig, level int) (levelSummary, error) {
 		}(w)
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	wall := time.Since(start) //nolint:detrand // wall-clock by design: real elapsed time is the benchmark output
 
 	summary := levelSummary{Concurrency: level, WallMillis: float64(wall.Milliseconds())}
 	var latencies []float64
@@ -269,7 +269,7 @@ func postJob(cfg loadConfig, req server.SortRequest) jobOutcome {
 		return jobOutcome{err: err}
 	}
 	var out jobOutcome
-	start := time.Now()
+	start := time.Now() //nolint:detrand // wall-clock by design: per-request latency measurement
 	for {
 		resp, err := cfg.client.Post(cfg.Addr+"/v1/sort?wait=1", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -289,7 +289,7 @@ func postJob(cfg loadConfig, req server.SortRequest) jobOutcome {
 		var job server.Job
 		decErr := json.NewDecoder(resp.Body).Decode(&job)
 		resp.Body.Close()
-		out.latency = time.Since(start)
+		out.latency = time.Since(start) //nolint:detrand // wall-clock by design: per-request latency measurement
 		switch {
 		case resp.StatusCode != http.StatusOK:
 			out.err = fmt.Errorf("status %d", resp.StatusCode)

@@ -69,11 +69,17 @@ func run(args []string, stdout io.Writer) error {
 	switch {
 	case *fig == 4:
 		fmt.Fprintf(stdout, "Figure 4: sorting %d keys in approximate memory only\n\n", *n)
-		rows := experiments.Fig4(algs, mlc.StandardTs(false), *n, *seed, *workers)
+		rows, err := experiments.Fig4(algs, mlc.StandardTs(false), *n, *seed, *workers)
+		if err != nil {
+			return err
+		}
 		return emitSortOnly(stdout, rows, *csv)
 	case *table == 3:
 		fmt.Fprintf(stdout, "Table 3: Rem ratio after sorting %d keys in approximate memory\n\n", *n)
-		rows := experiments.Fig4(algs, []float64{0.03, 0.055, 0.1}, *n, *seed, *workers)
+		rows, err := experiments.Fig4(algs, []float64{0.03, 0.055, 0.1}, *n, *seed, *workers)
+		if err != nil {
+			return err
+		}
 		if err := emitSortOnly(stdout, rows, *csv); err != nil {
 			return err
 		}
@@ -102,7 +108,10 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	case *measures:
 		fmt.Fprintf(stdout, "Disorder-measure comparison (Section 3.3) on quicksort output, %d keys\n\n", *n)
-		rows := experiments.MeasureComparison(sorts.Quicksort{}, mlc.StandardTs(false), *n, *seed, *workers)
+		rows, err := experiments.MeasureComparison(sorts.Quicksort{}, mlc.StandardTs(false), *n, *seed, *workers)
+		if err != nil {
+			return err
+		}
 		tab := stats.NewTable("T", "Rem", "Ham", "Dis", "Runs", "Inv", "Osc", "Max")
 		for _, r := range rows {
 			tab.AddRow(r.T, r.Rem, r.Ham, r.Dis, r.Runs, r.Inv, r.Osc, r.Max)

@@ -57,7 +57,10 @@ func run(args []string, stdout io.Writer) error {
 	case 12:
 		algs := []sorts.Algorithm{sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}, sorts.Quicksort{}, sorts.Mergesort{}}
 		fmt.Fprintf(stdout, "Figure 12: Rem ratio after sorting %d keys in approximate spintronic memory\n\n", *n)
-		rows := experiments.Fig12(algs, spintronic.Presets(), *n, *seed, *workers)
+		rows, err := experiments.Fig12(algs, spintronic.Presets(), *n, *seed, *workers)
+		if err != nil {
+			return err
+		}
 		tab := stats.NewTable("algorithm", "saving/write", "bitErrProb", "remRatio", "errorRate")
 		for _, r := range rows {
 			tab.AddRow(r.Algorithm, r.Saving, r.BitErrorProb, r.RemRatio, r.ErrorRate)

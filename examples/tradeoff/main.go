@@ -32,7 +32,10 @@ func main() {
 	fmt.Printf("sortedness vs write latency: %s over %d keys in approximate memory only\n\n", alg.Name(), n)
 	tab := stats.NewTable("T", "write reduction", "Rem ratio", "sorted enough for top-k?")
 	for _, t := range []float64{0.025, 0.04, 0.055, 0.07, 0.085, 0.1} {
-		row := experiments.SortOnly(alg, t, keys, 11)
+		row, err := experiments.SortOnly(alg, t, keys, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
 		verdict := "yes"
 		if row.RemRatio > 0.05 {
 			verdict = "no - refine or lower T"

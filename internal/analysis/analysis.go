@@ -1,0 +1,176 @@
+// Package analysis is the repository's static-analysis suite: five
+// analyzers that turn the simulator's runtime contracts into
+// compile-time checks, plus the loading and reporting plumbing that
+// cmd/memlint and the analysistest harness share.
+//
+// The shape deliberately mirrors golang.org/x/tools/go/analysis — an
+// Analyzer value with a Run function over a type-checked Pass — so the
+// analyzers would port to the upstream framework verbatim. The repo
+// vendors no third-party modules, so the minimal subset used here
+// (single-package passes, no facts) is implemented on the standard
+// library alone.
+//
+// The five analyzers and the runtime invariant each one fronts:
+//
+//   - detrand: byte-identical reports for any -workers value (no wall
+//     clock, no math/rand, no map-ordered output) — the determinism
+//     contract behind cmd/regress's golden gate.
+//   - memescape: every simulated access is charged through mem.Space
+//     accounting; the uncharged mem.Peeker/PeekAll escape hatch stays
+//     out of cost-model paths.
+//   - floatord: no ==/!= on floating-point accounting quantities; the
+//     rel-1e-9 tolerance contract of internal/verify.
+//   - verifygate: every experiments row destined for serialization is
+//     audited by a verify.Check* call before it can be emitted.
+//   - nolintreason: every //nolint directive names its check and
+//     justifies itself, so exemptions stay auditable.
+//
+// Suppression: a diagnostic is suppressed only by a same-line
+// `//nolint:<name> // reason` directive naming the analyzer. Bare or
+// reasonless directives never suppress — and nolintreason flags them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. The subset of the upstream
+// go/analysis Analyzer contract used by this repository: a name for
+// diagnostics and -flag toggles, documentation, and a Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, //nolint directives
+	// and command-line toggles. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by -help.
+	Doc string
+	// Run executes the analyzer over one type-checked package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer, mirroring
+// go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed files of the package, with comments.
+	Files []*ast.File
+	// PkgPath is the canonical import path with any " [test]" variant
+	// suffix stripped, so path-scoped rules see the same identity for a
+	// package and its in-package test compilation.
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// analyzers exempt test code: tests may peek at simulated memory and
+// time their own scaffolding without perturbing any accounted run.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Diagnostic is one reported finding, resolved to a concrete position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Memescape, Floatord, Verifygate, Nolintreason}
+}
+
+// RunAnalyzers executes each analyzer over the package held by unit and
+// returns the surviving diagnostics sorted by position. Diagnostics on a
+// line carrying a conforming //nolint directive that names the analyzer
+// are suppressed.
+func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Syntax,
+			PkgPath:   u.PkgPath,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, u.PkgPath, err)
+		}
+	}
+	diags = suppressNolinted(u, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppressNolinted drops diagnostics whose line carries a well-formed
+// //nolint directive naming the diagnostic's analyzer. Malformed
+// directives (bare, reasonless) suppress nothing.
+func suppressNolinted(u *Unit, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	suppressed := make(map[key]map[string]bool)
+	for _, f := range u.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseNolint(c.Text)
+				if !ok || !d.wellFormed() {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				if suppressed[k] == nil {
+					suppressed[k] = make(map[string]bool)
+				}
+				for _, name := range d.checks {
+					suppressed[k][name] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if suppressed[key{d.Pos.Filename, d.Pos.Line}][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,233 @@
+// Package analysistest runs an analyzer over fixture packages laid out
+// under testdata/src/<importpath>/ and checks its diagnostics against
+// `// want` expectations, mirroring the x/tools harness of the same
+// name on the standard library alone.
+//
+// Expectation syntax, on the line the diagnostic must land on:
+//
+//	m[sortedKeys()] = 1 // want `map iteration`
+//
+// Each backquoted (or double-quoted) string is a regular expression that
+// must match the message of exactly one diagnostic reported on that
+// line; diagnostics with no matching expectation, and expectations with
+// no matching diagnostic, both fail the test.
+//
+// Fixture packages may import each other by their testdata import path
+// — including fakes of real repository packages (a testdata
+// approxsort/internal/mem stands in for the real one, so path-scoped
+// analyzers exercise their real configuration). Imports not found under
+// testdata/src resolve against the real build's export data via
+// `go list -export`, so fixtures can use the standard library freely.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"approxsort/internal/analysis"
+)
+
+// Run loads each fixture package and reports expectation mismatches as
+// test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		src:     filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		units:   make(map[string]*analysis.Unit),
+		exports: make(map[string]string),
+	}
+	for _, path := range pkgPaths {
+		unit, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, unit, diags)
+	}
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// recursively and everything else through real export data.
+type loader struct {
+	src      string
+	fset     *token.FileSet
+	units    map[string]*analysis.Unit
+	exports  map[string]string
+	fallback types.Importer
+}
+
+func (l *loader) load(path string) (*analysis.Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	u, err := analysis.TypeCheck(l.fset, path, files, l)
+	if err != nil {
+		return nil, err
+	}
+	l.units[path] = u
+	return u, nil
+}
+
+// Import implements types.Importer: fixture packages win over the real
+// build's export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil {
+		u, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	if l.fallback == nil {
+		l.fallback = analysis.ExportImporter(l.fset, l.exportFile)
+	}
+	return l.fallback.Import(path)
+}
+
+// exportFile resolves a non-fixture import (stdlib, in practice) to its
+// compiled export data, caching the `go list` lookups.
+func (l *loader) exportFile(path string) (string, error) {
+	if f, ok := l.exports[path]; ok {
+		return f, nil
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json", "--", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return "", err
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := l.exports[path]
+	if !ok {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return f, nil
+}
+
+// checkExpectations diffs diagnostics against the `// want` comments of
+// every fixture file.
+func checkExpectations(t *testing.T, u *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range u.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", u.Fset.Position(c.Pos()), err)
+				}
+				if len(patterns) == 0 {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				wants[lineKey{pos.Filename, pos.Line}] = append(wants[lineKey{pos.Filename, pos.Line}], patterns...)
+			}
+		}
+	}
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k][matched] = nil
+	}
+	var unmatched []string
+	for k, res := range wants { //nolint:detrand // collected lines are sorted before reporting
+		for _, re := range res {
+			if re != nil {
+				unmatched = append(unmatched, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(unmatched)
+	for _, m := range unmatched {
+		t.Errorf("%s", m)
+	}
+}
+
+// wantRe extracts the expectation strings of a `// want` comment: each
+// backquoted or double-quoted chunk is one pattern.
+var wantRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+func parseWant(comment string) ([]*regexp.Regexp, error) {
+	// Block-comment expectations (`/* want ... */`) let a fixture line
+	// carry both a want and a trailing line comment under test — a line
+	// comment would swallow everything after it, nolint directive
+	// included.
+	body := strings.TrimPrefix(comment, "//")
+	if strings.HasPrefix(comment, "/*") {
+		body = strings.TrimSuffix(strings.TrimPrefix(comment, "/*"), "*/")
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "want ") {
+		return nil, nil
+	}
+	var patterns []*regexp.Regexp
+	for _, m := range wantRe.FindAllString(body[len("want "):], -1) {
+		re, err := regexp.Compile(m[1 : len(m)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %v", m, err)
+		}
+		patterns = append(patterns, re)
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("want comment with no quoted pattern: %s", comment)
+	}
+	return patterns, nil
+}

@@ -1,0 +1,27 @@
+package analysistest_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"approxsort/internal/analysis"
+	"approxsort/internal/analysis/analysistest"
+)
+
+// testdata is shared with the analyzer suites one directory up.
+var testdata = filepath.Join("..", "testdata")
+
+// TestHarnessFixtureResolution drives the harness end to end: fixture
+// packages that import other fixtures (memuser → the fake
+// approxsort/internal/mem) and fixtures that fall back to real stdlib
+// export data (detrand → fmt, sort, strings, time).
+func TestHarnessFixtureResolution(t *testing.T) {
+	analysistest.Run(t, testdata, analysis.Detrand, "detrand")
+	analysistest.Run(t, testdata, analysis.Memescape, "memuser")
+}
+
+// TestHarnessBlockCommentWants covers the `/* want ... */` spelling
+// used where a line comment under test occupies the rest of the line.
+func TestHarnessBlockCommentWants(t *testing.T) {
+	analysistest.Run(t, testdata, analysis.Nolintreason, "nolintfix")
+}

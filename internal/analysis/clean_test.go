@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"approxsort/internal/analysis"
+)
+
+// TestRepositoryIsClean runs the full analyzer suite over every package
+// of the module: plain `go test` must catch a new violation without
+// waiting for CI's memlint job. Intentional exemptions are the
+// per-call //nolint directives rostered in DESIGN.md §11.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := analysis.LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, u := range units {
+		diags, err := analysis.RunAnalyzers(u, analysis.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

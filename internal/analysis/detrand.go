@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand enforces the determinism contract behind the golden regression
+// gate: every report, JSON row, and metrics page must be byte-identical
+// for any -workers value and any run time. Three sources of
+// nondeterminism are forbidden in non-test code:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until);
+//   - math/rand and math/rand/v2 (the simulator's randomness flows
+//     through internal/rng's splittable, coordinate-keyed streams);
+//   - ranging over a map while feeding ordered output (appending
+//     derived values or writing/printing inside the loop body). The
+//     collect-keys-then-sort idiom — a body that only appends the range
+//     key itself — is recognized and allowed.
+//
+// The deterministic core (internal/core, experiments, verify, mlc, rng,
+// cmd/regress) must be unconditionally clean. Wall-clock packages
+// (internal/server, cmd/sortload) are not exempted wholesale: each
+// intentional wall-clock read carries its own per-call
+// `//nolint:detrand // reason`, so a new call site is a conscious,
+// reviewed decision rather than a free-for-all.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock reads, math/rand, and map-ordered output in deterministic code",
+	Run:  runDetrand,
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock. time.Sleep is deliberately absent: it delays but never flows
+// into emitted values.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(),
+					"import of %s is nondeterministic across runs; use internal/rng's splittable streams", imp.Path.Value)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := stdlibCall(pass, n, "time"); ok && wallClockFuncs[name] {
+					pass.Reportf(n.Pos(),
+						"time.%s reads the wall clock; deterministic code must not depend on run time", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stdlibCall reports whether call is pkgPath.Name(...) for a standard
+// library package, returning the function name.
+func stdlibCall(pass *Pass, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkMapRange flags `for k := range m` over a map whose body feeds
+// ordered output: map iteration order is randomized per run, so anything
+// appended or written inside the loop lands in a different order every
+// time. Appending only the key itself is the sanctioned
+// collect-then-sort pattern and is not flagged.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	keyObj := rangeVarObj(pass, rng.Key)
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAppend(pass, n) {
+				if !appendsOnlyKey(pass, n, keyObj) {
+					reason = "appends map-ordered values"
+				}
+				return false // don't descend into append args
+			}
+			if isOutputCall(pass, n) {
+				reason = "writes output inside the loop"
+			}
+		}
+		return true
+	})
+	if reason != "" {
+		pass.Reportf(rng.Pos(),
+			"map iteration order is nondeterministic and this loop %s; collect the keys, sort them, then emit", reason)
+	}
+}
+
+func rangeVarObj(pass *Pass, key ast.Expr) types.Object {
+	id, ok := key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendsOnlyKey reports whether every appended value is exactly the
+// range key variable — the collect-keys pattern that precedes a sort.
+func appendsOnlyKey(pass *Pass, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// outputMethods are method names that emit to an ordered destination:
+// writers, buffers, and encoders.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true,
+}
+
+// isOutputCall reports whether call writes to ordered output: a method
+// from outputMethods, or an fmt print function.
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || !outputMethods[obj.Name()] {
+		return false
+	}
+	// Package-level functions qualify only from fmt (Fprintf and
+	// friends); methods (on writers, buffers, encoders) always qualify.
+	if _, isSel := pass.TypesInfo.Selections[sel]; isSel {
+		return true
+	}
+	return obj.Pkg() != nil && obj.Pkg().Path() == "fmt"
+}

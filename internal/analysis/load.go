@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Unit is one package compilation ready for analysis: parsed syntax plus
+// type information. For a package with in-package tests, the unit is the
+// test variant (sources + _test.go files), matching what `go vet`
+// analyzes.
+type Unit struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads every package matched by patterns (typically
+// "./...") in the module rooted at dir, including test compilations, and
+// type-checks each against the export data `go list -export` produces.
+// Dependencies are resolved through the same export files, so analysis
+// sees exactly the types the real build does.
+func LoadPackages(dir string, patterns ...string) ([]*Unit, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	exports := make(map[string]string) // canonical import path -> export file
+	hasTestVariant := make(map[string]bool)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.ForTest != "" && basePkgPath(p.ImportPath) == p.ForTest {
+			hasTestVariant[p.ForTest] = true
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		// Prefer the test variant: it compiles the same sources plus the
+		// _test.go files, so analyzing both would double-report.
+		if p.ForTest == "" && hasTestVariant[p.ImportPath] {
+			continue
+		}
+		u, err := checkUnit(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// basePkgPath strips the " [foo.test]" variant suffix go list attaches
+// to test recompilations.
+func basePkgPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// checkUnit parses and type-checks one listed package against export
+// data.
+func checkUnit(p *listPackage, exports map[string]string) (*Unit, error) {
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(p.Dir, f)
+		}
+		files[i] = f
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return f, nil
+	})
+	return TypeCheck(fset, basePkgPath(p.ImportPath), files, imp)
+}
+
+// ExportImporter returns a types.Importer backed by compiler export
+// data, resolving each import path to an export file via resolve.
+func ExportImporter(fset *token.FileSet, resolve func(path string) (string, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+}
+
+// TypeCheck parses files (with comments) and type-checks them as package
+// pkgPath, returning the analysis-ready unit. Type errors are hard
+// failures: an analyzer verdict over a half-checked package is worthless.
+func TypeCheck(fset *token.FileSet, pkgPath string, files []string, imp types.Importer) (*Unit, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", pkgPath, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", pkgPath, err)
+	}
+	return &Unit{PkgPath: pkgPath, Fset: fset, Syntax: syntax, Pkg: pkg, Info: info}, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing
+// go.mod — the root the loaders and scripts anchor their patterns to.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// memPkgPath is the accounting package every simulated access must flow
+// through.
+const memPkgPath = "approxsort/internal/mem"
+
+// memescapeExempt are the only non-test package paths allowed to touch
+// simulated memory without charge: the accounting package itself and the
+// verification subsystem (whose whole point is to measure a finished run
+// without perturbing it).
+var memescapeExempt = map[string]bool{
+	memPkgPath:                   true,
+	"approxsort/internal/verify": true,
+}
+
+// Memescape guards the read/write accounting contract: in a cost model
+// built on asymmetric write costs, a single uncharged write path makes
+// every latency and energy figure unverifiable. Simulated memory may
+// only be touched through the charged mem.Words / mem.Space API. The
+// free-of-charge escape hatch — mem.PeekAll, the mem.Peeker interface,
+// and Peek(i) methods on instrumented arrays — is legal only in
+// internal/verify and in _test.go files. Anywhere else, each use needs a
+// per-call `//nolint:memescape // reason` documenting why the bypass
+// cannot leak into accounted figures (the roster of exemptions lives in
+// DESIGN.md §11).
+var Memescape = &Analyzer{
+	Name: "memescape",
+	Doc:  "restrict the uncharged mem.Peeker/PeekAll escape hatch to internal/verify and tests",
+	Run:  runMemescape,
+}
+
+func runMemescape(pass *Pass) error {
+	if memescapeExempt[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != memPkgPath {
+					return true
+				}
+				switch obj.Name() {
+				case "PeekAll":
+					pass.Reportf(n.Pos(),
+						"mem.PeekAll bypasses access accounting; only internal/verify and _test.go files may peek")
+				case "Peeker":
+					pass.Reportf(n.Pos(),
+						"mem.Peeker is the uncharged escape hatch; only internal/verify and _test.go files may use it")
+				}
+			case *ast.SelectorExpr:
+				checkPeekCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPeekCall flags selections of a Peek(int) uint32 method — the
+// uncharged read every instrumented array implements — regardless of
+// which concrete array type the receiver is.
+func checkPeekCall(pass *Pass, sel *ast.SelectorExpr) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Name() != "Peek" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return
+	}
+	if !isBasic(sig.Params().At(0).Type(), types.Int) || !isBasic(sig.Results().At(0).Type(), types.Uint32) {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"%s.Peek reads simulated memory without charge; only internal/verify and _test.go files may peek",
+		types.TypeString(selection.Recv(), types.RelativeTo(pass.Pkg)))
+}
+
+func isBasic(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+)
+
+// nolintDirective is one parsed suppression comment. The only accepted
+// grammar, matching the form already used in the tree
+// (`x() //nolint:errcheck // background noise only`), is:
+//
+//	//nolint:check1[,check2...] // reason
+//
+// Anything looser — a bare directive, a spaced "// nolint", a missing or
+// empty reason — is rejected by wellFormed, suppresses nothing, and is
+// itself flagged by the nolintreason analyzer.
+type nolintDirective struct {
+	raw    string
+	checks []string
+	reason string
+	// spaced records the non-directive "// nolint" spelling, which Go
+	// tools ignore; it is reported as its own defect.
+	spaced bool
+	// colon records whether a ":check" list was present at all.
+	colon bool
+}
+
+// directiveStart matches comments that are (or were meant to be) nolint
+// directives: "nolint" immediately at the start of the comment text,
+// followed by a check list, whitespace, or end of comment. Prose that
+// merely mentions an identifier like "nolintreason" does not match.
+var directiveStart = regexp.MustCompile(`^//(\s*)nolint($|[:\s])`)
+
+// parseNolint classifies a comment. ok is false for ordinary comments
+// that are not nolint directives at all.
+func parseNolint(text string) (d nolintDirective, ok bool) {
+	m := directiveStart.FindStringSubmatch(text)
+	if m == nil {
+		return d, false
+	}
+	d.raw = text
+	d.spaced = m[1] != ""
+	rest := strings.TrimPrefix(text, "//")
+	rest = strings.TrimLeft(rest, " \t")
+	rest = strings.TrimPrefix(rest, "nolint")
+	if strings.HasPrefix(rest, ":") {
+		d.colon = true
+		rest = rest[1:]
+		list := rest
+		if i := strings.IndexAny(list, " \t"); i >= 0 {
+			list, rest = list[:i], list[i:]
+		} else {
+			rest = ""
+		}
+		for _, c := range strings.Split(list, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				d.checks = append(d.checks, c)
+			}
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if strings.HasPrefix(rest, "//") {
+		d.reason = strings.TrimSpace(strings.TrimPrefix(rest, "//"))
+	}
+	return d, true
+}
+
+// wellFormed reports whether the directive both names at least one check
+// and carries a non-empty `// reason` trailer.
+func (d nolintDirective) wellFormed() bool {
+	return !d.spaced && d.colon && len(d.checks) > 0 && d.reason != ""
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "detrand",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message:  "time.Now reads the wall clock",
+	}
+	s := d.String()
+	for _, part := range []string{"x.go:3:7", "[detrand]", "wall clock"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("String() = %q, missing %q", s, part)
+		}
+	}
+}
+
+func TestParseNolint(t *testing.T) {
+	cases := []struct {
+		text       string
+		directive  bool
+		wellFormed bool
+		checks     []string
+		reason     string
+	}{
+		{"//nolint:floatord // exact sentinel", true, true, []string{"floatord"}, "exact sentinel"},
+		{"//nolint:floatord,detrand // shared reason", true, true, []string{"floatord", "detrand"}, "shared reason"},
+		{"//nolint", true, false, nil, ""},
+		{"//nolint:", true, false, nil, ""},
+		{"//nolint:floatord", true, false, []string{"floatord"}, ""},
+		{"//nolint:floatord //", true, false, []string{"floatord"}, ""},
+		{"// nolint:floatord // spaced spelling", true, false, []string{"floatord"}, ""},
+		{"//nolint reasonless bare", true, false, nil, ""},
+		// Prose that merely mentions the word is not a directive.
+		{"// nolintreason enforces directive hygiene", false, false, nil, ""},
+		{"// the //nolint grammar is strict", false, false, nil, ""},
+		{"// ordinary comment", false, false, nil, ""},
+	}
+	for _, c := range cases {
+		d, ok := parseNolint(c.text)
+		if ok != c.directive {
+			t.Errorf("%q: directive = %v, want %v", c.text, ok, c.directive)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got := d.wellFormed(); got != c.wellFormed {
+			t.Errorf("%q: wellFormed = %v, want %v", c.text, got, c.wellFormed)
+		}
+		if len(d.checks) != len(c.checks) {
+			t.Errorf("%q: checks = %v, want %v", c.text, d.checks, c.checks)
+		} else {
+			for i := range c.checks {
+				if d.checks[i] != c.checks[i] {
+					t.Errorf("%q: checks = %v, want %v", c.text, d.checks, c.checks)
+					break
+				}
+			}
+		}
+		if c.wellFormed && d.reason != c.reason {
+			t.Errorf("%q: reason = %q, want %q", c.text, d.reason, c.reason)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import "strings"
+
+// Nolintreason keeps suppressions auditable: every nolint directive must
+// name the specific check it silences and justify itself in the
+// `//nolint:check1[,check2] // reason` form already used in the tree.
+// A bare //nolint (silences everything, explains nothing), a missing or
+// empty reason, or the spaced "// nolint" spelling (which tools ignore,
+// so it silences nothing while looking like it does) are each defects.
+// Test files are included: an unexplained suppression in a test is as
+// opaque as one in production code.
+var Nolintreason = &Analyzer{
+	Name: "nolintreason",
+	Doc:  "require every //nolint directive to name its check and carry a // reason",
+	Run:  runNolintreason,
+}
+
+func runNolintreason(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseNolint(c.Text)
+				if !ok || d.wellFormed() {
+					continue
+				}
+				switch {
+				case d.spaced:
+					pass.Reportf(c.Pos(),
+						`"// nolint" is not a directive (tools require "//nolint" with no space); fix the spelling and add ":check // reason"`)
+				case !d.colon || len(d.checks) == 0:
+					pass.Reportf(c.Pos(),
+						"bare //nolint suppresses every check indiscriminately; name the check: //nolint:<check> // reason")
+				case d.reason == "":
+					checks := strings.Join(d.checks, ",")
+					pass.Reportf(c.Pos(),
+						"//nolint:%s has no justification; append a reason: //nolint:%s // why this is safe",
+						checks, checks)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"approxsort/internal/analysis"
+	"approxsort/internal/analysis/analysistest"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Detrand, "detrand")
+}
+
+func TestMemescape(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Memescape,
+		"memuser", "approxsort/internal/verify")
+}
+
+func TestFloatord(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Floatord,
+		"approxsort/internal/core", "plainmath")
+}
+
+func TestVerifygate(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Verifygate,
+		"approxsort/internal/experiments",
+		// Out-of-scope package: the analyzer must stay silent.
+		"plainmath")
+}
+
+func TestNolintreason(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Nolintreason, "nolintfix")
+}

@@ -1,0 +1,33 @@
+// Package core is a testdata stand-in at an in-scope accounting path:
+// exact float comparison is a defect here.
+package core
+
+func equalNanos(a, b float64) bool {
+	return a == b // want `== on floating-point values`
+}
+
+func driftNanos(a, b float64) bool {
+	return a != b // want `!= on floating-point values`
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `== on floating-point values`
+}
+
+// constFold: two constants fold at compile time, no runtime comparison.
+func constFold() bool {
+	return 1.0 == 2.0
+}
+
+func counts(a, b uint64) bool {
+	return a == b
+}
+
+func ordered(a, b float64) bool {
+	return a < b
+}
+
+// sentinel: a reasoned per-call directive suppresses the finding.
+func sentinel(a float64) bool {
+	return a == 0 //nolint:floatord // fixture-sanctioned exact sentinel
+}

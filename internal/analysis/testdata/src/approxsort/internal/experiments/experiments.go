@@ -1,0 +1,58 @@
+// Package experiments is a testdata stand-in at the real import path,
+// exercising the verifygate row-reachability rules.
+package experiments
+
+import "approxsort/internal/verify"
+
+// SortRow is a serialized row type (suffix "Row").
+type SortRow struct{ V int }
+
+// SpinRow is a serialized row type.
+type SpinRow struct{ V int }
+
+// RunReport is a serialized report type (suffix "Report").
+type RunReport struct{ V int }
+
+// Summary is not a row: the suffix rule does not match.
+type Summary struct{ V int }
+
+// audited verifies directly.
+func audited(n int) SortRow {
+	verify.Check(n)
+	return SortRow{V: n}
+}
+
+// sweep verifies transitively through audited (the fixpoint).
+func sweep(n int) []SortRow {
+	return []SortRow{audited(n)}
+}
+
+// inClosure verifies inside a function literal, the parallel.Map shape.
+func inClosure(n int) []SortRow {
+	rows := make([]SortRow, 0, n)
+	emit := func(i int) {
+		verify.CheckOutput(nil)
+		rows = append(rows, SortRow{V: i})
+	}
+	for i := 0; i < n; i++ {
+		emit(i)
+	}
+	return rows
+}
+
+func unaudited(n int) SpinRow { // want `unaudited returns SpinRow`
+	return SpinRow{V: n}
+}
+
+func unauditedPtr(n int) *RunReport { // want `unauditedPtr returns RunReport`
+	return &RunReport{V: n}
+}
+
+func unauditedSlice(n int) []SpinRow { // want `unauditedSlice returns SpinRow`
+	return []SpinRow{unaudited(n)}
+}
+
+// summary returns no row type; nothing to audit.
+func summary(n int) Summary {
+	return Summary{V: n}
+}

@@ -1,0 +1,20 @@
+// Package mem is a testdata stand-in for the real accounting package:
+// the same escape-hatch surface (Peek, Peeker, PeekAll), none of the
+// simulator behind it. Declaring it at the real import path makes the
+// path-scoped analyzers run their production configuration in tests.
+package mem
+
+// Words is an instrumented array handle.
+type Words struct{ vals []uint32 }
+
+// Peek is the uncharged read.
+func (w *Words) Peek(i int) uint32 { return w.vals[i] }
+
+// Read is the charged read.
+func (w *Words) Read(i int) uint32 { return w.vals[i] }
+
+// Peeker is the uncharged escape-hatch interface.
+type Peeker interface{ Peek(i int) uint32 }
+
+// PeekAll snapshots a whole array without charge.
+func PeekAll(w *Words) []uint32 { return w.vals }

@@ -1,0 +1,72 @@
+// Package detrand exercises the determinism analyzer: wall-clock reads,
+// math/rand imports, and map-ordered output.
+package detrand
+
+import (
+	"fmt"
+	"math/rand" // want `import of "math/rand" is nondeterministic across runs`
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now reads the wall clock`
+	return t.Unix()
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since reads the wall clock`
+}
+
+// sleepOK: time.Sleep delays but never flows into emitted values.
+func sleepOK() {
+	time.Sleep(time.Millisecond)
+}
+
+// sanctioned: a well-formed per-call directive suppresses the finding.
+func sanctioned() time.Time {
+	return time.Now() //nolint:detrand // fixture-sanctioned wall-clock read
+}
+
+// notSuppressed: a reasonless directive suppresses nothing.
+func notSuppressed() time.Time {
+	return time.Now() /* want `time.Now reads the wall clock` */ //nolint:detrand
+}
+
+func draw() int {
+	return rand.Int()
+}
+
+func badAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `appends map-ordered values`
+		out = append(out, v)
+	}
+	return out
+}
+
+func badPrint(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `writes output inside the loop`
+		fmt.Fprintf(sb, "%s\n", k)
+	}
+}
+
+// goodCollect is the sanctioned collect-keys-then-sort idiom.
+func goodCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodCount: aggregation commutes, nothing ordered escapes the loop.
+func goodCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,27 @@
+// Package memuser is an ordinary (non-exempt) consumer of the
+// accounting package: every uncharged access must be flagged.
+package memuser
+
+import "approxsort/internal/mem"
+
+func snapshot(w *mem.Words) []uint32 {
+	return mem.PeekAll(w) // want `mem.PeekAll bypasses access accounting`
+}
+
+func viaInterface(p mem.Peeker) uint32 { // want `mem.Peeker is the uncharged escape hatch`
+	return p.Peek(0) // want `Peek reads simulated memory without charge`
+}
+
+func direct(w *mem.Words) uint32 {
+	return w.Peek(3) // want `Peek reads simulated memory without charge`
+}
+
+// charged: the accounted read path is always fine.
+func charged(w *mem.Words) uint32 {
+	return w.Read(3)
+}
+
+// sanctioned: a reasoned per-call directive suppresses the finding.
+func sanctioned(w *mem.Words) []uint32 {
+	return mem.PeekAll(w) //nolint:memescape // fixture-sanctioned instrumentation
+}

@@ -1,0 +1,9 @@
+package memuser
+
+import "approxsort/internal/mem"
+
+// Test files may peek: assertions need to see stored values without
+// perturbing the run under test.
+func testSnapshot(w *mem.Words) []uint32 {
+	return mem.PeekAll(w)
+}

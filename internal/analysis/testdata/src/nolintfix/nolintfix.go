@@ -1,0 +1,17 @@
+// Package nolintfix exercises the directive-hygiene analyzer. The want
+// expectations use block comments so the trailing line comment under
+// test survives on the same line.
+package nolintfix
+
+func spaced() int      { return 0 } /* want `is not a directive` */ // nolint:floatord // spacing bug
+func bare() int        { return 0 } /* want `bare //nolint` */      //nolint
+func bareColon() int   { return 0 } /* want `bare //nolint` */      //nolint:
+func reasonless() int  { return 0 } /* want `no justification` */   //nolint:floatord
+func emptyReason() int { return 0 } /* want `no justification` */   //nolint:floatord //
+
+func good() int  { return 0 } //nolint:floatord // fixture-sanctioned, names its check and says why
+func multi() int { return 0 } //nolint:floatord,detrand // one reason may cover several named checks
+
+// prose mentioning nolintreason by name is not a directive and must not
+// be flagged.
+func prose() int { return 0 }

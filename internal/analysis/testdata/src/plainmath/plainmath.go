@@ -1,0 +1,5 @@
+// Package plainmath sits outside the floatord accounting scope; exact
+// float comparison is this package's own business.
+package plainmath
+
+func equal(a, b float64) bool { return a == b }

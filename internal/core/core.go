@@ -211,7 +211,9 @@ func (r *Report) Total() StageBreakdown {
 // latency saved versus the precise-only baseline. Zero when the baseline
 // was skipped.
 func (r *Report) WriteReduction() float64 {
-	if r.Baseline.WriteNanos == 0 {
+	// A skipped baseline has zero writes; with any writes, WriteNanos is
+	// a positive multiple of the per-write constant.
+	if r.Baseline.Writes == 0 {
 		return 0
 	}
 	return 1 - r.Total().WriteNanos()/r.Baseline.WriteNanos
@@ -220,7 +222,7 @@ func (r *Report) WriteReduction() float64 {
 // EnergySaving returns the write-energy analogue of Equation 2 used by the
 // Appendix A study.
 func (r *Report) EnergySaving() float64 {
-	if r.Baseline.WriteEnergy == 0 {
+	if r.Baseline.Writes == 0 {
 		return 0
 	}
 	return 1 - r.Total().WriteEnergy()/r.Baseline.WriteEnergy
@@ -229,11 +231,10 @@ func (r *Report) EnergySaving() float64 {
 // AccessTimeReduction returns the reduction in total memory access time
 // (reads + writes), the metric behind the abstract's "up to 11%".
 func (r *Report) AccessTimeReduction() float64 {
-	base := r.Baseline.AccessNanos()
-	if base == 0 {
+	if r.Baseline.Reads == 0 && r.Baseline.Writes == 0 {
 		return 0
 	}
-	return 1 - r.Total().AccessNanos()/base
+	return 1 - r.Total().AccessNanos()/r.Baseline.AccessNanos()
 }
 
 // RemTildeRatio returns Rem~/n.
@@ -357,8 +358,8 @@ func Run(keys []uint32, cfg Config) (Result, error) {
 
 	out := Result{
 		Report: report,
-		Keys:   mem.PeekAll(finalKey),
-		IDs:    mem.PeekAll(finalID),
+		Keys:   mem.PeekAll(finalKey), //nolint:memescape // result extraction after the run; charging these reads would perturb Eq. 2
+		IDs:    mem.PeekAll(finalID),  //nolint:memescape // result extraction after the run; charging these reads would perturb Eq. 2
 	}
 	report.Sorted = sortedness.IsSorted(out.Keys)
 
@@ -375,8 +376,8 @@ func measureSortedness(report *Report, original []uint32, keyA, id mem.Words) {
 	n := len(original)
 	view := make([]uint32, n)
 	ids := make([]int, n)
-	approxKeys := mem.PeekAll(keyA)
-	idsRaw := mem.PeekAll(id)
+	approxKeys := mem.PeekAll(keyA) //nolint:memescape // instrumentation documented above: Peek charges nothing
+	idsRaw := mem.PeekAll(id)       //nolint:memescape // instrumentation documented above: Peek charges nothing
 	for i := 0; i < n; i++ {
 		ids[i] = int(idsRaw[i])
 		view[i] = original[ids[i]]

@@ -85,7 +85,7 @@ func (c CostModel) BaselineWrites(n int) float64 { return 2 * c.Alpha(n) }
 // comparison sorts), where the hybrid pipeline is pure overhead.
 func (c CostModel) WriteReduction(n, rem int) float64 {
 	alphaN := c.Alpha(n)
-	if alphaN == 0 {
+	if alphaN == 0 { //nolint:floatord // α(n) = 0 is an exact structural sentinel (n < 2), not an accumulated sum
 		return math.Inf(-1)
 	}
 	return (1-c.P)/2 -

@@ -218,11 +218,11 @@ func TestPlannerServiceInputs(t *testing.T) {
 // the sub-2×-pilot sizes a service sees all the time.
 func TestPilotSampleSpansInput(t *testing.T) {
 	for _, tc := range []struct{ n, m int }{
-		{4096, 4096},  // pilot == input
-		{4097, 4096},  // barely larger
-		{6000, 4096},  // old bug zone: stride would be 1
-		{8191, 4096},  // largest pre-fix prefix-degenerate size
-		{8192, 4096},  // exact 2×
+		{4096, 4096}, // pilot == input
+		{4097, 4096}, // barely larger
+		{6000, 4096}, // old bug zone: stride would be 1
+		{8191, 4096}, // largest pre-fix prefix-degenerate size
+		{8192, 4096}, // exact 2×
 		{100000, 4096},
 		{5, 2},
 		{7, 3},

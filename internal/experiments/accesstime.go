@@ -11,6 +11,7 @@ import (
 	"approxsort/internal/pcm"
 	"approxsort/internal/rng"
 	"approxsort/internal/sorts"
+	"approxsort/internal/verify"
 )
 
 // AccessTimeRow compares end-to-end memory access time between the hybrid
@@ -78,8 +79,8 @@ func AccessTimeWithDevice(alg sorts.Algorithm, t float64, n int, seed uint64, de
 	if err != nil {
 		return AccessTimeRow{}, err
 	}
-	if !res.Report.Sorted {
-		return AccessTimeRow{}, fmt.Errorf("experiments: hybrid run produced unsorted output")
+	if err := verify.Check(keys, res).Err(); err != nil {
+		return AccessTimeRow{}, fmt.Errorf("experiments: %s T=%g n=%d: %w", alg.Name(), t, n, err)
 	}
 	hybridClock := sys.Clock()
 

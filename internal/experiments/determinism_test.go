@@ -34,8 +34,14 @@ func TestFig2WorkerInvariant(t *testing.T) {
 }
 
 func TestFig4WorkerInvariant(t *testing.T) {
-	seq := Fig4(detAlgs(), detTs(), detN, detSeed, 1)
-	par := Fig4(detAlgs(), detTs(), detN, detSeed, 8)
+	seq, err := Fig4(detAlgs(), detTs(), detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig4(detAlgs(), detTs(), detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Error("Fig4: workers=8 differs from workers=1")
 	}
@@ -85,8 +91,14 @@ func TestFig11WorkerInvariant(t *testing.T) {
 }
 
 func TestMeasureComparisonWorkerInvariant(t *testing.T) {
-	seq := MeasureComparison(sorts.Quicksort{}, detTs(), detN, detSeed, 1)
-	par := MeasureComparison(sorts.Quicksort{}, detTs(), detN, detSeed, 8)
+	seq, err := MeasureComparison(sorts.Quicksort{}, detTs(), detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureComparison(sorts.Quicksort{}, detTs(), detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Error("MeasureComparison: workers=8 differs from workers=1")
 	}
@@ -108,8 +120,14 @@ func TestRobustnessWorkerInvariant(t *testing.T) {
 
 func TestFig12WorkerInvariant(t *testing.T) {
 	cfgs := spintronic.Presets()[:2]
-	seq := Fig12(detAlgs(), cfgs, detN, detSeed, 1)
-	par := Fig12(detAlgs(), cfgs, detN, detSeed, 8)
+	seq, err := Fig12(detAlgs(), cfgs, detN, detSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig12(detAlgs(), cfgs, detN, detSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Error("Fig12: workers=8 differs from workers=1")
 	}

@@ -84,8 +84,10 @@ type SortOnlyRow struct {
 // measures the Section 3 quantities. A shadow record-ID array (in its own
 // uncharged space) tracks element identity for the error-rate metric; the
 // paper's Section 3 runs likewise exclude the payload from the latency
-// accounting.
-func SortOnly(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) SortOnlyRow {
+// accounting. The run is audited by verify.CheckApproxRun before its row
+// is reported: a sort that loses or duplicates records must fail loudly,
+// not feed garbage into the Figure 4 metrics.
+func SortOnly(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) (SortOnlyRow, error) {
 	n := len(keys)
 	approx := mem.NewApproxSpaceAt(t, seed)
 	shadow := mem.NewPreciseSpace() // IDs: instrumentation only
@@ -105,11 +107,14 @@ func SortOnly(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) SortOn
 	alg.Sort(q, sorts.Env{KeySpace: precise, IDSpace: shadow, R: rng.New(seed ^ 0xabcd)})
 	preciseNanos := precise.Stats().WriteNanos
 
-	out := mem.PeekAll(p.Keys)
-	idsRaw := mem.PeekAll(p.IDs)
+	out := mem.PeekAll(p.Keys)   //nolint:memescape // measurement-only peek after the accounted run; charged reads would perturb Eq. 1
+	idsRaw := mem.PeekAll(p.IDs) //nolint:memescape // shadow IDs live in an uncharged instrumentation space
 	ids := make([]int, n)
 	for i, v := range idsRaw {
 		ids[i] = int(v)
+	}
+	if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
+		return SortOnlyRow{}, fmt.Errorf("experiments: %s T=%g n=%d: %w", alg.Name(), t, n, err)
 	}
 	row := SortOnlyRow{
 		Algorithm: alg.Name(),
@@ -121,18 +126,17 @@ func SortOnly(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) SortOn
 	if preciseNanos > 0 {
 		row.WriteReduction = 1 - approxNanos/preciseNanos
 	}
-	return row
+	return row, nil
 }
 
 // Fig4 sweeps T over the standard grid for each algorithm (Figure 4; the
 // T ∈ {0.03, 0.055, 0.1} rows are Table 3). Per-point seeds are keyed by
 // the (algorithm, T) coordinates, so a row's numbers survive roster edits.
-func Fig4(algs []sorts.Algorithm, ts []float64, n int, seed uint64, workers int) []SortOnlyRow {
+func Fig4(algs []sorts.Algorithm, ts []float64, n int, seed uint64, workers int) ([]SortOnlyRow, error) {
 	keys := dataset.Uniform(n, seed)
-	rows, _ := parallel.Map(algTGrid(algs, ts), workers, func(_ int, p algT) (SortOnlyRow, error) {
-		return SortOnly(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t)), nil
+	return parallel.Map(algTGrid(algs, ts), workers, func(_ int, p algT) (SortOnlyRow, error) {
+		return SortOnly(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t))
 	})
-	return rows
 }
 
 // Shape returns the post-sort sequence X itself — the data behind the
@@ -143,7 +147,7 @@ func Shape(alg sorts.Algorithm, t float64, n int, seed uint64) []uint32 {
 	p := sorts.Pair{Keys: approx.Alloc(n)}
 	mem.Load(p.Keys, keys)
 	alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: mem.NewPreciseSpace(), R: rng.New(seed ^ 0x3333)})
-	return mem.PeekAll(p.Keys)
+	return mem.PeekAll(p.Keys) //nolint:memescape // the scatter-plot data is the raw stored sequence; nothing downstream is accounted
 }
 
 // RefineRow is one point of the Section 5 approx-refine study

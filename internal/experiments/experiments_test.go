@@ -24,7 +24,10 @@ func TestFig2Shape(t *testing.T) {
 
 func TestFig4TableThreeOrdering(t *testing.T) {
 	algs := []sorts.Algorithm{sorts.Quicksort{}, sorts.Mergesort{}, sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}}
-	rows := Fig4(algs, []float64{0.03, 0.055, 0.1}, 20000, 2, 0)
+	rows, err := Fig4(algs, []float64{0.03, 0.055, 0.1}, 20000, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	get := func(name string, T float64) SortOnlyRow {
 		for _, r := range rows {
 			if r.Algorithm == name && r.T == T {
@@ -139,7 +142,10 @@ func TestFig11RefineOverheadSmallExceptMergesort(t *testing.T) {
 }
 
 func TestFig12SpintronicRemGrowsWithAggressiveness(t *testing.T) {
-	rows := Fig12([]sorts.Algorithm{sorts.Mergesort{}}, spintronic.Presets(), 20000, 7, 0)
+	rows, err := Fig12([]sorts.Algorithm{sorts.Mergesort{}}, spintronic.Presets(), 20000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("%d rows", len(rows))
 	}

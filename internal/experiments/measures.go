@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"fmt"
+
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
 	"approxsort/internal/parallel"
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
+	"approxsort/internal/verify"
 )
 
 // MeasureRow evaluates every implemented disorder measure on the output
@@ -25,19 +28,34 @@ type MeasureRow struct {
 // the refine write bill), while Inv and Osc blow up quadratically under
 // the same corruption and Dis/Max saturate almost immediately — so they
 // cannot budget a write-limited refinement.
-func MeasureComparison(alg sorts.Algorithm, ts []float64, n int, seed uint64, workers int) []MeasureRow {
+//
+// A shadow record-ID array (its own uncharged space, exactly as in
+// SortOnly) tracks element identity so verify.CheckApproxRun can audit
+// the run before the row is emitted; the measured key space's accounting
+// is untouched.
+func MeasureComparison(alg sorts.Algorithm, ts []float64, n int, seed uint64, workers int) ([]MeasureRow, error) {
 	keys := dataset.Uniform(n, seed)
-	rows, _ := parallel.Map(ts, workers, func(_ int, t float64) (MeasureRow, error) {
+	return parallel.Map(ts, workers, func(_ int, t float64) (MeasureRow, error) {
 		s := rng.Split(seed, alg.Name(), t)
 		approx := mem.NewApproxSpaceAt(t, s)
-		p := sorts.Pair{Keys: approx.Alloc(n)}
+		shadow := mem.NewPreciseSpace()
+		p := sorts.Pair{Keys: approx.Alloc(n), IDs: shadow.Alloc(n)}
 		mem.Load(p.Keys, keys)
-		alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: mem.NewPreciseSpace(), R: rng.New(rng.Split(s, "sort"))})
+		mem.Load(p.IDs, dataset.IDs(n))
+		alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: shadow, R: rng.New(rng.Split(s, "sort"))})
+		out := mem.PeekAll(p.Keys)   //nolint:memescape // measurement-only peek after the accounted run
+		idsRaw := mem.PeekAll(p.IDs) //nolint:memescape // shadow IDs live in an uncharged instrumentation space
+		ids := make([]int, n)
+		for i, v := range idsRaw {
+			ids[i] = int(v)
+		}
+		if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
+			return MeasureRow{}, fmt.Errorf("experiments: %s T=%g n=%d: %w", alg.Name(), t, n, err)
+		}
 		return MeasureRow{
 			Algorithm: alg.Name(),
 			T:         t,
-			Measures:  sortedness.MeasureAll(mem.PeekAll(p.Keys)),
+			Measures:  sortedness.MeasureAll(out),
 		}, nil
 	})
-	return rows
 }

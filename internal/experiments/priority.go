@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"fmt"
+
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
 	"approxsort/internal/mlc"
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
+	"approxsort/internal/verify"
 )
 
 // PriorityRow compares uniform-precision approximate storage against the
@@ -30,25 +33,31 @@ type PriorityRow struct {
 
 // PriorityStudy sorts in approximate memory only, once with a uniform T
 // and once with a bit-priority schedule of the same mean, and measures
-// both sortedness and error magnitude.
-func PriorityStudy(alg sorts.Algorithm, meanT, tLow, tHigh float64, n int, seed uint64) PriorityRow {
+// both sortedness and error magnitude. Each of the two runs is audited
+// by verify.CheckApproxRun before its measurements enter the row.
+func PriorityStudy(alg sorts.Algorithm, meanT, tLow, tHigh float64, n int, seed uint64) (PriorityRow, error) {
 	keys := dataset.Uniform(n, seed)
 	row := PriorityRow{Algorithm: alg.Name(), MeanT: meanT, N: n}
 
-	measure := func(model mlc.WordModel, spaceSeed uint64) (rem, errRate, dev float64) {
+	measure := func(model mlc.WordModel, spaceSeed uint64) (rem, errRate, dev float64, err error) {
 		approx := mem.NewApproxSpace(model, spaceSeed)
 		shadow := mem.NewPreciseSpace()
 		p := sorts.Pair{Keys: approx.Alloc(n), IDs: shadow.Alloc(n)}
 		mem.Load(p.Keys, keys)
 		mem.Load(p.IDs, dataset.IDs(n))
 		alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: shadow, R: rng.New(seed ^ 0x99)})
-		out := mem.PeekAll(p.Keys)
-		idsRaw := mem.PeekAll(p.IDs)
+		out := mem.PeekAll(p.Keys)   //nolint:memescape // measurement-only peek after the accounted run
+		idsRaw := mem.PeekAll(p.IDs) //nolint:memescape // shadow IDs live in an uncharged instrumentation space
 		ids := make([]int, n)
-		var devSum float64
-		devs := 0
 		for i, v := range idsRaw {
 			ids[i] = int(v)
+		}
+		if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
+			return 0, 0, 0, fmt.Errorf("experiments: %s meanT=%g n=%d: %w", alg.Name(), meanT, n, err)
+		}
+		var devSum float64
+		devs := 0
+		for i := range ids {
 			orig := keys[ids[i]]
 			if out[i] != orig {
 				d := float64(out[i]) - float64(orig)
@@ -62,12 +71,19 @@ func PriorityStudy(alg sorts.Algorithm, meanT, tLow, tHigh float64, n int, seed 
 		if devs > 0 {
 			dev = devSum / float64(devs)
 		}
-		return sortedness.RemRatio(out), sortedness.ErrorRate(out, ids, keys), dev
+		return sortedness.RemRatio(out), sortedness.ErrorRate(out, ids, keys), dev, nil
 	}
 
-	row.Uniform.RemRatio, row.Uniform.ErrorRate, row.Uniform.MeanAbsDeviation =
+	var err error
+	row.Uniform.RemRatio, row.Uniform.ErrorRate, row.Uniform.MeanAbsDeviation, err =
 		measure(mlc.CachedTable(mlc.Approximate(meanT), 0, mlc.CalibrationSeed), seed^0x2)
-	row.Priority.RemRatio, row.Priority.ErrorRate, row.Priority.MeanAbsDeviation =
+	if err != nil {
+		return PriorityRow{}, err
+	}
+	row.Priority.RemRatio, row.Priority.ErrorRate, row.Priority.MeanAbsDeviation, err =
 		measure(mlc.NewPriority(mlc.Approximate(meanT), tLow, tHigh), seed^0x3)
-	return row
+	if err != nil {
+		return PriorityRow{}, err
+	}
+	return row, nil
 }

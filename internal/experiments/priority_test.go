@@ -10,7 +10,10 @@ import (
 // end: at the same mean precision, prioritizing high-order bits shrinks
 // both the error magnitude and the resulting disorder after sorting.
 func TestPriorityStudyImprovesSortQuality(t *testing.T) {
-	row := PriorityStudy(sorts.Quicksort{}, 0.075, 0.03, 0.12, 20000, 4)
+	row, err := PriorityStudy(sorts.Quicksort{}, 0.075, 0.03, 0.12, 20000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if row.Uniform.ErrorRate == 0 || row.Priority.ErrorRate == 0 {
 		t.Fatal("no errors at T=0.075; study inconclusive")
 	}

@@ -37,7 +37,10 @@ func TestRobustnessPrecisionAcrossDistributions(t *testing.T) {
 }
 
 func TestMeasureComparisonJustifiesRem(t *testing.T) {
-	rows := MeasureComparison(sorts.Quicksort{}, []float64{0.055, 0.08}, 10000, 4, 0)
+	rows, err := MeasureComparison(sorts.Quicksort{}, []float64{0.055, 0.08}, 10000, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mid, high := rows[0], rows[1]
 	// At the sweet spot Rem is a tiny fraction of n while Inv is already
 	// enormous relative to Rem — the write-limited refine budget must be

@@ -34,7 +34,10 @@ func TestPaperShapes(t *testing.T) {
 
 	t.Run("Table3", func(t *testing.T) {
 		algs := []sorts.Algorithm{sorts.Quicksort{}, sorts.Mergesort{}, sorts.LSD{Bits: 6}, sorts.MSD{Bits: 6}}
-		rows := Fig4(algs, []float64{0.055, 0.1}, n, seed, 0)
+		rows, err := Fig4(algs, []float64{0.055, 0.1}, n, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, r := range rows {
 			switch {
 			case r.T == 0.055 && r.Algorithm != "Mergesort":

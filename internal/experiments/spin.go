@@ -52,10 +52,11 @@ type SpinSortRow struct {
 }
 
 // Fig12 sorts in approximate spintronic memory only, per operating point
-// (Figure 12).
-func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64, workers int) []SpinSortRow {
+// (Figure 12). Every run is audited by verify.CheckApproxRun before its
+// row is emitted.
+func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64, workers int) ([]SpinSortRow, error) {
 	keys := dataset.Uniform(n, seed)
-	rows, _ := parallel.Map(algCfgGrid(algs, cfgs), workers, func(_ int, p algCfg) (SpinSortRow, error) {
+	return parallel.Map(algCfgGrid(algs, cfgs), workers, func(_ int, p algCfg) (SpinSortRow, error) {
 		ps := splitSpin(seed, p)
 		space := spintronic.NewSpace(p.cfg, rng.Split(ps, "space"))
 		shadow := mem.NewPreciseSpace()
@@ -63,11 +64,15 @@ func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64,
 		mem.Load(pair.Keys, keys)
 		mem.Load(pair.IDs, dataset.IDs(n))
 		p.alg.Sort(pair, sorts.Env{KeySpace: space, IDSpace: shadow, R: rng.New(rng.Split(ps, "sort"))})
-		out := mem.PeekAll(pair.Keys)
-		idsRaw := mem.PeekAll(pair.IDs)
+		out := mem.PeekAll(pair.Keys)   //nolint:memescape // measurement-only peek after the accounted run
+		idsRaw := mem.PeekAll(pair.IDs) //nolint:memescape // shadow IDs live in an uncharged instrumentation space
 		ids := make([]int, n)
 		for j, v := range idsRaw {
 			ids[j] = int(v)
+		}
+		if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
+			return SpinSortRow{}, fmt.Errorf("experiments: %s spin(%g,%g) n=%d: %w",
+				p.alg.Name(), p.cfg.Saving, p.cfg.BitErrorProb, n, err)
 		}
 		return SpinSortRow{
 			Algorithm:    p.alg.Name(),
@@ -78,7 +83,6 @@ func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64,
 			ErrorRate:    sortedness.ErrorRate(out, ids, keys),
 		}, nil
 	})
-	return rows
 }
 
 // SpinRefineRow is one point of the Appendix A approx-refine study

@@ -40,10 +40,10 @@ func TestTableCacheBuildsOnce(t *testing.T) {
 func TestTableCacheDistinctKeys(t *testing.T) {
 	c := NewTableCache()
 	a := c.Get(Approximate(0.055), 1000, 1)
-	b := c.Get(Approximate(0.06), 1000, 1)   // different T
-	d := c.Get(Approximate(0.055), 2000, 1)  // different samples
-	e := c.Get(Approximate(0.055), 1000, 2)  // different seed
-	f := c.Get(GuardFraction(2, 0.4), 0, 1)  // different geometry
+	b := c.Get(Approximate(0.06), 1000, 1)  // different T
+	d := c.Get(Approximate(0.055), 2000, 1) // different samples
+	e := c.Get(Approximate(0.055), 1000, 2) // different seed
+	f := c.Get(GuardFraction(2, 0.4), 0, 1) // different geometry
 	for i, tab := range []*Table{b, d, e, f} {
 		if tab == a {
 			t.Errorf("key variant %d shared the base entry", i)

@@ -213,11 +213,11 @@ func TestSplitKeyedByCoordinates(t *testing.T) {
 		t.Error("Split is not deterministic for identical coordinates")
 	}
 	variants := []uint64{
-		Split(2, "quicksort", 0.055),  // different base
-		Split(1, "mergesort", 0.055),  // different string coord
-		Split(1, "quicksort", 0.06),   // different float coord
-		Split(1, 0.055, "quicksort"),  // coordinate order matters
-		Split(1, "quicksort"),         // arity matters
+		Split(2, "quicksort", 0.055),    // different base
+		Split(1, "mergesort", 0.055),    // different string coord
+		Split(1, "quicksort", 0.06),     // different float coord
+		Split(1, 0.055, "quicksort"),    // coordinate order matters
+		Split(1, "quicksort"),           // arity matters
 		Split(1, "quicksort", 0.055, 0), // trailing coord matters
 	}
 	seen := map[uint64]bool{base: true}

@@ -147,7 +147,7 @@ func executePrecise(res *JobResult, keys []uint32, alg sorts.Algorithm, req *Sor
 	alg.Sort(p, sorts.Env{KeySpace: space, IDSpace: space, R: rng.New(seed)})
 
 	st := space.Stats()
-	sorted := mem.PeekAll(p.Keys)
+	sorted := mem.PeekAll(p.Keys) //nolint:memescape // response extraction after the accounted run
 	// The precise path has no stage accounting, but its output contract
 	// is identical: sorted, a permutation, and equal to the reference
 	// oracle sort.

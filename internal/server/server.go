@@ -217,7 +217,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		Mode:       req.Mode,
 		N:          req.inputSize(),
 		T:          req.T,
-		EnqueuedAt: time.Now().UTC(),
+		EnqueuedAt: time.Now().UTC(), //nolint:detrand // wall-clock by design: job timestamps are service metadata, not simulated results
 		done:       make(chan struct{}),
 		req:        &req,
 	}
@@ -258,7 +258,7 @@ func (s *Server) runJob(job *Job) {
 		hook(job)
 	}
 	s.inflight.Add(1)
-	start := time.Now()
+	start := time.Now() //nolint:detrand // wall-clock by design: job latency is a service metric, not a simulated result
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.StartedAt = start.UTC()
@@ -266,9 +266,9 @@ func (s *Server) runJob(job *Job) {
 
 	res, err := execute(job.req, s.cfg.PilotSize)
 
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //nolint:detrand // wall-clock by design: feeds the latency histogram only
 	s.mu.Lock()
-	job.FinishedAt = time.Now().UTC()
+	job.FinishedAt = time.Now().UTC() //nolint:detrand // wall-clock by design: job timestamps are service metadata
 	mode := job.Mode
 	if res != nil {
 		mode = res.Mode

@@ -122,7 +122,7 @@ func (s *Space) Approximate() bool { return true }
 // (whose ln(1−p) is passed precomputed), using geometric skipping so the
 // common error-free case costs a single uniform draw.
 func (s *Space) corrupt(v uint32, p, logOneMinusP float64) uint32 {
-	if p == 0 {
+	if p == 0 { //nolint:floatord // exact-zero fast path on a configured probability, not an accumulated sum
 		return v
 	}
 	bit := 0

@@ -138,7 +138,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 // magnitudes, scientific for tiny non-zero values.
 func FormatFloat(v float64) string {
 	switch {
-	case v == 0:
+	case v == 0: //nolint:floatord // rendering fast path: exact zero prints "0", nothing is compared for correctness
 		return "0"
 	case math.Abs(v) < 0.0001:
 		return fmt.Sprintf("%.2e", v)

@@ -34,13 +34,13 @@ func (t Tolerance) String() string {
 func (t Tolerance) within(want, got float64) bool {
 	switch t.Kind {
 	case TolRel:
-		if want == got {
+		if want == got { //nolint:floatord // exact-equality fast path of the tolerance gate itself
 			return true
 		}
 		scale := math.Max(math.Abs(want), math.Abs(got))
 		return math.Abs(want-got) <= t.Eps*scale
 	default: // exact
-		return want == got
+		return want == got //nolint:floatord // TolExact's contract is bit-exact equality by definition
 	}
 }
 

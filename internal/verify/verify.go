@@ -87,7 +87,7 @@ func (r *Report) check(ok bool, code, format string, args ...any) {
 const relEps = 1e-9
 
 func closeEnough(a, b float64) bool {
-	if a == b {
+	if a == b { //nolint:floatord // exact-equality fast path of the tolerance helper itself
 		return true
 	}
 	diff := math.Abs(a - b)
@@ -328,6 +328,35 @@ func CheckOutput(input, keys []uint32) *Report {
 		return rep
 	}
 	checkOutput(rep, input, keys)
+	return rep
+}
+
+// CheckApproxRun audits an approximate-only sort (the Section 3 /
+// Appendix A studies, which never refine): the output and shadow-ID
+// arrays must match the input's length, and the IDs — which live in
+// precise shadow memory that corruption cannot touch — must still be a
+// permutation of [0, n). Key values are deliberately unchecked: value
+// corruption is the phenomenon those studies measure. A violation means
+// the sort lost or duplicated records, so every derived metric
+// (ErrorRate, Rem ratios, deviation means) would be measuring garbage.
+func CheckApproxRun(input, keys []uint32, ids []int) *Report {
+	n := len(input)
+	rep := &Report{N: n}
+	rep.check(len(keys) == n, "result-shape", "output has %d keys, want %d", len(keys), n)
+	rep.check(len(ids) == n, "result-shape", "output has %d IDs, want %d", len(ids), n)
+	if len(ids) != n {
+		return rep
+	}
+	seen := make([]bool, n)
+	for i, id := range ids {
+		if id < 0 || id >= n || seen[id] {
+			rep.check(false, "id-not-permutation",
+				"IDs[%d] = %d is out of range or repeated", i, id)
+			return rep
+		}
+		seen[id] = true
+	}
+	rep.check(true, "id-not-permutation", "")
 	return rep
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Single source of truth for static analysis. CI's lint jobs invoke this
+# script, so local runs and CI cannot drift on flags or check sets.
+#
+# Runs, in order:
+#   1. go vet            — the stock suite
+#   2. staticcheck       — check set committed in staticcheck.conf
+#                          (skipped with a notice when not installed;
+#                          CI always installs it)
+#   3. memlint           — the repo's own analyzer suite (cmd/memlint):
+#                          detrand, memescape, floatord, verifygate,
+#                          nolintreason. See DESIGN.md §11.
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck ($(staticcheck -version 2>/dev/null | head -1))"
+  staticcheck ./...
+else
+  echo "== staticcheck: not installed, skipping (CI installs honnef.co/go/tools/cmd/staticcheck)"
+fi
+
+echo "== memlint"
+go run ./cmd/memlint ./...
+
+echo "lint: OK"
