@@ -18,10 +18,12 @@ import (
 	"approxsort/internal/experiments"
 	"approxsort/internal/histsort"
 	"approxsort/internal/mem"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/mlc"
 	"approxsort/internal/rng"
 	"approxsort/internal/sorts"
 	"approxsort/internal/spintronic"
+	"approxsort/internal/verify"
 )
 
 const (
@@ -448,4 +450,53 @@ func BenchmarkAblationRadixBins(b *testing.B) {
 	}
 	b.ReportMetric(wr3, "WR@3bit")
 	b.ReportMetric(wr6, "WR@6bit")
+}
+
+// --- The memmodel seam: refine cost per backend, seam vs direct ---
+
+// BenchmarkRefineBackends runs one approx-refine per registered backend
+// at its featured operating point, both through the registry seam
+// (experiments.RefineAt) and via a direct twin that builds the concrete
+// space and runs the same audit, but with no registry resolution,
+// normalization, or row assembly. Dispatch is per run, not per access —
+// backends hand core.Run concrete spaces, so the sort inner loops stay
+// devirtualized — and the seam-vs-direct delta is the artifact recorded
+// in BENCH_backend.json.
+func BenchmarkRefineBackends(b *testing.B) {
+	keys := dataset.Uniform(benchN, benchSeed)
+	alg := sorts.MSD{Bits: 6}
+	cases := []struct {
+		pt     memmodel.Point
+		direct func(uint64) core.Space
+	}{
+		{memmodel.MLC(0.055), func(s uint64) core.Space { return mem.NewApproxSpaceAt(0.055, s) }},
+		{memmodel.Spintronic(spintronic.Presets()[2]), func(s uint64) core.Space {
+			return spintronic.NewSpace(spintronic.Presets()[2], s)
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.pt.Backend+"/seam", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RefineAt(alg, tc.pt, keys, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !row.Sorted {
+					b.Fatal("unsorted output")
+				}
+			}
+		})
+		id := memmodel.MustGet(tc.pt.Backend).Identities(memmodel.MustGet(tc.pt.Backend).DefaultPoint())
+		b.Run(tc.pt.Backend+"/direct", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(keys, core.Config{Algorithm: alg, NewSpace: tc.direct, Seed: benchSeed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := verify.CheckRefineRun(keys, res, id).Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

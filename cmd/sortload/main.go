@@ -13,7 +13,7 @@
 //
 //	go run ./cmd/sortload -addr http://127.0.0.1:8080 \
 //	    [-conc 1,4] [-jobs 32] [-n 100000] [-alg auto] [-t 0.055] \
-//	    [-dist uniform] [-seed 1] [-out BENCH_sortd.json]
+//	    [-backend pcm-mlc] [-dist uniform] [-seed 1] [-out BENCH_sortd.json]
 package main
 
 import (
@@ -52,9 +52,10 @@ type loadConfig struct {
 	Dist   string  `json:"dist"`
 	Alg    string  `json:"algorithm"`
 	Bits   int     `json:"bits"`
-	Mode   string  `json:"mode"`
-	T      float64 `json:"t"`
-	Seed   uint64  `json:"seed"`
+	Mode    string  `json:"mode"`
+	Backend string  `json:"backend,omitempty"`
+	T       float64 `json:"t"`
+	Seed    uint64  `json:"seed"`
 	out    string
 	client *http.Client
 }
@@ -93,7 +94,8 @@ func run(args []string, stdout io.Writer) error {
 	alg := fs.String("alg", "auto", "algorithm: auto|quicksort|mergesort|lsd|msd")
 	bits := fs.Int("bits", 6, "radix digit width")
 	mode := fs.String("mode", "auto", "execution mode: auto|hybrid|precise")
-	tFlag := fs.Float64("t", 0.055, "target half-width T")
+	backend := fs.String("backend", "", "memory backend (see GET /v1/backends; empty = server default pcm-mlc)")
+	tFlag := fs.Float64("t", 0.055, "target half-width T (pcm-mlc only; ignored for other backends)")
 	seed := fs.Uint64("seed", 1, "base seed for the deterministic job stream")
 	out := fs.String("out", "BENCH_sortd.json", "benchmark artifact path")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-request timeout")
@@ -114,8 +116,13 @@ func run(args []string, stdout io.Writer) error {
 	cfg := loadConfig{
 		Addr: strings.TrimRight(*addr, "/"), Levels: levels, Jobs: *jobs,
 		N: *n, Dist: *dist, Alg: *alg, Bits: *bits, Mode: *mode,
-		T: *tFlag, Seed: *seed, out: *out,
+		Backend: *backend, T: *tFlag, Seed: *seed, out: *out,
 		client: &http.Client{Timeout: *timeout},
+	}
+	// t is the pcm-mlc half-width; the server rejects it for other
+	// backends, whose operating points come from their schema defaults.
+	if cfg.Backend != "" && cfg.Backend != "pcm-mlc" {
+		cfg.T = 0
 	}
 	return drive(cfg, stdout)
 }
@@ -158,6 +165,7 @@ func buildRequests(cfg loadConfig, level int) [][]server.SortRequest {
 			Algorithm: cfg.Alg,
 			Bits:      cfg.Bits,
 			Mode:      cfg.Mode,
+			Backend:   cfg.Backend,
 			T:         cfg.T,
 			Seed:      rng.Split(cfg.Seed, "sortload", "run", level, w, i),
 		})

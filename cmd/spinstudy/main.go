@@ -25,6 +25,7 @@ import (
 	"runtime"
 
 	"approxsort/internal/experiments"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/sorts"
 	"approxsort/internal/spintronic"
 	"approxsort/internal/stats"
@@ -94,7 +95,10 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "Figure 14: write-energy breakdown at %.0f%% saving/write (%d records),\n",
 			cfg.Saving*100, *n)
 		fmt.Fprintf(stdout, "normalized to 3-bit LSD's approx energy\n\n")
-		rows, err := experiments.Fig13(algs, []spintronic.Config{cfg}, *n, *seed, *workers)
+		// The generic backend-parameterized sweep, called directly: the
+		// same rows Fig13 wraps (its seed schedule is keyed by the point's
+		// coordinates, so the values match the wrapper bit-for-bit).
+		rows, err := experiments.RefineGrid(algs, []memmodel.Point{memmodel.Spintronic(cfg)}, *n, *seed, *workers)
 		if err != nil {
 			return err
 		}

@@ -56,3 +56,27 @@ func unauditedSlice(n int) []SpinRow { // want `unauditedSlice returns SpinRow`
 func summary(n int) Summary {
 	return Summary{V: n}
 }
+
+// point stands in for a backend operating point (memmodel.Point): the
+// generic entry points are parameterized by it rather than a scalar T.
+
+type point struct{ backend string }
+
+// refineAt is the backend-generic leaf: it audits via the identity-aware
+// CheckRefineRun entry.
+func refineAt(pt point, n int) SortRow {
+	verify.CheckRefineRun(n, pt.backend)
+	return SortRow{V: n}
+}
+
+// fig13 is a device-study wrapper over the generic leaf: verified
+// transitively through refineAt (the fixpoint must learn the new
+// generic entry points).
+func fig13(pt point, n int) []SortRow {
+	return []SortRow{refineAt(pt, n)}
+}
+
+func unauditedAt(pt point, n int) SpinRow { // want `unauditedAt returns SpinRow`
+	_ = pt
+	return SpinRow{V: n}
+}

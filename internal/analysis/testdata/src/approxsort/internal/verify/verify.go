@@ -11,6 +11,10 @@ type Report struct{ N int }
 // Check audits a finished run.
 func Check(n int) *Report { return &Report{N: n} }
 
+// CheckRefineRun audits a finished run against a backend identity set —
+// the generic entry points' audit call.
+func CheckRefineRun(n int, id any) *Report { return &Report{N: n} }
+
 // CheckOutput audits a raw output sequence.
 func CheckOutput(xs []uint32) *Report { return &Report{N: len(xs)} }
 

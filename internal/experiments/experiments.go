@@ -15,37 +15,24 @@
 // count and stable under roster reordering, and the shared mlc table cache
 // means a sweep touching A algorithms × K T-points calibrates K transition
 // tables instead of A×K.
+//
+// The campaigns are device-agnostic: the generic entry points in
+// backend.go (SortOnlyAt, RefineAt, and their grid sweeps) take a
+// memmodel.Point and resolve the device model through the memmodel
+// registry. The MLC-flavored functions here (SortOnly, Fig4, Refine,
+// Fig9–11, Shape) and the spintronic Appendix A functions in spin.go are
+// thin wrappers over that one pipeline.
 package experiments
 
 import (
-	"fmt"
-
 	"approxsort/internal/core"
 	"approxsort/internal/dataset"
-	"approxsort/internal/mem"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/mlc"
 	"approxsort/internal/parallel"
 	"approxsort/internal/rng"
-	"approxsort/internal/sortedness"
 	"approxsort/internal/sorts"
-	"approxsort/internal/verify"
 )
-
-// algT is one (algorithm, T) point of a row-major flattened study grid.
-type algT struct {
-	alg sorts.Algorithm
-	t   float64
-}
-
-func algTGrid(algs []sorts.Algorithm, ts []float64) []algT {
-	pts := make([]algT, 0, len(algs)*len(ts))
-	for _, alg := range algs {
-		for _, t := range ts {
-			pts = append(pts, algT{alg, t})
-		}
-	}
-	return pts
-}
 
 // StudyAlgorithms returns the algorithm roster of the Section 3 and 5
 // studies: quicksort, mergesort, and LSD/MSD at every evaluated bin width.
@@ -64,12 +51,19 @@ func Fig2(words int, seed uint64, extended bool, workers int) []mlc.Stats {
 	return mlc.SweepParallel(mlc.Precise(), mlc.StandardTs(extended), words, seed, workers)
 }
 
-// SortOnlyRow is one point of the Section 3 approximate-only study
-// (Figure 4 panels a–c and Table 3).
+// SortOnlyRow is one point of the approximate-only sorting studies
+// (Figure 4 panels a–c and Table 3 for MLC PCM; Figure 12 for
+// spintronic).
 type SortOnlyRow struct {
 	Algorithm string
-	T         float64
-	N         int
+	// Backend and Point identify the memory model and operating point the
+	// row was measured at.
+	Backend string
+	Point   memmodel.Point
+	// T is the MLC target half-width for pcm-mlc points and 0 for every
+	// other backend (legacy column, kept for the Figure 4 consumers).
+	T float64
+	N int
 	// ErrorRate is the fraction of elements whose value deviates from
 	// the original after sorting (Figure 4a).
 	ErrorRate float64
@@ -80,82 +74,43 @@ type SortOnlyRow struct {
 	WriteReduction float64
 }
 
-// SortOnly sorts keys entirely in approximate memory at half-width T and
-// measures the Section 3 quantities. A shadow record-ID array (in its own
-// uncharged space) tracks element identity for the error-rate metric; the
-// paper's Section 3 runs likewise exclude the payload from the latency
-// accounting. The run is audited by verify.CheckApproxRun before its row
-// is reported: a sort that loses or duplicates records must fail loudly,
-// not feed garbage into the Figure 4 metrics.
+// SortOnly sorts keys entirely in approximate MLC PCM at half-width T and
+// measures the Section 3 quantities; see SortOnlyAt for the audited
+// backend-generic pipeline this wraps.
 func SortOnly(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) (SortOnlyRow, error) {
-	n := len(keys)
-	approx := mem.NewApproxSpaceAt(t, seed)
-	shadow := mem.NewPreciseSpace() // IDs: instrumentation only
-	p := sorts.Pair{Keys: approx.Alloc(n), IDs: shadow.Alloc(n)}
-	mem.Load(p.Keys, keys)
-	mem.Load(p.IDs, dataset.IDs(n))
-	approx.ResetStats()
-	env := sorts.Env{KeySpace: approx, IDSpace: shadow, R: rng.New(seed ^ 0xabcd)}
-	alg.Sort(p, env)
-	approxNanos := approx.Stats().WriteNanos
-
-	// Reference: the identical sort on precise memory.
-	precise := mem.NewPreciseSpace()
-	q := sorts.Pair{Keys: precise.Alloc(n)}
-	mem.Load(q.Keys, keys)
-	precise.ResetStats()
-	alg.Sort(q, sorts.Env{KeySpace: precise, IDSpace: shadow, R: rng.New(seed ^ 0xabcd)})
-	preciseNanos := precise.Stats().WriteNanos
-
-	out := mem.PeekAll(p.Keys)   //nolint:memescape // measurement-only peek after the accounted run; charged reads would perturb Eq. 1
-	idsRaw := mem.PeekAll(p.IDs) //nolint:memescape // shadow IDs live in an uncharged instrumentation space
-	ids := make([]int, n)
-	for i, v := range idsRaw {
-		ids[i] = int(v)
-	}
-	if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
-		return SortOnlyRow{}, fmt.Errorf("experiments: %s T=%g n=%d: %w", alg.Name(), t, n, err)
-	}
-	row := SortOnlyRow{
-		Algorithm: alg.Name(),
-		T:         t,
-		N:         n,
-		ErrorRate: sortedness.ErrorRate(out, ids, keys),
-		RemRatio:  sortedness.RemRatio(out),
-	}
-	if preciseNanos > 0 {
-		row.WriteReduction = 1 - approxNanos/preciseNanos
-	}
-	return row, nil
+	return SortOnlyAt(alg, memmodel.MLC(t), keys, seed)
 }
 
 // Fig4 sweeps T over the standard grid for each algorithm (Figure 4; the
 // T ∈ {0.03, 0.055, 0.1} rows are Table 3). Per-point seeds are keyed by
 // the (algorithm, T) coordinates, so a row's numbers survive roster edits.
 func Fig4(algs []sorts.Algorithm, ts []float64, n int, seed uint64, workers int) ([]SortOnlyRow, error) {
-	keys := dataset.Uniform(n, seed)
-	return parallel.Map(algTGrid(algs, ts), workers, func(_ int, p algT) (SortOnlyRow, error) {
-		return SortOnly(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t))
-	})
+	return SortOnlyGrid(algs, mlcPoints(ts), n, seed, workers)
 }
 
 // Shape returns the post-sort sequence X itself — the data behind the
-// scatter plots of Figures 5–7 (the paper visualizes n = 160,000).
+// scatter plots of Figures 5–7 (the paper visualizes n = 160,000) — for
+// approximate MLC PCM at half-width T.
 func Shape(alg sorts.Algorithm, t float64, n int, seed uint64) []uint32 {
-	keys := dataset.Uniform(n, seed)
-	approx := mem.NewApproxSpaceAt(t, seed^0x5151)
-	p := sorts.Pair{Keys: approx.Alloc(n)}
-	mem.Load(p.Keys, keys)
-	alg.Sort(p, sorts.Env{KeySpace: approx, IDSpace: mem.NewPreciseSpace(), R: rng.New(seed ^ 0x3333)})
-	return mem.PeekAll(p.Keys) //nolint:memescape // the scatter-plot data is the raw stored sequence; nothing downstream is accounted
+	out, err := ShapeAt(alg, memmodel.MLC(t), n, seed)
+	if err != nil {
+		panic(err) // the registry always has pcm-mlc; an invalid T is a programming error
+	}
+	return out
 }
 
-// RefineRow is one point of the Section 5 approx-refine study
-// (Figures 9–11).
+// RefineRow is one point of the approx-refine studies (Figures 9–11 for
+// MLC PCM; Figures 13–14 for spintronic).
 type RefineRow struct {
 	Algorithm string
-	T         float64
-	N         int
+	// Backend and Point identify the memory model and operating point the
+	// row was measured at.
+	Backend string
+	Point   memmodel.Point
+	// T is the MLC target half-width for pcm-mlc points and 0 for every
+	// other backend (legacy column, kept for the Figure 9–11 consumers).
+	T float64
+	N int
 	// WriteReduction is Equation 2 (measured).
 	WriteReduction float64
 	// ModelWR is Equation 4 evaluated with the measured p(t) and Rem~.
@@ -167,42 +122,20 @@ type RefineRow struct {
 	ApproxWriteNanos, RefineWriteNanos float64
 	// BaselineWriteNanos is the precise-only sort's write latency.
 	BaselineWriteNanos float64
-	// EnergySaving is the write-energy analogue (Appendix A metric).
+	// ApproxEnergy and RefineEnergy decompose the hybrid run's write
+	// energy in precise-write units (Figure 14's bar segments).
+	ApproxEnergy, RefineEnergy float64
+	// EnergySaving is the write-energy analogue of Equation 2
+	// (Figure 13 / Appendix A metric).
 	EnergySaving float64
 	// Sorted confirms the precision contract held.
 	Sorted bool
 }
 
-// Refine runs approx-refine once and derives the Figure 9–11 quantities.
-// Every run is audited by the invariant checker before its row is
-// reported: a sweep cannot silently emit figure data from a run that
-// violated the precision contract or the write-accounting identities.
+// Refine runs approx-refine once on the MLC PCM model at half-width T;
+// see RefineAt for the audited backend-generic pipeline this wraps.
 func Refine(alg sorts.Algorithm, t float64, keys []uint32, seed uint64) (RefineRow, error) {
-	res, err := core.Run(keys, core.Config{Algorithm: alg, T: t, Seed: seed})
-	if err != nil {
-		return RefineRow{}, err
-	}
-	if err := verify.Check(keys, res).Err(); err != nil {
-		return RefineRow{}, fmt.Errorf("experiments: %s T=%g n=%d: %w", alg.Name(), t, len(keys), err)
-	}
-	r := res.Report
-	row := RefineRow{
-		Algorithm:          r.Algorithm,
-		T:                  t,
-		N:                  r.N,
-		WriteReduction:     r.WriteReduction(),
-		RemTildeRatio:      r.RemTildeRatio(),
-		ApproxWriteNanos:   r.ApproxPhase().WriteNanos(),
-		RefineWriteNanos:   r.RefinePhase().WriteNanos(),
-		BaselineWriteNanos: r.Baseline.WriteNanos,
-		EnergySaving:       r.EnergySaving(),
-		Sorted:             r.Sorted,
-	}
-	if alpha, err := core.AlphaFor(alg); err == nil {
-		p := measuredP(r)
-		row.ModelWR = core.CostModel{P: p, Alpha: alpha}.WriteReduction(r.N, r.RemTilde)
-	}
-	return row, nil
+	return RefineAt(alg, memmodel.MLC(t), keys, seed)
 }
 
 // measuredP extracts p(t) from the run itself: the mean approximate write
@@ -217,10 +150,7 @@ func measuredP(r *core.Report) float64 {
 
 // Fig9 sweeps T for each algorithm at fixed n (Figure 9).
 func Fig9(algs []sorts.Algorithm, ts []float64, n int, seed uint64, workers int) ([]RefineRow, error) {
-	keys := dataset.Uniform(n, seed)
-	return parallel.Map(algTGrid(algs, ts), workers, func(_ int, p algT) (RefineRow, error) {
-		return Refine(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t))
-	})
+	return RefineGrid(algs, mlcPoints(ts), n, seed, workers)
 }
 
 // Fig10 sweeps n for each algorithm at fixed T (Figure 10; the paper uses
@@ -240,7 +170,7 @@ func Fig10(algs []sorts.Algorithm, t float64, ns []int, seed uint64, workers int
 	}
 	return parallel.Map(pts, workers, func(_ int, p point) (RefineRow, error) {
 		keys := dataset.Uniform(p.n, rng.Split(seed, "keys", p.n))
-		return Refine(p.alg, t, keys, rng.Split(seed, p.alg.Name(), p.n))
+		return RefineAt(p.alg, memmodel.MLC(t), keys, rng.Split(seed, p.alg.Name(), p.n))
 	})
 }
 
@@ -251,6 +181,6 @@ func Fig10(algs []sorts.Algorithm, t float64, ns []int, seed uint64, workers int
 func Fig11(algs []sorts.Algorithm, t float64, n int, seed uint64, workers int) ([]RefineRow, error) {
 	keys := dataset.Uniform(n, seed)
 	return parallel.Map(algs, workers, func(_ int, alg sorts.Algorithm) (RefineRow, error) {
-		return Refine(alg, t, keys, rng.Split(seed, alg.Name()))
+		return RefineAt(alg, memmodel.MLC(t), keys, rng.Split(seed, alg.Name()))
 	})
 }

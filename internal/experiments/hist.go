@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"approxsort/internal/dataset"
 	"approxsort/internal/histsort"
-	"approxsort/internal/parallel"
-	"approxsort/internal/rng"
 	"approxsort/internal/sorts"
 )
 
@@ -28,8 +25,5 @@ func HistAlgorithms(bits ...int) []sorts.Algorithm {
 // (Figure 15). The rows are RefineRows like Figure 9's, but ModelWR is
 // zero: Appendix B's implementation has no closed-form α in the paper.
 func Fig15(ts []float64, n int, seed uint64, workers int) ([]RefineRow, error) {
-	keys := dataset.Uniform(n, seed)
-	return parallel.Map(algTGrid(HistAlgorithms(), ts), workers, func(_ int, p algT) (RefineRow, error) {
-		return Refine(p.alg, p.t, keys, rng.Split(seed, p.alg.Name(), p.t))
-	})
+	return RefineGrid(HistAlgorithms(), mlcPoints(ts), n, seed, workers)
 }

@@ -5,6 +5,7 @@ import (
 
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/parallel"
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
@@ -49,7 +50,8 @@ func MeasureComparison(alg sorts.Algorithm, ts []float64, n int, seed uint64, wo
 		for i, v := range idsRaw {
 			ids[i] = int(v)
 		}
-		if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
+		mlcID := memmodel.MustGet(memmodel.PCMMLC).Identities(memmodel.Point{})
+		if err := verify.CheckApproxRun(keys, out, ids, approx.Stats(), mlcID).Err(); err != nil {
 			return MeasureRow{}, fmt.Errorf("experiments: %s T=%g n=%d: %w", alg.Name(), t, n, err)
 		}
 		return MeasureRow{

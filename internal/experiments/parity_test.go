@@ -1,0 +1,138 @@
+package experiments
+
+// Parity tests for the memmodel seam: the spintronic wrappers must
+// reproduce the pre-seam pipeline (which derived its own seeds and ran
+// its own parallel sweep) field-for-field, and the generic entry points
+// must behave identically under every registered backend. The pinned
+// literals below were captured from the dedicated spintronic pipeline
+// before it was collapsed into backend.go.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/memmodel"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+	"approxsort/internal/sorts"
+	"approxsort/internal/spintronic"
+)
+
+const (
+	parityN    = 600
+	paritySeed = 97531
+)
+
+func parityAlgs() []sorts.Algorithm {
+	return []sorts.Algorithm{sorts.MSD{Bits: 6}, sorts.Quicksort{}}
+}
+
+// TestSpinRefineParity replays every (algorithm, preset) cell with the
+// pre-seam seed derivation and compares the rows field-for-field —
+// including exact float equality — against values pinned from the
+// dedicated pipeline before the memmodel refactor.
+func TestSpinRefineParity(t *testing.T) {
+	want := []SpinRefineRow{
+		{Algorithm: "6-bit MSD", Saving: 0.05, BitErrorProb: 1e-07, N: 600, EnergySaving: -0.2703938584779384, ApproxEnergy: 6412.199999999807, RefineEnergy: 1200, RemTildeRatio: 0, Sorted: true},
+		{Algorithm: "6-bit MSD", Saving: 0.2, BitErrorProb: 1e-06, N: 600, EnergySaving: -0.18037383177571864, ApproxEnergy: 5872.8000000001066, RefineEnergy: 1200, RemTildeRatio: 0, Sorted: true},
+		{Algorithm: "6-bit MSD", Saving: 0.33, BitErrorProb: 1e-05, N: 600, EnergySaving: -0.10196428571430616, ApproxEnergy: 5396.970000000123, RefineEnergy: 1206, RemTildeRatio: 0.0033333333333333335, Sorted: true},
+		{Algorithm: "6-bit MSD", Saving: 0.5, BitErrorProb: 0.0001, N: 600, EnergySaving: -0.0011682242990653791, ApproxEnergy: 4797, RefineEnergy: 1202, RemTildeRatio: 0.0016666666666666668, Sorted: true},
+		{Algorithm: "Quicksort", Saving: 0.05, BitErrorProb: 1e-07, N: 600, EnergySaving: -0.19802299495228826, ApproxEnergy: 7344.2999999997201, RefineEnergy: 1200, RemTildeRatio: 0, Sorted: true},
+		{Algorithm: "Quicksort", Saving: 0.2, BitErrorProb: 1e-06, N: 600, EnergySaving: -0.12495803021827157, ApproxEnergy: 6841.2000000002045, RefineEnergy: 1200, RemTildeRatio: 0, Sorted: true},
+		{Algorithm: "Quicksort", Saving: 0.33, BitErrorProb: 1e-05, N: 600, EnergySaving: -0.06484632896985798, ApproxEnergy: 6283.7400000001617, RefineEnergy: 1200, RemTildeRatio: 0, Sorted: true},
+		{Algorithm: "Quicksort", Saving: 0.5, BitErrorProb: 0.0001, N: 600, EnergySaving: 0.035042735042735029, ApproxEnergy: 5544, RefineEnergy: 1230, RemTildeRatio: 0.011666666666666667, Sorted: true},
+	}
+
+	keys := dataset.Uniform(parityN, paritySeed)
+	i := 0
+	for _, alg := range parityAlgs() {
+		for _, cfg := range spintronic.Presets() {
+			// The pre-seam per-cell derivation (the removed splitSpin).
+			seed := rng.Split(paritySeed, alg.Name(), cfg.Saving, cfg.BitErrorProb)
+			got, err := SpinRefine(alg, cfg, keys, seed)
+			if err != nil {
+				t.Fatalf("%s save=%g: %v", alg.Name(), cfg.Saving, err)
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("%s save=%g:\n got  %+v\n want %+v", alg.Name(), cfg.Saving, got, want[i])
+			}
+			i++
+		}
+	}
+}
+
+// TestFig12Parity pins the sortedness metrics of the sort-only spintronic
+// sweep against pre-seam values, at a non-serial worker count.
+func TestFig12Parity(t *testing.T) {
+	rows, err := Fig12(parityAlgs(), spintronic.Presets(), parityN, paritySeed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRem := []float64{
+		0, 0, 0, 0, // 6-bit MSD
+		0, 0, 0, 0.0033333333333333335, // Quicksort
+	}
+	wantErr := []float64{
+		0, 0, 0.0033333333333333335, 0.014999999999999999,
+		0, 0, 0.0033333333333333335, 0.014999999999999999,
+	}
+	if len(rows) != len(wantRem) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(wantRem))
+	}
+	for i, r := range rows {
+		if r.RemRatio != wantRem[i] || r.ErrorRate != wantErr[i] {
+			t.Errorf("%s save=%g: RemRatio=%v ErrorRate=%v, want %v / %v",
+				r.Algorithm, r.Saving, r.RemRatio, r.ErrorRate, wantRem[i], wantErr[i])
+		}
+	}
+}
+
+// TestShapeAtRunsUnderEveryRegisteredBackend drives the Figure 5–7 shape
+// probe through the registry for every backend, at its default operating
+// point: the output must be a full-length, nearly sorted sequence under
+// each device model.
+func TestShapeAtRunsUnderEveryRegisteredBackend(t *testing.T) {
+	const n, seed = 4000, 777
+	for _, name := range memmodel.Names() {
+		b := memmodel.MustGet(name)
+		out, err := ShapeAt(sorts.MSD{Bits: 6}, b.DefaultPoint(), n, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) != n {
+			t.Fatalf("%s: len=%d, want %d", name, len(out), n)
+		}
+		if rem := sortedness.RemRatio(out); rem > 0.1 {
+			t.Errorf("%s: RemRatio=%v at the default point; expected nearly sorted", name, rem)
+		}
+	}
+}
+
+// TestShapeWrapperBitIdentical asserts the legacy T-parameterized Shape
+// is exactly the generic probe at the corresponding pcm-mlc point.
+func TestShapeWrapperBitIdentical(t *testing.T) {
+	const n, seed, tHalf = 2000, 42, 0.07
+	want, err := ShapeAt(sorts.Quicksort{}, memmodel.MLC(tHalf), n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Shape(sorts.Quicksort{}, tHalf, n, seed)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Shape(alg, t) diverged from ShapeAt(alg, MLC(t))")
+	}
+}
+
+// TestSortOnlyAtUnknownBackend asserts the typed registry error survives
+// the experiments layer, so callers can map it to a 4xx.
+func TestSortOnlyAtUnknownBackend(t *testing.T) {
+	_, err := SortOnlyAt(sorts.Quicksort{}, memmodel.Point{Backend: "memristor"}, []uint32{3, 1, 2}, 1)
+	var unknown *memmodel.UnknownBackendError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want *memmodel.UnknownBackendError", err)
+	}
+	if _, err := RefineAt(sorts.Quicksort{}, memmodel.Point{Backend: "memristor"}, []uint32{3, 1, 2}, 1); !errors.As(err, &unknown) {
+		t.Fatalf("RefineAt err = %v, want *memmodel.UnknownBackendError", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"approxsort/internal/dataset"
 	"approxsort/internal/mem"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/mlc"
 	"approxsort/internal/rng"
 	"approxsort/internal/sortedness"
@@ -52,7 +53,8 @@ func PriorityStudy(alg sorts.Algorithm, meanT, tLow, tHigh float64, n int, seed 
 		for i, v := range idsRaw {
 			ids[i] = int(v)
 		}
-		if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
+		mlcID := memmodel.MustGet(memmodel.PCMMLC).Identities(memmodel.Point{})
+		if err := verify.CheckApproxRun(keys, out, ids, approx.Stats(), mlcID).Err(); err != nil {
 			return 0, 0, 0, fmt.Errorf("experiments: %s meanT=%g n=%d: %w", alg.Name(), meanT, n, err)
 		}
 		var devSum float64

@@ -1,40 +1,36 @@
 package experiments
 
-import (
-	"fmt"
+// Appendix A: the spintronic-memory studies. Since the memmodel seam,
+// these are conversion wrappers over the backend-generic pipeline in
+// backend.go — Fig12 is SortOnlyGrid and SpinRefine/Fig13 are
+// RefineAt/RefineGrid at "spintronic" registry points. The wrappers keep
+// the pre-seam call signatures, row types, and seed schedule (the
+// spintronic backend's SeedCoords and SortOnlySeeds reproduce the old
+// splitSpin/space/sort derivations bit-for-bit, pinned by tests and
+// cmd/regress).
 
-	"approxsort/internal/core"
-	"approxsort/internal/dataset"
-	"approxsort/internal/mem"
-	"approxsort/internal/parallel"
-	"approxsort/internal/rng"
-	"approxsort/internal/sortedness"
+import (
+	"approxsort/internal/memmodel"
 	"approxsort/internal/sorts"
 	"approxsort/internal/spintronic"
-	"approxsort/internal/verify"
 )
 
-// algCfg is one (algorithm, operating point) grid point of the Appendix A
-// studies.
-type algCfg struct {
-	alg sorts.Algorithm
-	cfg spintronic.Config
-}
-
-func algCfgGrid(algs []sorts.Algorithm, cfgs []spintronic.Config) []algCfg {
-	pts := make([]algCfg, 0, len(algs)*len(cfgs))
-	for _, alg := range algs {
-		for _, cfg := range cfgs {
-			pts = append(pts, algCfg{alg, cfg})
-		}
+// spinPoints lifts Appendix A operating points into spintronic registry
+// points.
+func spinPoints(cfgs []spintronic.Config) []memmodel.Point {
+	pts := make([]memmodel.Point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i] = memmodel.Spintronic(cfg)
 	}
 	return pts
 }
 
-// splitSpin keys a point's seed by its coordinates: the algorithm name and
-// the operating point's (saving, error-probability) pair.
-func splitSpin(seed uint64, p algCfg) uint64 {
-	return rng.Split(seed, p.alg.Name(), p.cfg.Saving, p.cfg.BitErrorProb)
+// spinParams recovers the (saving, error-probability) coordinates from a
+// normalized spintronic point.
+func spinParams(pt memmodel.Point) (saving, bitErrorProb float64) {
+	saving, _ = pt.Param("saving")
+	bitErrorProb, _ = pt.Param("bit_error_prob")
+	return saving, bitErrorProb
 }
 
 // SpinSortRow is one point of the Appendix A sorting-only study
@@ -55,34 +51,23 @@ type SpinSortRow struct {
 // (Figure 12). Every run is audited by verify.CheckApproxRun before its
 // row is emitted.
 func Fig12(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64, workers int) ([]SpinSortRow, error) {
-	keys := dataset.Uniform(n, seed)
-	return parallel.Map(algCfgGrid(algs, cfgs), workers, func(_ int, p algCfg) (SpinSortRow, error) {
-		ps := splitSpin(seed, p)
-		space := spintronic.NewSpace(p.cfg, rng.Split(ps, "space"))
-		shadow := mem.NewPreciseSpace()
-		pair := sorts.Pair{Keys: space.Alloc(n), IDs: shadow.Alloc(n)}
-		mem.Load(pair.Keys, keys)
-		mem.Load(pair.IDs, dataset.IDs(n))
-		p.alg.Sort(pair, sorts.Env{KeySpace: space, IDSpace: shadow, R: rng.New(rng.Split(ps, "sort"))})
-		out := mem.PeekAll(pair.Keys)   //nolint:memescape // measurement-only peek after the accounted run
-		idsRaw := mem.PeekAll(pair.IDs) //nolint:memescape // shadow IDs live in an uncharged instrumentation space
-		ids := make([]int, n)
-		for j, v := range idsRaw {
-			ids[j] = int(v)
+	rows, err := SortOnlyGrid(algs, spinPoints(cfgs), n, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SpinSortRow, len(rows))
+	for i, r := range rows {
+		saving, prob := spinParams(r.Point)
+		out[i] = SpinSortRow{
+			Algorithm:    r.Algorithm,
+			Saving:       saving,
+			BitErrorProb: prob,
+			N:            r.N,
+			RemRatio:     r.RemRatio,
+			ErrorRate:    r.ErrorRate,
 		}
-		if err := verify.CheckApproxRun(keys, out, ids).Err(); err != nil {
-			return SpinSortRow{}, fmt.Errorf("experiments: %s spin(%g,%g) n=%d: %w",
-				p.alg.Name(), p.cfg.Saving, p.cfg.BitErrorProb, n, err)
-		}
-		return SpinSortRow{
-			Algorithm:    p.alg.Name(),
-			Saving:       p.cfg.Saving,
-			BitErrorProb: p.cfg.BitErrorProb,
-			N:            n,
-			RemRatio:     sortedness.RemRatio(out),
-			ErrorRate:    sortedness.ErrorRate(out, ids, keys),
-		}, nil
-	})
+	}
+	return out, nil
 }
 
 // SpinRefineRow is one point of the Appendix A approx-refine study
@@ -102,41 +87,43 @@ type SpinRefineRow struct {
 	Sorted                     bool
 }
 
+func toSpinRefineRow(r RefineRow) SpinRefineRow { //nolint:verifygate // pure field conversion of a row RefineAt already audited
+	saving, prob := spinParams(r.Point)
+	return SpinRefineRow{
+		Algorithm:     r.Algorithm,
+		Saving:        saving,
+		BitErrorProb:  prob,
+		N:             r.N,
+		EnergySaving:  r.EnergySaving,
+		ApproxEnergy:  r.ApproxEnergy,
+		RefineEnergy:  r.RefineEnergy,
+		RemTildeRatio: r.RemTildeRatio,
+		Sorted:        r.Sorted,
+	}
+}
+
 // SpinRefine runs approx-refine on the spintronic model at one operating
-// point. Like Refine, the run is audited by the invariant checker (the
-// checker skips the MLC-only energy identities for custom spaces).
+// point. Like Refine, the run is audited by the invariant checker —
+// against the spintronic backend's accounting identities (fixed write
+// latency, per-write energy of 1−Saving).
 func SpinRefine(alg sorts.Algorithm, cfg spintronic.Config, keys []uint32, seed uint64) (SpinRefineRow, error) {
-	res, err := core.Run(keys, core.Config{
-		Algorithm: alg,
-		NewSpace:  func(s uint64) core.Space { return spintronic.NewSpace(cfg, s) },
-		Seed:      seed,
-	})
+	row, err := RefineAt(alg, memmodel.Spintronic(cfg), keys, seed)
 	if err != nil {
 		return SpinRefineRow{}, err
 	}
-	if err := verify.Check(keys, res).Err(); err != nil {
-		return SpinRefineRow{}, fmt.Errorf("experiments: %s spin(%g,%g) n=%d: %w",
-			alg.Name(), cfg.Saving, cfg.BitErrorProb, len(keys), err)
-	}
-	r := res.Report
-	return SpinRefineRow{
-		Algorithm:     r.Algorithm,
-		Saving:        cfg.Saving,
-		BitErrorProb:  cfg.BitErrorProb,
-		N:             r.N,
-		EnergySaving:  r.EnergySaving(),
-		ApproxEnergy:  r.ApproxPhase().WriteEnergy(),
-		RefineEnergy:  r.RefinePhase().WriteEnergy(),
-		RemTildeRatio: r.RemTildeRatio(),
-		Sorted:        r.Sorted,
-	}, nil
+	return toSpinRefineRow(row), nil
 }
 
 // Fig13 sweeps the operating points for each algorithm (Figure 13; the
 // same rows' energy decomposition at the 33% point is Figure 14).
 func Fig13(algs []sorts.Algorithm, cfgs []spintronic.Config, n int, seed uint64, workers int) ([]SpinRefineRow, error) {
-	keys := dataset.Uniform(n, seed)
-	return parallel.Map(algCfgGrid(algs, cfgs), workers, func(_ int, p algCfg) (SpinRefineRow, error) {
-		return SpinRefine(p.alg, p.cfg, keys, splitSpin(seed, p))
-	})
+	rows, err := RefineGrid(algs, spinPoints(cfgs), n, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SpinRefineRow, len(rows))
+	for i, r := range rows {
+		out[i] = toSpinRefineRow(r)
+	}
+	return out, nil
 }

@@ -19,7 +19,7 @@ type ApproxSpace struct {
 	model mlc.WordModel
 	r     *rng.Source
 	stats Stats
-	addrs addressAllocator
+	addrs AddressAllocator
 	sink  Sink
 }
 
@@ -48,7 +48,7 @@ func (s *ApproxSpace) Model() mlc.WordModel { return s.model }
 func (s *ApproxSpace) Alloc(n int) Words {
 	return &approxWords{
 		space: s,
-		base:  s.addrs.take(n),
+		base:  s.addrs.Take(n),
 		data:  make([]uint32, n),
 	}
 }

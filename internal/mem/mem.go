@@ -130,13 +130,19 @@ type Space interface {
 // pageBytes is the allocation granularity (Table 1: 4 KB pages).
 const pageBytes = 4096
 
-// addressAllocator hands out page-aligned base addresses for arrays so
-// traced accesses land in non-overlapping regions.
-type addressAllocator struct {
+// AddressAllocator hands out page-aligned base addresses for arrays so
+// traced accesses land in non-overlapping regions. It is exported so
+// sibling space implementations (internal/spintronic, future memmodel
+// backends) share the same physical-address layout as the PCM spaces
+// here. The zero value is ready to use.
+type AddressAllocator struct {
 	next uint64
 }
 
-func (a *addressAllocator) take(words int) uint64 {
+// Take reserves `words` 32-bit words and returns their page-aligned base
+// byte address. Even a zero-length array consumes one page, so distinct
+// arrays never alias.
+func (a *AddressAllocator) Take(words int) uint64 {
 	base := a.next
 	bytes := uint64(words) * 4
 	pages := (bytes + pageBytes - 1) / pageBytes

@@ -5,7 +5,7 @@ package mem
 // read costs mlc.ReadNanos.
 type PreciseSpace struct {
 	stats Stats
-	addrs addressAllocator
+	addrs AddressAllocator
 	sink  Sink
 }
 
@@ -20,7 +20,7 @@ func (s *PreciseSpace) SetSink(sink Sink) { s.sink = sink }
 func (s *PreciseSpace) Alloc(n int) Words {
 	return &preciseWords{
 		space: s,
-		base:  s.addrs.take(n),
+		base:  s.addrs.Take(n),
 		data:  make([]uint32, n),
 	}
 }

@@ -1,0 +1,142 @@
+package memmodel
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+	"approxsort/internal/spintronic"
+)
+
+// SpintronicName is the registry name of the Appendix A spintronic
+// backend (after Ranjan et al., DAC'15).
+const SpintronicName = "spintronic"
+
+// spinBackend adapts internal/spintronic to the Backend seam. Its
+// approximate writes cost full precise latency but a reduced energy
+// (1 − saving), with independent per-bit flip errors — the dual of the
+// MLC model, which saves latency and energy together.
+type spinBackend struct{}
+
+func init() { Register(spinBackend{}) }
+
+func (spinBackend) Name() string { return SpintronicName }
+
+func (spinBackend) Params() []ParamSpec {
+	return []ParamSpec{
+		{
+			Name:    "saving",
+			Doc:     "fraction of the precise write energy saved per approximate write",
+			Default: 0.33, // the Figure 13/14 featured operating point
+			Min:     0,
+			Max:     1, // exclusive in practice: Config.Validate rejects saving == 1
+			Seed:    true,
+		},
+		{
+			Name:    "bit_error_prob",
+			Doc:     "independent per-bit flip probability of one write",
+			Default: 1e-5,
+			Min:     0,
+			Max:     0.5,
+			Seed:    true,
+		},
+		{
+			Name: "read_bit_error_prob",
+			Doc:  "per-bit flip probability of one read (0 = reads precise, the appendix's assumption)",
+			Min:  0,
+			Max:  0.5,
+			// Not a seed coordinate: the parameter postdates the pinned
+			// spintronic goldens, whose streams are keyed by
+			// (saving, bit_error_prob) alone.
+		},
+	}
+}
+
+// Spintronic returns the spintronic point at operating point cfg.
+func Spintronic(cfg spintronic.Config) Point {
+	params := map[string]float64{
+		"saving":         cfg.Saving,
+		"bit_error_prob": cfg.BitErrorProb,
+	}
+	if cfg.ReadBitErrorProb != 0 { //nolint:floatord // exact-zero test on a configured probability, not an accumulated sum
+		params["read_bit_error_prob"] = cfg.ReadBitErrorProb
+	}
+	return Point{Backend: SpintronicName, Params: params}
+}
+
+// config converts a normalized point back to the concrete operating
+// point.
+func (spinBackend) config(pt Point) spintronic.Config {
+	saving, ok1 := pt.Param("saving")
+	eprob, ok2 := pt.Param("bit_error_prob")
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("memmodel: %v is not normalized (missing saving/bit_error_prob)", pt))
+	}
+	readProb, _ := pt.Param("read_bit_error_prob")
+	return spintronic.Config{Saving: saving, BitErrorProb: eprob, ReadBitErrorProb: readProb}
+}
+
+func (b spinBackend) DefaultPoint() Point {
+	pt, err := b.Normalize(Point{Backend: SpintronicName})
+	if err != nil {
+		panic(err) // unreachable: the default is in range
+	}
+	return pt
+}
+
+func (b spinBackend) Normalize(pt Point) (Point, error) {
+	out, err := normalizeAgainst(b, pt)
+	if err != nil {
+		return Point{}, err
+	}
+	// Config.Validate is the authoritative range check; the schema bounds
+	// mirror it, so this is a belt-and-braces consistency guard.
+	if err := b.config(out).Validate(); err != nil {
+		return Point{}, err
+	}
+	return out, nil
+}
+
+func (b spinBackend) NewApprox(pt Point, seed uint64) Space {
+	return spintronic.NewSpace(b.config(pt), seed)
+}
+
+func (spinBackend) NewPrecise() Space { return mem.NewPreciseSpace() }
+
+func (b spinBackend) SeedCoords(pt Point) []any {
+	cfg := b.config(pt)
+	return []any{cfg.Saving, cfg.BitErrorProb}
+}
+
+// SortOnlySeeds reproduces the Appendix A study's original derivation —
+// labelled sub-streams split from the point seed — pinned by the
+// Figure 12 golden rows.
+func (spinBackend) SortOnlySeeds(pointSeed uint64) (uint64, uint64) {
+	return rng.Split(pointSeed, "space"), rng.Split(pointSeed, "sort")
+}
+
+func (b spinBackend) Identities(pt Point) Identities {
+	return Identities{
+		FixedWriteLatency: true,
+		EnergyPerWrite:    1 - b.config(pt).Saving,
+	}
+}
+
+// ApproxWriteNanos: lowering the MTJ write voltage saves energy, not
+// time — approximate writes keep the precise write latency.
+func (spinBackend) ApproxWriteNanos(Point) float64 { return mlc.PreciseWriteNanos }
+
+// Compile-time seam check: the spintronic space satisfies the contract.
+var _ Space = (*spintronic.Space)(nil)
+
+// SpintronicPresets returns the four Appendix A operating points as
+// registry points, in increasing aggressiveness.
+func SpintronicPresets() []Point {
+	cfgs := spintronic.Presets()
+	pts := make([]Point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i] = Spintronic(cfg)
+	}
+	return pts
+}

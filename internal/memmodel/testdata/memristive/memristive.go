@@ -1,0 +1,141 @@
+// Package memristive is the DESIGN.md §12 worked example: the smallest
+// complete Backend registration. It sketches a memristive (ReRAM) device
+// model — approximate writes use a reduced programming current, trading
+// energy for a per-cell switching-failure probability — with the device
+// physics left as stubs, so the seam obligations stand out.
+//
+// It lives in testdata (not compiled into the tree) because it is
+// documentation: a template to copy when adding a real backend. To
+// activate a copy: move it under internal/<model>/, implement the real
+// space (internal/spintronic is the closest template), and import the
+// package for side effect (or call Register from an init) — everything
+// downstream (experiments grids, sortd routing, /v1/backends, the
+// verifier) picks it up through the registry with no further wiring.
+package memristive
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/memmodel"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+)
+
+// Name is the registry key. Must be unique across the process.
+const Name = "memristive"
+
+// backend must be a stateless value: methods are called concurrently from
+// grid workers, and all run state belongs in the spaces it constructs.
+type backend struct{}
+
+// Registration is an init-time act; a real model's package init does this.
+func init() { memmodel.Register(backend{}) }
+
+func (backend) Name() string { return Name }
+
+// Params is the single source of truth for the parameter schema:
+// Normalize enforces it, GET /v1/backends serves it, and the Seed flags
+// below fix the grid seed derivation forever (see SeedCoords).
+func (backend) Params() []memmodel.ParamSpec {
+	return []memmodel.ParamSpec{
+		{
+			Name:    "current_scale",
+			Doc:     "programming current relative to the precise write (lower = cheaper, less reliable)",
+			Default: 0.7,
+			Min:     0,
+			Max:     1,
+			MinExclusive: true,
+			Seed:    true,
+		},
+		{
+			Name:    "switch_fail_prob",
+			Doc:     "per-cell probability that a reduced-current write fails to switch",
+			Default: 1e-5,
+			Min:     0,
+			Max:     0.5,
+			Seed:    true,
+		},
+	}
+}
+
+func (b backend) DefaultPoint() memmodel.Point {
+	pt, err := b.Normalize(memmodel.Point{Backend: Name})
+	if err != nil {
+		panic(err) // unreachable: the defaults are in range
+	}
+	return pt
+}
+
+// Normalize may lean entirely on the schema (memmodel exports a helper to
+// registered backends internally; external packages spell out the loop or
+// validate via a concrete config type, as internal/spintronic does).
+// Obligations: fill defaults, reject unknown parameter names, reject
+// out-of-range values, never mutate the caller's map.
+func (b backend) Normalize(pt memmodel.Point) (memmodel.Point, error) {
+	out := memmodel.Point{Backend: Name, Params: map[string]float64{}}
+	specs := map[string]memmodel.ParamSpec{}
+	for _, spec := range b.Params() {
+		specs[spec.Name] = spec
+		out.Params[spec.Name] = spec.Default
+	}
+	if pt.Backend != "" && pt.Backend != Name {
+		return memmodel.Point{}, fmt.Errorf("memristive: point names backend %q", pt.Backend)
+	}
+	for name, v := range pt.Params {
+		spec, ok := specs[name]
+		if !ok {
+			return memmodel.Point{}, fmt.Errorf("memristive: unknown parameter %q", name)
+		}
+		if v < spec.Min || v > spec.Max || (spec.MinExclusive && v == spec.Min) {
+			return memmodel.Point{}, fmt.Errorf("memristive: %s=%g out of range", name, v)
+		}
+		out.Params[name] = v
+	}
+	return out, nil
+}
+
+// NewApprox is where the device physics lives. The stub returns a precise
+// space (i.e. a model with no corruption and no savings); a real model
+// wraps the storage with a corrupter drawing from rng.New(seed) — see
+// internal/spintronic/space.go for the canonical shape. The returned type
+// must satisfy memmodel.Space (mem.Space + ResetStats + SetSink).
+func (backend) NewApprox(pt memmodel.Point, seed uint64) memmodel.Space {
+	_ = pt // real model: configure failure prob & energy from the point
+	_ = seed
+	return mem.NewPreciseSpace()
+}
+
+func (backend) NewPrecise() memmodel.Space { return mem.NewPreciseSpace() }
+
+// SeedCoords must return exactly the Seed-flagged parameters, in schema
+// order. This keys every grid cell's RNG stream; once golden rows are
+// pinned it can never change, which is why parameters added later (like
+// spintronic's read_bit_error_prob) are registered with Seed: false.
+func (backend) SeedCoords(pt memmodel.Point) []any {
+	scale, _ := pt.Param("current_scale")
+	fail, _ := pt.Param("switch_fail_prob")
+	return []any{scale, fail}
+}
+
+// SortOnlySeeds derives the (space, sort) stream pair for sort-only runs.
+// New backends should use labelled splits; the pcm-mlc backend's XOR
+// schedule is a legacy derivation kept only for its pinned goldens.
+func (backend) SortOnlySeeds(pointSeed uint64) (uint64, uint64) {
+	return rng.Split(pointSeed, "space"), rng.Split(pointSeed, "sort")
+}
+
+// Identities tells the verifier which accounting invariants to hold the
+// approximate space to. Reduced-current writes keep the precise latency
+// and cost a current_scale fraction of the precise energy.
+func (backend) Identities(pt memmodel.Point) memmodel.Identities {
+	scale, _ := pt.Param("current_scale")
+	return memmodel.Identities{
+		FixedWriteLatency: true,
+		EnergyPerWrite:    scale,
+	}
+}
+
+// ApproxWriteNanos is the device clock sortd charges for the approximate
+// region (reduced current does not shorten the switching pulse).
+func (backend) ApproxWriteNanos(memmodel.Point) float64 { return mlc.PreciseWriteNanos }

@@ -138,6 +138,14 @@ func (t *Table) Params() Params { return t.p }
 // AvgP returns the calibrated mean P&V pulse count per cell write.
 func (t *Table) AvgP() float64 { return t.avgP }
 
+// AvgWriteNanos returns the calibrated mean word-write latency: AvgP
+// scaled so the reference precise point (ReferenceAvgP pulses per cell)
+// costs PreciseWriteNanos. It is the p(t)·(precise latency) device clock
+// the serving layer charges for an approximate MLC region.
+func (t *Table) AvgWriteNanos() float64 {
+	return t.avgP / ReferenceAvgP * PreciseWriteNanos
+}
+
 // CellErrorProb returns the probability that a cell write targeting level
 // reads back as a different level.
 func (t *Table) CellErrorProb(level int) float64 {

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"net/http"
+
+	"approxsort/internal/memmodel"
+)
+
+// BackendView is one entry of GET /v1/backends: a registered memory
+// model, its parameter schema, and its fully-defaulted reference point —
+// everything a client needs to construct a valid POST /v1/sort body.
+type BackendView struct {
+	Name         string               `json:"name"`
+	Params       []memmodel.ParamSpec `json:"params"`
+	DefaultPoint memmodel.Point       `json:"default_point"`
+}
+
+// BackendsResponse is the body of GET /v1/backends.
+type BackendsResponse struct {
+	// Default names the backend used when a sort request names none.
+	Default  string        `json:"default"`
+	Backends []BackendView `json:"backends"`
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/backends"
+	resp := BackendsResponse{Default: memmodel.DefaultName}
+	for _, name := range memmodel.Names() {
+		b := memmodel.MustGet(name)
+		resp.Backends = append(resp.Backends, BackendView{
+			Name:         name,
+			Params:       b.Params(),
+			DefaultPoint: b.DefaultPoint(),
+		})
+	}
+	s.writeJSON(w, route, http.StatusOK, resp)
+}

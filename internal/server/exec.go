@@ -15,8 +15,9 @@ import (
 
 // execute runs one normalized request to completion. pilotSize tunes the
 // planner sample (0 = planner default). The request's Seed is split by the
-// job's coordinates, never by arrival order, so resubmitting the same
-// request — on any worker, at any concurrency — reproduces the same
+// job's coordinates — the algorithm name plus the backend point's
+// seed-bearing parameters — never by arrival order, so resubmitting the
+// same request — on any worker, at any concurrency — reproduces the same
 // numbers (the serving-side analogue of the sweep determinism contract).
 func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 	keys := req.Keys
@@ -31,11 +32,25 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	b, pt := req.backend, req.point
 
 	res := &JobResult{
 		Algorithm: alg.Name(),
+		Backend:   b.Name(),
+		Params:    pt.Params,
 		N:         len(keys),
 		T:         req.T,
+	}
+
+	// seedParts keys a sub-stream by purpose + job coordinates. For
+	// pcm-mlc the coordinates are [t], reproducing the pre-seam
+	// derivation bit-for-bit.
+	coords := b.SeedCoords(pt)
+	seedParts := func(kind string, extra ...any) []any {
+		parts := make([]any, 0, 3+len(coords)+len(extra))
+		parts = append(parts, "sortd", kind, alg.Name())
+		parts = append(parts, coords...)
+		return append(parts, extra...)
 	}
 
 	mode := req.Mode
@@ -43,8 +58,8 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 		plan, err := core.Planner{
 			Config: core.Config{
 				Algorithm: alg,
-				T:         req.T,
-				Seed:      rng.Split(req.Seed, "sortd", "pilot", alg.Name(), req.T),
+				NewSpace:  func(s uint64) core.Space { return b.NewApprox(pt, s) },
+				Seed:      rng.Split(req.Seed, seedParts("pilot")...),
 			},
 			PilotSize: pilotSize,
 		}.Plan(keys)
@@ -71,7 +86,7 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 	}
 	res.Mode = mode
 
-	runSeed := rng.Split(req.Seed, "sortd", "run", alg.Name(), req.T, len(keys))
+	runSeed := rng.Split(req.Seed, seedParts("run", len(keys))...)
 	if mode == ModeHybrid {
 		err = executeHybrid(res, keys, alg, req, runSeed)
 	} else {
@@ -86,26 +101,27 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 
 // executeHybrid runs approx-refine with both spaces sinked into one
 // Table 1 memory system, plus the precise-only baseline for the measured
-// write reduction.
+// write reduction. The approximate region's device clock charges the
+// backend's modelled mean write latency.
 func executeHybrid(res *JobResult, keys []uint32, alg sorts.Algorithm, req *SortRequest, seed uint64) error {
-	table := mlc.CachedTable(mlc.Approximate(req.T), 0, mlc.CalibrationSeed)
-	approxWriteNanos := table.AvgP() / mlc.ReferenceAvgP * mlc.PreciseWriteNanos
+	b, pt := req.backend, req.point
 	sys := hybrid.New()
 	out, err := core.Run(keys, core.Config{
 		Algorithm:   alg,
-		T:           req.T,
+		NewSpace:    func(s uint64) core.Space { return b.NewApprox(pt, s) },
 		Seed:        seed,
 		PreciseSink: sys.Region("precise", mlc.PreciseWriteNanos),
-		ApproxSink:  sys.Region("approx", approxWriteNanos),
+		ApproxSink:  sys.Region("approx", b.ApproxWriteNanos(pt)),
 	})
 	if err != nil {
 		return err
 	}
-	// Every served job passes through the full invariant checker plus
-	// the memory-system consistency check before its result is stored —
-	// a routing or refine regression fails the job loudly instead of
-	// returning a slightly-wrong payload.
-	if err := verify.Check(keys, out).Err(); err != nil {
+	// Every served job passes through the full invariant checker — held
+	// to the backend's accounting identities — plus the memory-system
+	// consistency check before its result is stored — a routing or refine
+	// regression fails the job loudly instead of returning a
+	// slightly-wrong payload.
+	if err := verify.CheckRefineRun(keys, out, b.Identities(pt)).Err(); err != nil {
 		return err
 	}
 	if err := sys.Stats().Check(); err != nil {

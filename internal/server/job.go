@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"approxsort/internal/dataset"
-	"approxsort/internal/mlc"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/sorts"
 )
 
@@ -27,11 +27,24 @@ type SortRequest struct {
 
 	// Mode picks the execution path: "hybrid" forces approx-refine,
 	// "precise" forces the traditional sort, and "auto" (default) runs
-	// core.Planner's pilot and routes per Equation 4.
+	// core.Planner's pilot and routes per Equation 4. Note the planner
+	// routes on write latency; backends that save energy at full latency
+	// (spintronic) always route precise under auto, so energy-motivated
+	// jobs on such backends should force "hybrid".
 	Mode string `json:"mode,omitempty"`
 
-	// T is the approximate-memory target half-width. 0 defaults to
-	// 0.055, the paper's sweet spot (Figure 9).
+	// Backend names the approximate-memory device model from the
+	// memmodel registry (GET /v1/backends lists them). Empty selects
+	// "pcm-mlc", the paper's main-body model.
+	Backend string `json:"backend,omitempty"`
+	// Params sets the backend's operating point (e.g. {"saving": 0.33,
+	// "bit_error_prob": 1e-5} for spintronic). Absent parameters take
+	// the backend's documented defaults.
+	Params map[string]float64 `json:"params,omitempty"`
+
+	// T is the pcm-mlc target half-width — legacy shorthand for
+	// params.t. 0 defaults to 0.055, the paper's sweet spot (Figure 9).
+	// Rejected for other backends.
 	T float64 `json:"t,omitempty"`
 
 	// Seed drives the run's noise and pivot streams. The planner pilot
@@ -41,6 +54,11 @@ type SortRequest struct {
 	// ReturnKeys asks for the sorted key array in the response. Refused
 	// above maxReturnKeys to keep job records small.
 	ReturnKeys bool `json:"return_keys,omitempty"`
+
+	// backend and point are the registry resolution of Backend/Params/T,
+	// filled by normalize. Unexported: execution state, not API surface.
+	backend memmodel.Backend
+	point   memmodel.Point
 }
 
 // maxReturnKeys bounds the sorted payload a job is willing to echo back.
@@ -154,11 +172,33 @@ func (r *SortRequest) normalize(maxN int) error {
 	if _, err := r.algorithm(); err != nil {
 		return err
 	}
-	if r.T == 0 {
-		r.T = 0.055
+	b, err := memmodel.Get(r.Backend)
+	if err != nil {
+		return err // *memmodel.UnknownBackendError → 400
 	}
-	if r.T < 0 || r.T > mlc.MaxT {
-		return fmt.Errorf("t = %v out of range (0, %v]", r.T, mlc.MaxT)
+	r.Backend = b.Name() // canonicalize "" to the default backend's name
+	pt := memmodel.Point{Backend: b.Name(), Params: r.Params}
+	if r.T != 0 {
+		if b.Name() != memmodel.PCMMLC {
+			return fmt.Errorf("t applies only to the %s backend; parameterize %s via params",
+				memmodel.PCMMLC, b.Name())
+		}
+		if _, dup := pt.Param("t"); dup {
+			return fmt.Errorf("provide the half-width as t or params.t, not both")
+		}
+		params := map[string]float64{"t": r.T}
+		for k, v := range pt.Params {
+			params[k] = v
+		}
+		pt.Params = params
+	}
+	pt, err = b.Normalize(pt)
+	if err != nil {
+		return err
+	}
+	r.backend, r.point = b, pt
+	if b.Name() == memmodel.PCMMLC {
+		r.T, _ = pt.Param("t") // echo the resolved half-width in the legacy column
 	}
 	return nil
 }
@@ -221,10 +261,15 @@ type WriteCounts struct {
 
 // JobResult is the completed job's payload.
 type JobResult struct {
-	Algorithm string  `json:"algorithm"`
-	Mode      string  `json:"mode"` // hybrid or precise (auto resolved)
-	N         int     `json:"n"`
-	T         float64 `json:"t"`
+	Algorithm string `json:"algorithm"`
+	Mode      string `json:"mode"` // hybrid or precise (auto resolved)
+	N         int    `json:"n"`
+	// Backend and Params echo the resolved memory model and its
+	// normalized operating point; T is the legacy pcm-mlc half-width
+	// column (0 for other backends).
+	Backend string             `json:"backend"`
+	Params  map[string]float64 `json:"params,omitempty"`
+	T       float64            `json:"t"`
 
 	// Plan is present when the job consulted the planner (mode auto).
 	Plan *PlanView `json:"plan,omitempty"`
@@ -289,6 +334,7 @@ type Job struct {
 	// Echoed request coordinates, for list/debug views.
 	Algorithm string  `json:"algorithm"`
 	Mode      string  `json:"mode"`
+	Backend   string  `json:"backend"`
 	N         int     `json:"n"`
 	T         float64 `json:"t"`
 

@@ -164,8 +164,8 @@ func TestServerMetricsSurface(t *testing.T) {
 	out := fetchMetrics(t, ts.URL)
 	for _, want := range []string{
 		`sortd_requests_total{route="/v1/sort",code="200"} 3`,
-		`sortd_jobs_total{algorithm="quicksort",mode="precise",status="done"} 3`,
-		`sortd_job_duration_seconds_count{algorithm="quicksort",mode="precise"} 3`,
+		`sortd_jobs_total{backend="pcm-mlc",algorithm="quicksort",mode="precise",status="done"} 3`,
+		`sortd_job_duration_seconds_count{backend="pcm-mlc",algorithm="quicksort",mode="precise"} 3`,
 		"sortd_queue_capacity 8",
 		"sortd_draining 0",
 	} {

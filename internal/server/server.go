@@ -84,8 +84,8 @@ type Server struct {
 
 	metrics      *Registry
 	requests     *CounterVec   // route, code
-	jobsTotal    *CounterVec   // algorithm, mode, status
-	jobLatency   *HistogramVec // algorithm, mode
+	jobsTotal    *CounterVec   // backend, algorithm, mode, status
+	jobLatency   *HistogramVec // backend, algorithm, mode
 	queueRejects *Counter
 
 	// testHookBeforeExec, when non-nil, runs on the worker goroutine
@@ -107,11 +107,11 @@ func New(cfg Config) *Server {
 	s.requests = m.CounterVec("sortd_requests_total",
 		"HTTP requests by route and status code.", "route", "code")
 	s.jobsTotal = m.CounterVec("sortd_jobs_total",
-		"Completed jobs by algorithm, resolved execution mode and status.",
-		"algorithm", "mode", "status")
+		"Completed jobs by memory backend, algorithm, resolved execution mode and status.",
+		"backend", "algorithm", "mode", "status")
 	s.jobLatency = m.HistogramVec("sortd_job_duration_seconds",
 		"Job execution latency (dequeue to completion).",
-		DefaultLatencyBuckets, "algorithm", "mode")
+		DefaultLatencyBuckets, "backend", "algorithm", "mode")
 	s.queueRejects = m.Counter("sortd_queue_rejected_total",
 		"Jobs rejected with 429 because the queue was full.")
 	m.GaugeFunc("sortd_queue_depth", "Accepted jobs not yet started.",
@@ -146,6 +146,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sort", s.handleSort)
+	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -215,6 +216,7 @@ func (s *Server) handleSort(w http.ResponseWriter, r *http.Request) {
 		Status:     StatusQueued,
 		Algorithm:  req.Algorithm,
 		Mode:       req.Mode,
+		Backend:    req.Backend,
 		N:          req.inputSize(),
 		T:          req.T,
 		EnqueuedAt: time.Now().UTC(), //nolint:detrand // wall-clock by design: job timestamps are service metadata, not simulated results
@@ -286,8 +288,8 @@ func (s *Server) runJob(job *Job) {
 	s.mu.Unlock()
 
 	s.inflight.Add(-1)
-	s.jobsTotal.With(job.Algorithm, mode, status).Inc()
-	s.jobLatency.With(job.Algorithm, mode).Observe(elapsed.Seconds())
+	s.jobsTotal.With(job.Backend, job.Algorithm, mode, status).Inc()
+	s.jobLatency.With(job.Backend, job.Algorithm, mode).Observe(elapsed.Seconds())
 	close(job.done)
 }
 

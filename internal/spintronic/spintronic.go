@@ -69,7 +69,7 @@ type Space struct {
 	r     *rng.Source
 	stats mem.Stats
 	sink  mem.Sink
-	next  uint64 // bump address allocator (page aligned)
+	addrs mem.AddressAllocator
 
 	// logOneMinusWrite and logOneMinusRead cache ln(1−p) for geometric
 	// bit-flip skipping on writes and reads respectively.
@@ -99,14 +99,7 @@ func (s *Space) SetSink(sink mem.Sink) { s.sink = sink }
 
 // Alloc implements mem.Space.
 func (s *Space) Alloc(n int) mem.Words {
-	base := s.next
-	bytes := uint64(n) * 4
-	pages := (bytes + 4095) / 4096
-	if pages == 0 {
-		pages = 1
-	}
-	s.next += pages * 4096
-	return &words{space: s, base: base, data: make([]uint32, n)}
+	return &words{space: s, base: s.addrs.Take(n), data: make([]uint32, n)}
 }
 
 // Stats implements mem.Space.

@@ -34,6 +34,7 @@ import (
 
 	"approxsort/internal/core"
 	"approxsort/internal/mem"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/mlc"
 	"approxsort/internal/sortedness"
 )
@@ -96,8 +97,25 @@ func closeEnough(a, b float64) bool {
 }
 
 // Check audits one finished approx-refine run against every invariant the
-// paper promises. input must be the exact key slice passed to core.Run.
+// paper promises, inferring the backend identity set from the report:
+// Report.T > 0 means the MLC PCM model, anything else gets only the
+// backend-independent identities. Callers that know their backend should
+// prefer CheckRefineRun with the backend's own identity set — it audits
+// strictly more. Check remains for runs whose backend is unknown at the
+// call site (fuzz targets, raw core.Run users).
 func Check(input []uint32, res core.Result) *Report {
+	var id memmodel.Identities
+	if res.Report != nil && res.Report.T > 0 {
+		id = memmodel.MustGet(memmodel.PCMMLC).Identities(memmodel.Point{})
+	}
+	return CheckRefineRun(input, res, id)
+}
+
+// CheckRefineRun audits one finished approx-refine run against every
+// invariant the paper promises, holding the approximate-space stats to
+// the given backend identity set (memmodel.Backend.Identities). input
+// must be the exact key slice passed to core.Run.
+func CheckRefineRun(input []uint32, res core.Result, id memmodel.Identities) *Report {
 	r := res.Report
 	rep := &Report{N: len(input)}
 	n := len(input)
@@ -145,7 +163,7 @@ func Check(input []uint32, res core.Result) *Report {
 
 	checkRem(rep, r)
 	checkRefineWrites(rep, r)
-	checkStages(rep, r)
+	checkStages(rep, r, id)
 	return rep
 }
 
@@ -232,8 +250,9 @@ func checkRefineWrites(rep *Report, r *core.Report) {
 }
 
 // checkStages reconciles every stage's Stats with the device model's
-// per-access constants and the Report's phase roll-ups.
-func checkStages(rep *Report, r *core.Report) {
+// per-access constants and the Report's phase roll-ups. id selects the
+// backend-specific approximate-write identities.
+func checkStages(rep *Report, r *core.Report, id memmodel.Identities) {
 	stages := []struct {
 		name string
 		b    core.StageBreakdown
@@ -246,7 +265,7 @@ func checkStages(rep *Report, r *core.Report) {
 	var sum core.StageBreakdown
 	for _, st := range stages {
 		checkPreciseStats(rep, st.name, st.b.Precise)
-		checkApproxStats(rep, st.name, st.b.Approx, r.T > 0)
+		checkApproxStats(rep, st.name, st.b.Approx, id)
 		sum.Approx.Add(st.b.Approx)
 		sum.Precise.Add(st.b.Precise)
 	}
@@ -293,11 +312,12 @@ func checkPreciseStats(rep *Report, stage string, s mem.Stats) {
 		"precise-accounting", "%s precise stats report pulses/corruption: %v", stage, s)
 }
 
-// checkApproxStats verifies an approximate region's Stats. The
-// energy-tracks-latency and pulse-coverage identities hold only for the
-// MLC PCM model (mlcModel true, i.e. Report.T > 0); the spintronic model
-// charges its own energy schedule, so those are skipped for it.
-func checkApproxStats(rep *Report, stage string, s mem.Stats, mlcModel bool) {
+// checkApproxStats verifies an approximate region's Stats: the
+// backend-independent identities always, plus whichever backend-specific
+// identities the memmodel.Identities set asserts. The zero Identities —
+// used when the backend is unknown, e.g. a raw core.Run with a custom
+// NewSpace — checks only the generic subset.
+func checkApproxStats(rep *Report, stage string, s mem.Stats, id memmodel.Identities) {
 	rep.check(s.Reads >= 0 && s.Writes >= 0 && s.ReadNanos >= 0 && s.WriteNanos >= 0,
 		"stage-negative", "%s approx stats have negative fields: %v", stage, s)
 	rep.check(s.Corrupted <= s.Writes,
@@ -306,15 +326,26 @@ func checkApproxStats(rep *Report, stage string, s mem.Stats, mlcModel bool) {
 	rep.check(closeEnough(s.ReadNanos, float64(s.Reads)*mlc.ReadNanos),
 		"approx-accounting", "%s approx ReadNanos %g != Reads %d × %g",
 		stage, s.ReadNanos, s.Reads, mlc.ReadNanos)
-	if !mlcModel {
-		return
+	if id.EnergyTracksLatency {
+		rep.check(closeEnough(s.WriteEnergy*mlc.PreciseWriteNanos, s.WriteNanos),
+			"approx-accounting", "%s approx WriteEnergy %g does not track WriteNanos %g",
+			stage, s.WriteEnergy, s.WriteNanos)
 	}
-	rep.check(closeEnough(s.WriteEnergy*mlc.PreciseWriteNanos, s.WriteNanos),
-		"approx-accounting", "%s approx WriteEnergy %g does not track WriteNanos %g",
-		stage, s.WriteEnergy, s.WriteNanos)
-	rep.check(s.Iters >= s.Writes,
-		"approx-accounting", "%s approx issued %d pulses for %d writes (P&V needs ≥ 1 each)",
-		stage, s.Iters, s.Writes)
+	if id.PulsePerWrite {
+		rep.check(s.Iters >= s.Writes,
+			"approx-accounting", "%s approx issued %d pulses for %d writes (P&V needs ≥ 1 each)",
+			stage, s.Iters, s.Writes)
+	}
+	if id.FixedWriteLatency {
+		rep.check(closeEnough(s.WriteNanos, float64(s.Writes)*mlc.PreciseWriteNanos),
+			"approx-accounting", "%s approx WriteNanos %g != Writes %d × %g (fixed-latency backend)",
+			stage, s.WriteNanos, s.Writes, mlc.PreciseWriteNanos)
+	}
+	if id.EnergyPerWrite > 0 {
+		rep.check(closeEnough(s.WriteEnergy, float64(s.Writes)*id.EnergyPerWrite),
+			"approx-accounting", "%s approx WriteEnergy %g != Writes %d × %g",
+			stage, s.WriteEnergy, s.Writes, id.EnergyPerWrite)
+	}
 }
 
 // CheckOutput audits a plain precise-path output (no Report): order,
@@ -335,26 +366,30 @@ func CheckOutput(input, keys []uint32) *Report {
 // Appendix A studies, which never refine): the output and shadow-ID
 // arrays must match the input's length, and the IDs — which live in
 // precise shadow memory that corruption cannot touch — must still be a
-// permutation of [0, n). Key values are deliberately unchecked: value
-// corruption is the phenomenon those studies measure. A violation means
-// the sort lost or duplicated records, so every derived metric
-// (ErrorRate, Rem ratios, deviation means) would be measuring garbage.
-func CheckApproxRun(input, keys []uint32, ids []int) *Report {
+// permutation of [0, n). The approximate space's aggregate stats are held
+// to the backend identity set (memmodel.Backend.Identities; the zero
+// Identities checks only the backend-independent subset). Key values are
+// deliberately unchecked: value corruption is the phenomenon those
+// studies measure. A violation means the sort lost or duplicated records
+// or mis-accounted its traffic, so every derived metric (ErrorRate, Rem
+// ratios, write reductions) would be measuring garbage.
+func CheckApproxRun(input, keys []uint32, ids []int, stats mem.Stats, id memmodel.Identities) *Report {
 	n := len(input)
 	rep := &Report{N: n}
 	rep.check(len(keys) == n, "result-shape", "output has %d keys, want %d", len(keys), n)
 	rep.check(len(ids) == n, "result-shape", "output has %d IDs, want %d", len(ids), n)
+	checkApproxStats(rep, "approx-only", stats, id)
 	if len(ids) != n {
 		return rep
 	}
 	seen := make([]bool, n)
-	for i, id := range ids {
-		if id < 0 || id >= n || seen[id] {
+	for i, rid := range ids {
+		if rid < 0 || rid >= n || seen[rid] {
 			rep.check(false, "id-not-permutation",
-				"IDs[%d] = %d is out of range or repeated", i, id)
+				"IDs[%d] = %d is out of range or repeated", i, rid)
 			return rep
 		}
-		seen[id] = true
+		seen[rid] = true
 	}
 	rep.check(true, "id-not-permutation", "")
 	return rep
