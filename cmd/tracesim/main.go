@@ -90,8 +90,12 @@ func doRecord(stdout io.Writer, path string, n int, algName string, seed uint64)
 	p := sorts.Pair{Keys: space.Alloc(n), IDs: space.Alloc(n)}
 	mem.Load(p.Keys, dataset.Uniform(n, seed))
 	mem.Load(p.IDs, dataset.IDs(n))
-	space.SetSink(w) // trace starts after warm-up, like the paper
+	// The capture is a single stream into one sink, so batching through
+	// a Buffered cannot reorder anything the encoder observes.
+	sink := trace.NewBuffered(w, 0)
+	space.SetSink(sink) // trace starts after warm-up, like the paper
 	alg.Sort(p, sorts.Env{KeySpace: space, IDSpace: space, R: rng.New(seed ^ 0xfeed)})
+	sink.Flush()
 
 	if err := w.Close(); err != nil {
 		return err

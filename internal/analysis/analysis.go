@@ -1,4 +1,4 @@
-// Package analysis is the repository's static-analysis suite: five
+// Package analysis is the repository's static-analysis suite: six
 // analyzers that turn the simulator's runtime contracts into
 // compile-time checks, plus the loading and reporting plumbing that
 // cmd/memlint and the analysistest harness share.
@@ -22,6 +22,9 @@
 //     rel-1e-9 tolerance contract of internal/verify.
 //   - verifygate: every experiments row destined for serialization is
 //     audited by a verify.Check* call before it can be emitted.
+//   - hotpath: functions annotated //memlint:hotpath — the per-access
+//     inner loops of the simulation core — stay free of heap
+//     allocations and dynamic dispatch (DESIGN.md §13).
 //   - nolintreason: every //nolint directive names its check and
 //     justifies itself, so exemptions stay auditable.
 //
@@ -98,7 +101,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Memescape, Floatord, Verifygate, Nolintreason}
+	return []*Analyzer{Detrand, Memescape, Floatord, Verifygate, Hotpath, Nolintreason}
 }
 
 // RunAnalyzers executes each analyzer over the package held by unit and

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathMarker is the annotation that opts a function into the check,
+// written as a directive comment in the function's doc block.
+const hotpathMarker = "//memlint:hotpath"
+
+// Hotpath guards the per-access cost contract of the simulation core's
+// inner loops (DESIGN.md §13): a function annotated //memlint:hotpath
+// runs once per simulated word access, so a heap allocation or a
+// dynamically dispatched call inside it multiplies by the access count
+// of every sweep. The analyzer flags, inside annotated functions:
+//
+//   - allocation sites: make, new, append, function literals, and
+//     address-taken composite literals;
+//   - interface-crossing method calls and calls through func values,
+//     which block inlining and cost dynamic dispatch per access.
+//
+// A deliberate exception — a traced array's per-access sink dispatch,
+// a foreign model behind the devirtualized fast path — carries a
+// same-line `//nolint:hotpath // reason` naming why the cost stays off
+// the untraced fast path.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag per-access heap allocations and dynamic dispatch in //memlint:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hotpathAnnotated(fn) {
+				continue
+			}
+			checkHotpathBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func hotpathAnnotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pass, n, name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"function literal allocates in hotpath function %s; hoist it out of the per-access path", name)
+		case *ast.UnaryExpr:
+			if _, isLit := n.X.(*ast.CompositeLit); isLit {
+				pass.Reportf(n.Pos(),
+					"address-taken composite literal allocates in hotpath function %s; reuse a preallocated value", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotpathCall classifies one call inside an annotated body:
+// allocating builtins and dynamically dispatched calls are flagged;
+// static calls, conversions, and non-allocating builtins pass.
+func checkHotpathCall(pass *Pass, call *ast.CallExpr, name string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(),
+					"%s allocates in hotpath function %s; hoist or reuse buffers", obj.Name(), name)
+			}
+		case *types.Var:
+			// A call through a func-typed variable or parameter.
+			pass.Reportf(call.Pos(),
+				"dynamic call through %s in hotpath function %s; pass concrete work instead of a callback", fun.Name, name)
+		}
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[fun]
+		if !ok {
+			// Package-qualified identifier: a static call or conversion.
+			return
+		}
+		switch sel.Kind() {
+		case types.MethodVal:
+			if types.IsInterface(sel.Recv()) {
+				pass.Reportf(call.Pos(),
+					"interface-crossing call %s.%s in hotpath function %s; devirtualize or batch through the bulk API",
+					types.TypeString(sel.Recv(), types.RelativeTo(pass.Pkg)), fun.Sel.Name, name)
+			}
+		case types.FieldVal:
+			pass.Reportf(call.Pos(),
+				"dynamic call through field %s in hotpath function %s; pass concrete work instead of a callback",
+				fun.Sel.Name, name)
+		}
+	}
+}

@@ -28,6 +28,13 @@ func TestVerifygate(t *testing.T) {
 		"plainmath")
 }
 
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Hotpath, "hotpath",
+		// Out-of-scope package without annotations: the analyzer must
+		// stay silent.
+		"plainmath")
+}
+
 func TestNolintreason(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Nolintreason, "nolintfix")
 }

@@ -1,0 +1,65 @@
+// Package hotpath exercises the //memlint:hotpath analyzer: annotated
+// functions must stay free of per-access allocations and dynamic
+// dispatch; unannotated functions are never inspected.
+package hotpath
+
+type words interface {
+	Get(i int) uint32
+	Set(i int, v uint32)
+}
+
+type dense struct{ data []uint32 }
+
+func (d *dense) Get(i int) uint32    { return d.data[i] }
+func (d *dense) Set(i int, v uint32) { d.data[i] = v }
+func (d *dense) bulk(dst []uint32)   { copy(dst, d.data) }
+
+type state struct {
+	w    words
+	d    *dense
+	hook func(uint32)
+	buf  []uint32
+}
+
+// annotated is the per-access path under test.
+//
+//memlint:hotpath
+func (s *state) annotated(i int, v uint32) uint32 {
+	tmp := make([]uint32, 4) // want `make allocates in hotpath function annotated`
+	_ = new(dense)           // want `new allocates in hotpath function annotated`
+	s.buf = append(s.buf, v) // want `append allocates in hotpath function annotated`
+	_ = &dense{}             // want `address-taken composite literal allocates in hotpath function annotated`
+	f := func() {}           // want `function literal allocates in hotpath function annotated`
+	f()                      // want `dynamic call through f in hotpath function annotated`
+	s.w.Set(i, v)         // want `interface-crossing call words.Set in hotpath function annotated`
+	s.hook(v)             // want `dynamic call through field hook in hotpath function annotated`
+	s.d.Set(i, v)         // static concrete-method call: fine
+	s.d.bulk(tmp)         // static concrete-method call: fine
+	u := uint32(i)        // conversion: fine
+	_ = len(s.buf)        // non-allocating builtin: fine
+	return s.w.Get(i) + u // want `interface-crossing call words.Get in hotpath function annotated`
+}
+
+// sanctioned shows the documented escape: a traced-path dispatch with a
+// reasoned same-line directive.
+//
+//memlint:hotpath
+func (s *state) sanctioned(i int) uint32 {
+	return s.w.Get(i) //nolint:hotpath // fixture-sanctioned per-access dispatch
+}
+
+// dynamicParam flags calls through func-typed parameters too.
+//
+//memlint:hotpath
+func dynamicParam(key func(uint32) uint32, v uint32) uint32 {
+	return key(v) // want `dynamic call through key in hotpath function dynamicParam`
+}
+
+// unannotated may do all of this freely: the analyzer only inspects
+// annotated functions.
+func (s *state) unannotated(i int, v uint32) {
+	b := make([]uint32, 8)
+	s.w.Set(i, v)
+	s.hook(v)
+	_ = b
+}

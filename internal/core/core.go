@@ -298,9 +298,7 @@ func Run(keys []uint32, cfg Config) (Result, error) {
 	key0 := precise.Alloc(n)
 	mem.Load(key0, keys)
 	id := precise.Alloc(n)
-	for i := 0; i < n; i++ {
-		id.Set(i, uint32(i))
-	}
+	mem.Load(id, iota32(n))
 	precise.ResetStats()
 	// The trace sink, like the accounting, starts after warm-up: the
 	// paper assumes the input is already resident.
@@ -321,8 +319,11 @@ func Run(keys []uint32, cfg Config) (Result, error) {
 	mem.Copy(keyA, key0)
 	report.Prep = takeDelta()
 
-	// Approx stage: sort <Key~, ID> with keys in approximate memory.
-	env := sorts.Env{KeySpace: approx, IDSpace: precise, R: rng.New(cfg.Seed ^ 0x2545f4914f6cdd1d)}
+	// Approx stage: sort <Key~, ID> with keys in approximate memory. The
+	// Env is the run context: its Scratch is shared by the approx-stage
+	// sort and the refine stage's SortIDs, so both reuse one set of bulk
+	// staging buffers.
+	env := sorts.Env{KeySpace: approx, IDSpace: precise, R: rng.New(cfg.Seed ^ 0x2545f4914f6cdd1d), Scratch: &sorts.Scratch{}}
 	cfg.Algorithm.Sort(sorts.Pair{Keys: keyA, IDs: id}, env)
 	report.ApproxSort = takeDelta()
 
@@ -394,13 +395,20 @@ func baseline(keys []uint32, cfg Config) mem.Stats {
 	space := mem.NewPreciseSpace()
 	p := sorts.Pair{Keys: space.Alloc(n), IDs: space.Alloc(n)}
 	mem.Load(p.Keys, keys)
-	for i := 0; i < n; i++ {
-		p.IDs.Set(i, uint32(i))
-	}
+	mem.Load(p.IDs, iota32(n))
 	space.ResetStats()
-	env := sorts.Env{KeySpace: space, IDSpace: space, R: rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)}
+	env := sorts.Env{KeySpace: space, IDSpace: space, R: rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15), Scratch: &sorts.Scratch{}}
 	cfg.Algorithm.Sort(p, env)
 	return space.Stats()
+}
+
+// iota32 returns [0, 1, ..., n-1] for bulk-loading identity ID arrays.
+func iota32(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
 }
 
 func maxInt(a, b int) int {

@@ -15,10 +15,20 @@ import "approxsort/internal/mem"
 // so the scan costs reads only, plus exactly Rem~ writes into remID.
 //
 // It returns Rem~, the number of IDs placed in remID[0:Rem~].
+//
+// When the arrays are untraced (mem.Reorderable), the sequential ID
+// reads are batched through GetSlice into a stack buffer — each ID word
+// is still read exactly once and every Key0 lookup keeps its order, so
+// the accounting is unchanged; only the per-element interface dispatch
+// is amortized. Traced runs keep the per-element loop so the event
+// stream stays byte-identical.
 func findREM(key0, id, remID mem.Words) int {
 	n := id.Len()
 	if n < 2 {
 		return 0
+	}
+	if mem.Reorderable(id) && mem.Reorderable(key0) {
+		return findREMBulk(key0, id, remID)
 	}
 	rem := 0
 	// The first element is always taken into LIS~ (Listing 1 line 9).
@@ -32,7 +42,7 @@ func findREM(key0, id, remID mem.Words) int {
 		if curKey >= tail && curKey <= nextKey {
 			tail = curKey
 		} else {
-			remID.Set(rem, curID)
+			remID.Set(rem, curID) //nolint:hotpath // Rem~-bounded write, rare by construction
 			rem++
 		}
 		curID, curKey = nextID, nextKey
@@ -40,7 +50,49 @@ func findREM(key0, id, remID mem.Words) int {
 	// Last element (Listing 1 lines 19–21): it joins LIS~ unless it
 	// breaks the tail order.
 	if curKey < tail {
-		remID.Set(rem, curID)
+		remID.Set(rem, curID) //nolint:hotpath // Rem~-bounded write, rare by construction
+		rem++
+	}
+	return rem
+}
+
+// refineChunkWords is the ID read batch size of the bulk findREM scan.
+const refineChunkWords = 1024
+
+// findREMBulk is findREM with the ID stream read in chunks. Same scan,
+// same reads, same writes; see findREM for the equivalence argument.
+//
+//memlint:hotpath
+func findREMBulk(key0, id, remID mem.Words) int {
+	n := id.Len() //nolint:hotpath // one length read per scan, not per access
+	var buf [refineChunkWords]uint32
+	base := 0
+	fill := min(n, refineChunkWords)
+	mem.GetSlice(id, 0, buf[:fill])
+	rem := 0
+	tail := key0.Get(int(buf[0])) //nolint:hotpath // scattered data-dependent Key0 lookup; the paper trades these reads for writes
+	curID := buf[1]
+	curKey := key0.Get(int(curID)) //nolint:hotpath // scattered data-dependent Key0 lookup; the paper trades these reads for writes
+	for i := 1; i < n-1; i++ {
+		j := i + 1 - base
+		if j >= fill {
+			base += fill
+			fill = min(n-base, refineChunkWords)
+			mem.GetSlice(id, base, buf[:fill])
+			j = i + 1 - base
+		}
+		nextID := buf[j]
+		nextKey := key0.Get(int(nextID)) //nolint:hotpath // scattered data-dependent Key0 lookup; the paper trades these reads for writes
+		if curKey >= tail && curKey <= nextKey {
+			tail = curKey
+		} else {
+			remID.Set(rem, curID) //nolint:hotpath // Rem~-bounded write, rare by construction
+			rem++
+		}
+		curID, curKey = nextID, nextKey
+	}
+	if curKey < tail {
+		remID.Set(rem, curID) //nolint:hotpath // Rem~-bounded write, rare by construction
 		rem++
 	}
 	return rem

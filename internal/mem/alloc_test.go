@@ -1,0 +1,38 @@
+package mem_test
+
+// Zero-allocation pins for the per-access primitives: one accounted
+// access must never touch the heap. These are the operations the sort
+// inner loops issue per element, so even a single allocation here is a
+// hot-path regression (see DESIGN.md §13).
+
+import (
+	"testing"
+
+	"approxsort/internal/mem"
+)
+
+func TestAccessPrimitivesAllocFree(t *testing.T) {
+	approx := mem.NewApproxSpaceAt(0.055, 3)
+	precise := mem.NewPreciseSpace()
+	buf := make([]uint32, 256)
+	cases := []struct {
+		name string
+		w    mem.Words
+	}{
+		{"approx", approx.Alloc(1024)},
+		{"precise", precise.Alloc(1024)},
+	}
+	for _, tc := range cases {
+		i := 0
+		for name, f := range map[string]func(){
+			"Set":      func() { tc.w.Set(i&1023, uint32(i)); i++ },
+			"Get":      func() { _ = tc.w.Get(i & 1023); i++ },
+			"SetSlice": func() { mem.SetSlice(tc.w, 0, buf) },
+			"GetSlice": func() { mem.GetSlice(tc.w, 0, buf) },
+		} {
+			if got := testing.AllocsPerRun(50, f); got != 0 {
+				t.Errorf("%s %s: %v allocs per op, want 0", tc.name, name, got)
+			}
+		}
+	}
+}

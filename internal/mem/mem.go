@@ -40,6 +40,82 @@ type Sink interface {
 	Access(op Op, addr uint64, size int)
 }
 
+// Raw is the integer access accounting mutated on the hot path. The
+// instrumented arrays touch only these counters per access; latency and
+// energy floats are derived from them at stage boundaries by the owning
+// space's Fold (see DESIGN.md §13), so a Get costs one increment and a
+// Set two or three instead of ~10 field updates.
+type Raw struct {
+	// Reads and Writes count word accesses.
+	Reads, Writes int
+	// Iters is the total number of P&V pulses issued (pulse-count-model
+	// arrays only; zero otherwise).
+	Iters int
+	// Corrupted counts word writes whose stored value differs from the
+	// written value.
+	Corrupted int
+}
+
+// Add accumulates other into r.
+func (r *Raw) Add(other Raw) {
+	r.Reads += other.Reads
+	r.Writes += other.Writes
+	r.Iters += other.Iters
+	r.Corrupted += other.Corrupted
+}
+
+// Sub returns the component-wise difference r − other.
+func (r Raw) Sub(other Raw) Raw {
+	return Raw{
+		Reads:     r.Reads - other.Reads,
+		Writes:    r.Writes - other.Writes,
+		Iters:     r.Iters - other.Iters,
+		Corrupted: r.Corrupted - other.Corrupted,
+	}
+}
+
+// Fold is a space's cost recipe: it derives latency/energy Stats from
+// raw integer access counts. Counts and read latency are exact (integer
+// multiples of the device read latency are exactly representable at any
+// realistic count); write latency/energy derived once from the batch
+// differ from a per-access running float sum only by the summation
+// rounding the running sum itself accrued — within 1e-12 relative, see
+// TestShadowAccounting — and satisfy the verify-subsystem identities by
+// construction.
+type Fold struct {
+	// ReadNanos is the device read latency charged per word read.
+	ReadNanos float64
+	// PulseCells, when nonzero, selects pulse-count costing (the MLC
+	// P&V model): WriteNanos = mlc.WordLatencyNanos(Iters, PulseCells),
+	// and energy tracks latency (WriteEnergy = WriteNanos /
+	// mlc.PreciseWriteNanos), exactly as charging each write its own
+	// WordLatencyNanos would, since the formula is linear in Iters.
+	PulseCells int
+	// WriteNanos and EnergyPerWrite are the fixed per-write costs used
+	// when PulseCells == 0 (precise PCM, spintronic).
+	WriteNanos     float64
+	EnergyPerWrite float64
+}
+
+// Stats derives the full accounting for raw under the fold's recipe.
+func (f Fold) Stats(raw Raw) Stats {
+	st := Stats{
+		Reads:     raw.Reads,
+		Writes:    raw.Writes,
+		Iters:     raw.Iters,
+		Corrupted: raw.Corrupted,
+		ReadNanos: float64(raw.Reads) * f.ReadNanos,
+	}
+	if f.PulseCells > 0 {
+		st.WriteNanos = mlc.WordLatencyNanos(raw.Iters, f.PulseCells)
+		st.WriteEnergy = st.WriteNanos / mlc.PreciseWriteNanos
+	} else {
+		st.WriteNanos = float64(raw.Writes) * f.WriteNanos
+		st.WriteEnergy = float64(raw.Writes) * f.EnergyPerWrite
+	}
+	return st
+}
+
 // Stats accumulates the access accounting for an array or a space.
 type Stats struct {
 	// Reads and Writes count word accesses.
@@ -153,14 +229,88 @@ func (a *AddressAllocator) Take(words int) uint64 {
 	return base
 }
 
+// BulkWords is optionally implemented by Words that support slice-at-once
+// access. A bulk call charges exactly the accesses the equivalent
+// per-element Get/Set loop would — same counts, same model randomness in
+// the same order, same trace events when a sink is attached — while
+// amortizing interface dispatch and accounting over the batch.
+type BulkWords interface {
+	// GetSlice reads words [i, i+len(dst)) into dst.
+	GetSlice(i int, dst []uint32)
+	// SetSlice writes src into words [i, i+len(src)).
+	SetSlice(i int, src []uint32)
+	// Reorderable reports whether this array's accesses may be reordered
+	// relative to *other* arrays' accesses without observable effect: no
+	// trace sink is attached, and reads do not consume the space's noise
+	// stream. Within one bulk call the per-element order is always
+	// preserved, so single-array bulk access needs no such check.
+	Reorderable() bool
+}
+
+// GetSlice reads w[i : i+len(dst)] into dst, via BulkWords when available
+// and a per-element adapter loop for foreign implementations.
+func GetSlice(w Words, i int, dst []uint32) {
+	if b, ok := w.(BulkWords); ok {
+		b.GetSlice(i, dst)
+		return
+	}
+	for j := range dst {
+		dst[j] = w.Get(i + j)
+	}
+}
+
+// SetSlice writes src into w[i : i+len(src)], via BulkWords when
+// available and a per-element adapter loop otherwise.
+func SetSlice(w Words, i int, src []uint32) {
+	if b, ok := w.(BulkWords); ok {
+		b.SetSlice(i, src)
+		return
+	}
+	for j, v := range src {
+		w.Set(i+j, v)
+	}
+}
+
+// Reorderable reports whether w's accesses may be reordered relative to
+// other arrays' accesses (see BulkWords.Reorderable). Foreign Words
+// implementations are conservatively order-sensitive.
+func Reorderable(w Words) bool {
+	b, ok := w.(BulkWords)
+	return ok && b.Reorderable()
+}
+
+// copyChunkWords is the scratch-buffer size of a bulk Copy: 4 KB of
+// uint32s, one simulated page, small enough to stay on the stack.
+const copyChunkWords = 1024
+
 // Copy copies src into dst, charging one read per source word and one write
 // per destination word. It panics if lengths differ, mirroring the built-in
 // copy contract for full-array copies used by the approx-preparation stage.
+// When both arrays support reorderable bulk access the copy runs in chunks
+// (read a chunk, write a chunk) — identical counts and write-noise stream,
+// since writes still land in index order; when either array is traced or
+// order-sensitive it falls back to the read/write-interleaved per-element
+// loop so the access stream is byte-identical to the historical one.
 func Copy(dst, src Words) {
 	if dst.Len() != src.Len() {
 		panic(fmt.Sprintf("mem: Copy length mismatch %d != %d", dst.Len(), src.Len()))
 	}
-	for i := 0; i < src.Len(); i++ {
+	n := src.Len()
+	bs, okS := src.(BulkWords)
+	bd, okD := dst.(BulkWords)
+	if okS && okD && bs.Reorderable() && bd.Reorderable() {
+		var buf [copyChunkWords]uint32
+		for i := 0; i < n; i += copyChunkWords {
+			m := n - i
+			if m > copyChunkWords {
+				m = copyChunkWords
+			}
+			bs.GetSlice(i, buf[:m])
+			bd.SetSlice(i, buf[:m])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
 		dst.Set(i, src.Get(i))
 	}
 }
@@ -190,12 +340,11 @@ func PeekAll(w Words) []uint32 {
 }
 
 // ReadAll returns the current contents of w as a plain slice, charging
-// reads for every word.
+// reads for every word. Single-array bulk access preserves per-element
+// order, so this is safe even for traced arrays.
 func ReadAll(w Words) []uint32 {
 	out := make([]uint32, w.Len())
-	for i := range out {
-		out[i] = w.Get(i)
-	}
+	GetSlice(w, 0, out)
 	return out
 }
 
@@ -204,7 +353,5 @@ func Load(w Words, src []uint32) {
 	if w.Len() != len(src) {
 		panic(fmt.Sprintf("mem: Load length mismatch %d != %d", w.Len(), len(src)))
 	}
-	for i, v := range src {
-		w.Set(i, v)
-	}
+	SetSlice(w, 0, src)
 }

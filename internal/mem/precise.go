@@ -2,74 +2,125 @@ package mem
 
 // PreciseSpace is the precise-PCM region of the hybrid system. Writes never
 // corrupt; each write costs mlc.PreciseWriteNanos and one energy unit, each
-// read costs mlc.ReadNanos.
+// read costs mlc.ReadNanos. Accounting follows the same batched Raw/Fold
+// scheme as ApproxSpace: the hot path mutates integer counters on the
+// owning array, and Stats folds the registry once per call.
 type PreciseSpace struct {
-	stats Stats
+	fold  Fold
 	addrs AddressAllocator
 	sink  Sink
+	words []*preciseWords
+	base  Raw
 }
 
 // NewPreciseSpace returns an empty precise space.
-func NewPreciseSpace() *PreciseSpace { return &PreciseSpace{} }
-
-// SetSink attaches a trace sink receiving every access in this space.
-// Pass nil to detach.
-func (s *PreciseSpace) SetSink(sink Sink) { s.sink = sink }
-
-// Alloc implements Space.
-func (s *PreciseSpace) Alloc(n int) Words {
-	return &preciseWords{
-		space: s,
-		base:  s.addrs.Take(n),
-		data:  make([]uint32, n),
+func NewPreciseSpace() *PreciseSpace {
+	return &PreciseSpace{
+		fold: Fold{ReadNanos: readNanos, WriteNanos: preciseWriteNanos, EnergyPerWrite: 1},
 	}
 }
 
-// Stats implements Space.
-func (s *PreciseSpace) Stats() Stats { return s.stats }
+// SetSink attaches a trace sink receiving every access in this space,
+// including accesses to arrays allocated before the attach. Pass nil to
+// detach.
+func (s *PreciseSpace) SetSink(sink Sink) {
+	s.sink = sink
+	for _, w := range s.words {
+		w.sink = sink
+	}
+}
 
-// ResetStats clears the aggregate counters (arrays remain usable; their
-// subsequent accesses start fresh accounting). Used between experiment
-// stages.
-func (s *PreciseSpace) ResetStats() { s.stats = Stats{} }
+// Alloc implements Space.
+func (s *PreciseSpace) Alloc(n int) Words {
+	w := &preciseWords{
+		space: s,
+		sink:  s.sink,
+		base:  s.addrs.Take(n),
+		data:  make([]uint32, n),
+	}
+	s.words = append(s.words, w)
+	return w
+}
+
+func (s *PreciseSpace) rawTotal() Raw {
+	var total Raw
+	for _, w := range s.words {
+		total.Add(w.raw)
+	}
+	return total
+}
+
+// Stats implements Space.
+func (s *PreciseSpace) Stats() Stats { return s.fold.Stats(s.rawTotal().Sub(s.base)) }
+
+// ResetStats zeroes the aggregate by snapshotting the current raw totals
+// as the new baseline (arrays remain usable; their subsequent accesses
+// fold into the post-reset aggregate exactly once). Used between
+// experiment stages.
+func (s *PreciseSpace) ResetStats() { s.base = s.rawTotal() }
 
 // Approximate implements Space.
 func (s *PreciseSpace) Approximate() bool { return false }
 
 type preciseWords struct {
 	space *PreciseSpace
+	sink  Sink
 	base  uint64
 	data  []uint32
-	stats Stats
+	raw   Raw
 }
 
 func (w *preciseWords) Len() int { return len(w.data) }
 
+//memlint:hotpath
 func (w *preciseWords) Get(i int) uint32 {
-	w.stats.Reads++
-	w.stats.ReadNanos += readNanos
-	w.space.stats.Reads++
-	w.space.stats.ReadNanos += readNanos
-	if w.space.sink != nil {
-		w.space.sink.Access(OpRead, w.base+uint64(i)*4, 4)
+	w.raw.Reads++
+	if w.sink != nil {
+		w.sink.Access(OpRead, w.base+uint64(i)*4, 4) //nolint:hotpath // traced arrays opt back into per-access sink dispatch
 	}
 	return w.data[i]
 }
 
+//memlint:hotpath
 func (w *preciseWords) Set(i int, v uint32) {
-	w.stats.Writes++
-	w.stats.WriteNanos += preciseWriteNanos
-	w.stats.WriteEnergy++
-	w.space.stats.Writes++
-	w.space.stats.WriteNanos += preciseWriteNanos
-	w.space.stats.WriteEnergy++
-	if w.space.sink != nil {
-		w.space.sink.Access(OpWrite, w.base+uint64(i)*4, 4)
+	w.raw.Writes++
+	if w.sink != nil {
+		w.sink.Access(OpWrite, w.base+uint64(i)*4, 4) //nolint:hotpath // traced arrays opt back into per-access sink dispatch
 	}
 	w.data[i] = v
 }
 
-func (w *preciseWords) Stats() Stats { return w.stats }
+// GetSlice implements BulkWords.
+func (w *preciseWords) GetSlice(i int, dst []uint32) {
+	if w.sink != nil {
+		for j := range dst {
+			dst[j] = w.Get(i + j)
+		}
+		return
+	}
+	w.raw.Reads += len(dst)
+	copy(dst, w.data[i:i+len(dst)])
+}
+
+// SetSlice implements BulkWords.
+func (w *preciseWords) SetSlice(i int, src []uint32) {
+	if w.sink != nil {
+		for j, v := range src {
+			w.Set(i+j, v)
+		}
+		return
+	}
+	w.raw.Writes += len(src)
+	copy(w.data[i:i+len(src)], src)
+}
+
+// Reorderable implements BulkWords: precise accesses are deterministic,
+// so an untraced array's accesses commute with other arrays'.
+func (w *preciseWords) Reorderable() bool { return w.sink == nil }
+
+// Stats returns the accesses charged to this array, folded under the
+// space's cost recipe.
+func (w *preciseWords) Stats() Stats { return w.space.fold.Stats(w.raw) }
 
 // Peek implements Peeker.
 func (w *preciseWords) Peek(i int) uint32 { return w.data[i] }

@@ -1,0 +1,222 @@
+package mem_test
+
+// Shadow-accounting property test (DESIGN.md §13): the batched Raw/Fold
+// fast path must agree with a retained naive reference model that
+// charges every access the moment it happens, the way the pre-batching
+// accounting did. Counts must match exactly; the folded latency/energy
+// floats must match the naive running sums to 1e-12 relative — the only
+// daylight between the two is summation order (the fold derives one
+// product from integer totals, the naive model accumulates per-access
+// rounding).
+
+import (
+	"math"
+	"testing"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+	"approxsort/internal/spintronic"
+)
+
+// shadowStats is the naive reference accumulator.
+type shadowStats struct {
+	reads, writes, iters, corrupted int
+	readNanos, writeNanos, energy   float64
+}
+
+func (s *shadowStats) sub(base shadowStats) shadowStats {
+	return shadowStats{
+		reads: s.reads - base.reads, writes: s.writes - base.writes,
+		iters: s.iters - base.iters, corrupted: s.corrupted - base.corrupted,
+		readNanos: s.readNanos - base.readNanos, writeNanos: s.writeNanos - base.writeNanos,
+		energy: s.energy - base.energy,
+	}
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func checkShadow(t *testing.T, label string, got mem.Stats, want shadowStats) {
+	t.Helper()
+	if got.Reads != want.reads || got.Writes != want.writes ||
+		got.Iters != want.iters || got.Corrupted != want.corrupted {
+		t.Fatalf("%s: counts (R=%d W=%d I=%d C=%d) != shadow (R=%d W=%d I=%d C=%d)",
+			label, got.Reads, got.Writes, got.Iters, got.Corrupted,
+			want.reads, want.writes, want.iters, want.corrupted)
+	}
+	if !relClose(got.ReadNanos, want.readNanos) ||
+		!relClose(got.WriteNanos, want.writeNanos) ||
+		!relClose(got.WriteEnergy, want.energy) {
+		t.Fatalf("%s: floats (%g, %g, %g) not within 1e-12 of shadow (%g, %g, %g)",
+			label, got.ReadNanos, got.WriteNanos, got.WriteEnergy,
+			want.readNanos, want.writeNanos, want.energy)
+	}
+}
+
+// driveShadow runs a randomized access sequence over several arrays of
+// space, mirroring every access into the naive model via the callbacks,
+// and cross-checks space.Stats against the shadow at random points and
+// across a mid-sequence ResetStats.
+func driveShadow(t *testing.T, label string, space mem.Space, resetStats func(),
+	onRead func(arr, i int) uint32, onWrite func(arr, i int, v uint32), sh *shadowStats, opSeed uint64) {
+	t.Helper()
+	const arrays, words, ops = 3, 64, 3000
+	ws := make([]mem.Words, arrays)
+	for a := range ws {
+		ws[a] = space.Alloc(words)
+	}
+	r := rng.New(opSeed)
+	var base shadowStats
+	for op := 0; op < ops; op++ {
+		a := int(r.Uint64() % arrays)
+		i := int(r.Uint64() % words)
+		switch r.Uint64() % 8 {
+		case 0, 1, 2: // point read
+			got := ws[a].Get(i)
+			if want := onRead(a, i); got != want {
+				t.Fatalf("%s: Get(%d,%d) = %#x, shadow predicts %#x", label, a, i, got, want)
+			}
+		case 3, 4: // point write
+			v := uint32(r.Uint64())
+			ws[a].Set(i, v)
+			onWrite(a, i, v)
+		case 5: // bulk read
+			n := int(r.Uint64()%16) + 1
+			if i+n > words {
+				n = words - i
+			}
+			dst := make([]uint32, n)
+			mem.GetSlice(ws[a], i, dst)
+			for j := 0; j < n; j++ {
+				if want := onRead(a, i+j); dst[j] != want {
+					t.Fatalf("%s: GetSlice(%d,%d)[%d] = %#x, shadow predicts %#x", label, a, i, j, dst[j], want)
+				}
+			}
+		case 6: // bulk write
+			n := int(r.Uint64()%16) + 1
+			if i+n > words {
+				n = words - i
+			}
+			src := make([]uint32, n)
+			for j := range src {
+				src[j] = uint32(r.Uint64())
+			}
+			mem.SetSlice(ws[a], i, src)
+			for j, v := range src {
+				onWrite(a, i+j, v)
+			}
+		case 7: // cross-check, occasionally resetting the aggregate
+			checkShadow(t, label, space.Stats(), sh.sub(base))
+			if r.Uint64()%4 == 0 {
+				resetStats()
+				base = *sh
+			}
+		}
+	}
+	checkShadow(t, label, space.Stats(), sh.sub(base))
+}
+
+// TestShadowAccountingApprox drives the MLC approx space against a
+// shadow that replays every write through its own clone of the
+// calibrated table and RNG stream, charging the old per-access costs.
+func TestShadowAccountingApprox(t *testing.T) {
+	for trial, tHalf := range []float64{0.01, 0.03, 0.055, 0.08, 0.11, mlc.MaxT} {
+		seed := 0xabcd00 + uint64(trial)
+		space := mem.NewApproxSpaceAt(tHalf, seed)
+		tab := mlc.CachedTable(mlc.Approximate(tHalf), 0, mlc.CalibrationSeed)
+		rShadow := rng.New(seed) // the space's noise stream, cloned
+		stored := make([][]uint32, 3)
+		for a := range stored {
+			stored[a] = make([]uint32, 64)
+		}
+		var sh shadowStats
+		driveShadow(t, "approx", space, space.ResetStats,
+			func(arr, i int) uint32 {
+				sh.reads++
+				sh.readNanos += mlc.ReadNanos
+				return stored[arr][i]
+			},
+			func(arr, i int, v uint32) {
+				got, iters := tab.WriteWord(rShadow, v)
+				stored[arr][i] = got
+				sh.writes++
+				sh.iters += iters
+				if got != v {
+					sh.corrupted++
+				}
+				wl := mlc.WordLatencyNanos(iters, tab.CellsPerWord())
+				sh.writeNanos += wl
+				sh.energy += wl / mlc.PreciseWriteNanos
+			},
+			&sh, 0x0b5e55ed+uint64(trial))
+	}
+}
+
+// TestShadowAccountingPrecise drives the precise space against the naive
+// fixed-cost model.
+func TestShadowAccountingPrecise(t *testing.T) {
+	space := mem.NewPreciseSpace()
+	stored := make([][]uint32, 3)
+	for a := range stored {
+		stored[a] = make([]uint32, 64)
+	}
+	var sh shadowStats
+	driveShadow(t, "precise", space, space.ResetStats,
+		func(arr, i int) uint32 {
+			sh.reads++
+			sh.readNanos += mlc.ReadNanos
+			return stored[arr][i]
+		},
+		func(arr, i int, v uint32) {
+			stored[arr][i] = v
+			sh.writes++
+			sh.writeNanos += mlc.PreciseWriteNanos
+			sh.energy++
+		},
+		&sh, 0x9e3779)
+}
+
+// TestShadowAccountingSpintronic drives every Appendix A operating point
+// against the naive per-write energy model. Stored values (and with
+// them the corruption count) are cross-checked through Peek, since the
+// backend's costs do not depend on the flip outcomes.
+func TestShadowAccountingSpintronic(t *testing.T) {
+	for trial, cfg := range spintronic.Presets() {
+		space := spintronic.NewSpace(cfg, 0x5150+uint64(trial))
+		var sh shadowStats
+		var arrs []mem.Words
+		driveShadow(t, "spintronic", spaceHook{space, &arrs}, space.ResetStats,
+			func(arr, i int) uint32 {
+				sh.reads++
+				sh.readNanos += mlc.ReadNanos
+				return arrs[arr].(mem.Peeker).Peek(i)
+			},
+			func(arr, i int, v uint32) {
+				sh.writes++
+				sh.writeNanos += mlc.PreciseWriteNanos
+				sh.energy += 1 - cfg.Saving
+				if arrs[arr].(mem.Peeker).Peek(i) != v {
+					sh.corrupted++
+				}
+			},
+			&sh, 0xfeedface+uint64(trial))
+	}
+}
+
+// spaceHook exposes the arrays a space hands out so the spintronic
+// shadow can Peek stored values.
+type spaceHook struct {
+	mem.Space
+	arrs *[]mem.Words
+}
+
+func (h spaceHook) Alloc(n int) mem.Words {
+	w := h.Space.Alloc(n)
+	*h.arrs = append(*h.arrs, w)
+	return w
+}

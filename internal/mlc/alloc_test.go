@@ -1,0 +1,29 @@
+package mlc
+
+import (
+	"testing"
+
+	"approxsort/internal/rng"
+)
+
+// TestWriteWordAllocFree pins the dense sampler's zero-allocation
+// contract: a word write draws from prebuilt threshold tables and the
+// caller's RNG, nothing else (see DESIGN.md §13).
+func TestWriteWordAllocFree(t *testing.T) {
+	tab := CachedTable(Approximate(0.055), 0, CalibrationSeed)
+	r := rng.New(1)
+	i := uint32(0)
+	if got := testing.AllocsPerRun(100, func() {
+		_, _ = tab.WriteWord(r, i*2654435761)
+		i++
+	}); got != 0 {
+		t.Errorf("WriteWord: %v allocs per write, want 0", got)
+	}
+	src := make([]uint32, 256)
+	dst := make([]uint32, 256)
+	if got := testing.AllocsPerRun(20, func() {
+		_ = tab.WriteWords(r, dst, src)
+	}); got != 0 {
+		t.Errorf("WriteWords: %v allocs per batch, want 0", got)
+	}
+}

@@ -2,6 +2,7 @@ package mlc
 
 import (
 	"fmt"
+	"math"
 
 	"approxsort/internal/rng"
 )
@@ -36,6 +37,25 @@ type Table struct {
 	// errProb[l] is the probability that a write of level l reads back
 	// as a different level.
 	errProb []float64
+
+	// Dense fixed-point sampler state, derived from resCum/itersCum at
+	// construction. The RNG's Float64() is float64(Uint64()>>11)·2⁻⁵³
+	// exactly, so with k = Uint64()>>11 the float comparison u < cum[i]
+	// is equivalent to the integer comparison k < ceil(cum[i]·2⁵³) —
+	// bit-for-bit, while consuming the identical stream. resThr holds
+	// Levels consecutive blocks of Levels thresholds; itersThr holds
+	// Levels blocks of MaxIters thresholds. The prefix tables map
+	// (level, top 8 bits of k) to the first index the scan can possibly
+	// select, so front-loaded distributions resolve in one compare.
+	resThr   []uint64
+	itersThr []uint64
+	resPfx   []uint16 // Levels blocks of 256 entries
+	itersPfx []uint16 // Levels blocks of 256 entries
+
+	// bitsPerCell and levelMask cache the per-cell shift/mask state so
+	// WriteWord does not re-derive it per word.
+	bitsPerCell uint
+	levelMask   uint32
 }
 
 // DefaultTableSamples is the per-level Monte-Carlo sample count used by
@@ -83,7 +103,72 @@ func NewTable(p Params, samples int, seed uint64) *Table {
 		t.errProb[level] = float64(errs) / float64(samples)
 	}
 	t.avgP = float64(totalIters) / float64(p.Levels*samples)
+	t.buildDense()
 	return t
+}
+
+// buildDense derives the fixed-point threshold arrays and prefix tables
+// from the float cumulative distributions.
+func (t *Table) buildDense() {
+	t.bitsPerCell = uint(t.p.BitsPerCell())
+	t.levelMask = uint32(t.p.Levels - 1)
+	t.resThr = make([]uint64, 0, t.p.Levels*t.p.Levels)
+	t.itersThr = make([]uint64, 0, t.p.Levels*t.p.MaxIters)
+	t.resPfx = make([]uint16, 0, t.p.Levels*256)
+	t.itersPfx = make([]uint16, 0, t.p.Levels*256)
+	for level := 0; level < t.p.Levels; level++ {
+		rt := fixedThresholds(t.resCum[level])
+		it := fixedThresholds(t.itersCum[level])
+		t.resThr = append(t.resThr, rt...)
+		t.itersThr = append(t.itersThr, it...)
+		t.resPfx = append(t.resPfx, drawPrefix(rt)...)
+		t.itersPfx = append(t.itersPfx, drawPrefix(it)...)
+	}
+}
+
+// fixedThresholds lifts a float cumulative distribution onto the 53-bit
+// draw lattice: thresholds[i] = ceil(cum[i]·2⁵³). cum[i]·2⁵³ is exact
+// (power-of-two scaling of a float64 ≤ 1), so k < thresholds[i] holds
+// for exactly the draws k whose Float64() image is < cum[i]. The final
+// entry is 2⁵³ (cum ends at 1), strictly above every possible draw, so
+// a threshold scan always terminates in range.
+func fixedThresholds(cum []float64) []uint64 {
+	thr := make([]uint64, len(cum))
+	for i, c := range cum {
+		thr[i] = uint64(math.Ceil(c * (1 << 53)))
+	}
+	return thr
+}
+
+// scanPfx flags a prefix entry whose bucket straddles a threshold
+// boundary: the sampler must confirm by scanning thresholds from the
+// encoded start index. Unflagged (pure) buckets resolve the draw with
+// the single prefix load — no threshold is crossed inside the bucket,
+// so every draw with that top byte selects the same index.
+const scanPfx = 1 << 15
+
+// drawPrefix builds the 256-entry top-bits lookup for one threshold
+// array, keyed by the draw's top byte b = k>>45. A draw k with top byte
+// b lies in [b<<45, (b+1)<<45); when that whole interval falls between
+// two adjacent thresholds the entry holds the selected index directly,
+// otherwise it holds scanPfx | firstCandidate. Distributions here are
+// short and front-loaded, so almost all buckets are pure and the
+// sampler's common path is one 16-bit load per draw.
+func drawPrefix(thr []uint64) []uint16 {
+	pfx := make([]uint16, 256)
+	i := 0
+	for b := 0; b < 256; b++ {
+		lo := uint64(b) << 45
+		for thr[i] <= lo {
+			i++
+		}
+		if lo+1<<45 <= thr[i] {
+			pfx[b] = uint16(i)
+		} else {
+			pfx[b] = scanPfx | uint16(i)
+		}
+	}
+	return pfx
 }
 
 func cumulate(counts []int, total int) []float64 {
@@ -113,20 +198,69 @@ func sampleCum(r *rng.Source, cum []float64) int {
 }
 
 // WriteWord implements WordModel by sampling the per-level empirical
-// distributions for each of the word's cells.
+// distributions for each of the word's cells. It runs on the dense
+// fixed-point sampler: two Uint64 draws per cell (read-back level, then
+// pulse count — the same stream order and count as inverse-CDF sampling
+// of resCum/itersCum), each resolved by a prefix lookup plus a short
+// threshold scan. TestTableDenseMatchesFloat pins bit-equivalence
+// against the float path.
+//
+//memlint:hotpath
 func (t *Table) WriteWord(r *rng.Source, w uint32) (uint32, int) {
-	bits := t.p.BitsPerCell()
-	mask := uint32(t.p.Levels - 1)
+	// The RNG state lives in locals for the word's 2·cells draws (the
+	// inlined Uint64 otherwise reloads and spills all four state words
+	// through the pointer on every draw), and is stored back once.
+	local := *r
 	var stored uint32
 	total := 0
-	for shift := 0; shift < 32; shift += bits {
+	levels := t.p.Levels
+	maxIters := t.p.MaxIters
+	resThr, itersThr := t.resThr, t.itersThr
+	resPfx, itersPfx := t.resPfx, t.itersPfx
+	bits, mask := t.bitsPerCell, t.levelMask
+	for shift := uint(0); shift < 32; shift += bits {
 		level := int(w >> shift & mask)
-		got := sampleCum(r, t.resCum[level])
-		iters := sampleCum(r, t.itersCum[level]) + 1
-		stored |= uint32(got) << shift
+		k := local.Uint64() >> 11
+		i := int(resPfx[level<<8|int(k>>45)])
+		if i >= scanPfx {
+			i &= scanPfx - 1
+			for base := level * levels; k >= resThr[base+i]; {
+				i++
+			}
+		}
+		k = local.Uint64() >> 11
+		j := int(itersPfx[level<<8|int(k>>45)])
+		if j >= scanPfx {
+			j &= scanPfx - 1
+			for base := level * maxIters; k >= itersThr[base+j]; {
+				j++
+			}
+		}
+		stored |= uint32(i) << shift
+		total += j + 1
+	}
+	*r = local
+	return stored, total
+}
+
+// WriteWords writes each src word through the model, storing the
+// read-back values in dst[i] and returning the total pulse count across
+// the batch. It consumes the RNG stream exactly as len(src) sequential
+// WriteWord calls would — bulk callers (mem.SetSlice) stay bit-identical
+// to per-word loops — while amortizing the per-call state loads.
+//
+//memlint:hotpath
+func (t *Table) WriteWords(r *rng.Source, dst, src []uint32) int {
+	if len(dst) < len(src) {
+		panic("mlc: WriteWords dst shorter than src")
+	}
+	total := 0
+	for i, w := range src {
+		stored, iters := t.WriteWord(r, w)
+		dst[i] = stored
 		total += iters
 	}
-	return stored, total
+	return total
 }
 
 // CellsPerWord implements WordModel.

@@ -1,0 +1,61 @@
+package mlc
+
+import (
+	"reflect"
+	"testing"
+
+	"approxsort/internal/rng"
+)
+
+// writeWordFloat is the retained float-path reference sampler: inverse-CDF
+// sampling of resCum/itersCum through sampleCum, exactly as WriteWord ran
+// before the dense fixed-point tables. It consumes two Float64-equivalent
+// draws per cell in res-then-iters order.
+func writeWordFloat(t *Table, r *rng.Source, w uint32) (uint32, int) {
+	bits := uint(t.p.BitsPerCell())
+	mask := uint32(t.p.Levels - 1)
+	var stored uint32
+	total := 0
+	for shift := uint(0); shift < 32; shift += bits {
+		level := int(w >> shift & mask)
+		stored |= uint32(sampleCum(r, t.resCum[level])) << shift
+		total += sampleCum(r, t.itersCum[level]) + 1
+	}
+	return stored, total
+}
+
+// TestTableDenseMatchesFloat pins the dense sampler's bit-equivalence:
+// for identical RNG streams, WriteWord must return the same stored word
+// and pulse count as the float inverse-CDF path for every draw, and must
+// leave the stream at the same position. The threshold lift is exact —
+// Float64() is float64(Uint64()>>11)·2⁻⁵³, so with k = Uint64()>>11 the
+// comparison u < cum[i] is equivalent to k < ceil(cum[i]·2⁵³) — and this
+// test guards that equivalence across operating points, level counts,
+// and mixed word values.
+func TestTableDenseMatchesFloat(t *testing.T) {
+	cases := []Params{
+		Approximate(0.01),
+		Approximate(0.055),
+		Approximate(0.1),
+		Approximate(MaxT),
+		WithLevels(2, 0.2),
+		WithLevels(16, 0.02),
+	}
+	for _, p := range cases {
+		tab := NewTable(p, 4000, CalibrationSeed)
+		rDense := rng.New(0xd15ea5e)
+		rFloat := rng.New(0xd15ea5e)
+		for i := 0; i < 20000; i++ {
+			w := uint32(i) * 2654435761
+			gotV, gotIters := tab.WriteWord(rDense, w)
+			wantV, wantIters := writeWordFloat(tab, rFloat, w)
+			if gotV != wantV || gotIters != wantIters {
+				t.Fatalf("L=%d T=%g word %#x: dense (%#x, %d) != float (%#x, %d)",
+					p.Levels, p.T, w, gotV, gotIters, wantV, wantIters)
+			}
+		}
+		if !reflect.DeepEqual(rDense, rFloat) {
+			t.Fatalf("L=%d T=%g: RNG streams diverged after 20k words", p.Levels, p.T)
+		}
+	}
+}

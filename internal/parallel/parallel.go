@@ -60,14 +60,27 @@ func Map[P, R any](points []P, workers int, fn func(i int, p P) (R, error)) ([]R
 		return results, nil
 	}
 
+	// Each worker buffers its (index, result) pairs in a private shard
+	// and the shards merge after the barrier, so workers never store
+	// into the shared results slice concurrently — adjacent small
+	// results would otherwise false-share cache lines across cores on
+	// every store. The merge is order-insensitive: indices are claimed
+	// uniquely, so each results slot is written exactly once.
+	type indexed struct {
+		i int
+		r R
+	}
+	shards := make([][]indexed, workers)
 	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			local := make([]indexed, 0, n/workers+1)
+			defer func() { shards[w] = local }()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
@@ -79,11 +92,16 @@ func Map[P, R any](points []P, workers int, fn func(i int, p P) (R, error)) ([]R
 					failed.Store(true)
 					return
 				}
-				results[i] = r
+				local = append(local, indexed{i: i, r: r})
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	for _, shard := range shards {
+		for _, e := range shard {
+			results[e.i] = e.r
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,56 @@
+package sorts_test
+
+// Allocation pins for the sort hot paths (DESIGN.md §13): a sort's
+// allocation count must be a small constant — staging arrays, scratch
+// growth, recursion bookkeeping — never proportional to n. A
+// per-element allocation anywhere in an inner loop moves these counts
+// into the thousands at n=20000, so the bounds below fail loudly.
+
+import (
+	"testing"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/sorts"
+)
+
+func sortAllocs(t *testing.T, alg sorts.Algorithm, n int) float64 {
+	t.Helper()
+	approx := mem.NewApproxSpaceAt(0.055, 7)
+	precise := mem.NewPreciseSpace()
+	p := sorts.Pair{Keys: approx.Alloc(n), IDs: precise.Alloc(n)}
+	mem.Load(p.Keys, dataset.Uniform(n, 7))
+	mem.Load(p.IDs, dataset.IDs(n))
+	env := sorts.Env{KeySpace: approx, IDSpace: precise, Scratch: &sorts.Scratch{}}
+	alg.Sort(p, env) // warm the scratch buffers
+	return testing.AllocsPerRun(2, func() {
+		alg.Sort(p, env)
+	})
+}
+
+// TestSortAllocsConstant bounds the whole-sort allocation count with a
+// warm scratch: the bulk radix paths stage through reused buffers, so
+// only the per-sort device staging arrays and O(depth) bookkeeping
+// remain.
+func TestSortAllocsConstant(t *testing.T) {
+	const n = 20000
+	for _, alg := range []sorts.Algorithm{
+		sorts.MSD{Bits: 6}, sorts.LSD{Bits: 6}, sorts.Quicksort{},
+	} {
+		if got := sortAllocs(t, alg, n); got > 64 {
+			t.Errorf("%s: %v allocs per sort of n=%d, want a small constant (<= 64)", alg.Name(), got, n)
+		}
+	}
+}
+
+// TestSortAllocsDoNotScale pins the per-element property directly: the
+// allocation count at 4x the input size must not grow with n beyond the
+// handful of staging-array headers.
+func TestSortAllocsDoNotScale(t *testing.T) {
+	alg := sorts.MSD{Bits: 6}
+	small := sortAllocs(t, alg, 5000)
+	large := sortAllocs(t, alg, 20000)
+	if large > small+16 {
+		t.Errorf("allocs grew with n: %v at n=5000 vs %v at n=20000", small, large)
+	}
+}

@@ -24,12 +24,125 @@ type LSD struct {
 // Name implements Algorithm.
 func (l LSD) Name() string { return fmt.Sprintf("%d-bit LSD", l.Bits) }
 
+// radixPassBulk is one distribution + concatenation pass over p[lo:hi)
+// rewritten as four bulk slice transfers. It is access-equivalent to the
+// queue-bucket pass: the same 2(hi-lo) reads and 2(hi-lo) writes are
+// charged per array, and every write presents the identical value
+// sequence to the backend — the staging writes replay the distribution
+// appends (input order) and the final writes replay the concatenation
+// (bucket order) — so the device noise stream, and with it every stored
+// value and pulse count, is consumed bit-identically. Callers must gate
+// on bulkEligible. tmp supplies the staging arrays (device memory, so
+// staging traffic is charged like the queue chunks it replaces); only
+// its first hi-lo words are used. On return starts[b] holds the
+// absolute start of bucket b, with starts[bins] == hi.
+//
+//memlint:hotpath
+func radixPassBulk(p, tmp Pair, lo, hi int, shift uint, sc *Scratch, starts []int) {
+	n := hi - lo
+	bins := len(starts) - 1
+	mask := uint32(bins - 1)
+	vals, stored, out, pos, counts := sc.buffers(n, bins)
+	mem.GetSlice(p.Keys, lo, vals)
+	for b := range counts {
+		counts[b] = 0
+	}
+	for _, k := range vals {
+		counts[int(k>>shift&mask)]++
+	}
+	off := 0
+	for b := 0; b < bins; b++ {
+		c := counts[b]
+		starts[b] = lo + off
+		counts[b] = off
+		off += c
+	}
+	starts[bins] = lo + off
+	for i, k := range vals {
+		b := int(k >> shift & mask)
+		pos[i] = counts[b]
+		counts[b]++
+	}
+	// Stage through device memory: writes draw noise in input order
+	// (the queue appends), the read-back surfaces any staging
+	// corruption (the queue gets), and the permuted write-back draws in
+	// bucket order (the concatenation).
+	mem.SetSlice(tmp.Keys, 0, vals)
+	mem.GetSlice(tmp.Keys, 0, stored)
+	for i, v := range stored {
+		out[pos[i]] = v
+	}
+	mem.SetSlice(p.Keys, lo, out)
+	if p.IDs != nil {
+		mem.GetSlice(p.IDs, lo, vals)
+		mem.SetSlice(tmp.IDs, 0, vals)
+		mem.GetSlice(tmp.IDs, 0, stored)
+		for i, v := range stored {
+			out[pos[i]] = v
+		}
+		mem.SetSlice(p.IDs, lo, out)
+	}
+}
+
+// radixPassIDsBulk is radixPassBulk for a bare ID array bucketed through
+// the key lookup. key is called exactly once per element, in index
+// order — the same count and order as the queue path's distribution
+// loop — because lookups are themselves charged reads.
+//
+//memlint:hotpath
+func radixPassIDsBulk(ids, tmp mem.Words, lo, hi int, shift uint, key func(uint32) uint32, sc *Scratch, starts []int) {
+	n := hi - lo
+	bins := len(starts) - 1
+	mask := uint32(bins - 1)
+	vals, stored, out, pos, counts := sc.buffers(n, bins)
+	mem.GetSlice(ids, lo, vals)
+	for b := range counts {
+		counts[b] = 0
+	}
+	for i, id := range vals {
+		b := int(key(id) >> shift & mask) //nolint:hotpath // per-element key lookup is the SortIDs contract (each lookup is a charged read)
+		pos[i] = b
+		counts[b]++
+	}
+	off := 0
+	for b := 0; b < bins; b++ {
+		c := counts[b]
+		starts[b] = lo + off
+		counts[b] = off
+		off += c
+	}
+	starts[bins] = lo + off
+	for i := range vals {
+		b := pos[i]
+		pos[i] = counts[b]
+		counts[b]++
+	}
+	mem.SetSlice(tmp, 0, vals)
+	mem.GetSlice(tmp, 0, stored)
+	for i, v := range stored {
+		out[pos[i]] = v
+	}
+	mem.SetSlice(ids, lo, out)
+}
+
 // Sort implements Algorithm.
 func (l LSD) Sort(p Pair, env Env) {
 	p.validate()
 	n := p.Len()
 	passes, _ := digitWidth(l.Bits)
 	if n <= 1 {
+		return
+	}
+	if bulkEligible(p) {
+		sc := env.scratch()
+		tmp := Pair{Keys: env.KeySpace.Alloc(n)}
+		if p.IDs != nil {
+			tmp.IDs = env.IDSpace.Alloc(n)
+		}
+		starts := make([]int, (1<<l.Bits)+1)
+		for pass := 0; pass < passes; pass++ {
+			radixPassBulk(p, tmp, 0, n, uint(pass*l.Bits), sc, starts)
+		}
 		return
 	}
 	mask := uint32(1)<<l.Bits - 1
@@ -68,9 +181,22 @@ func (l LSD) Sort(p Pair, env Env) {
 }
 
 // SortIDs implements Algorithm: LSD over the ID array keyed by lookup.
+// The bulk path additionally assumes key's own reads are reorderable
+// whenever ids' are; the refine stage upholds this because REMID and
+// Key0 live in the same precise space, so they are traced (and thus
+// gated) together.
 func (l LSD) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env Env) {
 	passes, _ := digitWidth(l.Bits)
 	if count <= 1 {
+		return
+	}
+	if mem.Reorderable(ids) {
+		sc := env.scratch()
+		tmp := env.IDSpace.Alloc(count)
+		starts := make([]int, (1<<l.Bits)+1)
+		for pass := 0; pass < passes; pass++ {
+			radixPassIDsBulk(ids, tmp, 0, count, uint(pass*l.Bits), key, sc, starts)
+		}
 		return
 	}
 	mask := uint32(1)<<l.Bits - 1
@@ -115,7 +241,52 @@ func (m MSD) Sort(p Pair, env Env) {
 	if p.Len() <= 1 {
 		return
 	}
+	if bulkEligible(p) {
+		ctx := &msdBulk{sc: env.scratch(), bins: 1 << m.Bits}
+		ctx.tmp = Pair{Keys: env.KeySpace.Alloc(p.Len())}
+		if p.IDs != nil {
+			ctx.tmp.IDs = env.IDSpace.Alloc(p.Len())
+		}
+		m.sortRangeBulk(p, 0, p.Len(), width-m.Bits, 0, ctx)
+		return
+	}
 	m.sortRange(p, 0, p.Len(), width-m.Bits, env)
+}
+
+// msdBulk carries the bulk path's per-sort state down the recursion: the
+// staging arrays (sized for the full input; each range uses a prefix),
+// the plain-memory scratch, and per-depth bucket-boundary buffers.
+// Same-depth siblings reuse one starts buffer — a parent has finished
+// reading its own before any sibling at the same depth runs — so the
+// recursion allocates per depth, not per node.
+type msdBulk struct {
+	tmp    Pair
+	sc     *Scratch
+	bins   int
+	starts [][]int
+}
+
+func (c *msdBulk) startsAt(depth int) []int {
+	for len(c.starts) <= depth {
+		c.starts = append(c.starts, make([]int, c.bins+1))
+	}
+	return c.starts[depth]
+}
+
+func (m *MSD) sortRangeBulk(p Pair, lo, hi, shift, depth int, ctx *msdBulk) {
+	n := hi - lo
+	if n <= 1 || shift < 0 {
+		return
+	}
+	if n <= insertionThreshold {
+		insertionSortPair(p, lo, hi)
+		return
+	}
+	starts := ctx.startsAt(depth)
+	radixPassBulk(p, ctx.tmp, lo, hi, uint(shift), ctx.sc, starts)
+	for b := 0; b < ctx.bins; b++ {
+		m.sortRangeBulk(p, starts[b], starts[b+1], shift-m.Bits, depth+1, ctx)
+	}
 }
 
 func (m *MSD) sortRange(p Pair, lo, hi, shift int, env Env) {
@@ -167,12 +338,51 @@ func (m *MSD) sortRange(p Pair, lo, hi, shift int, env Env) {
 }
 
 // SortIDs implements Algorithm: MSD over the ID array keyed by lookup.
+// The bulk path carries the same key-reorderability assumption as
+// LSD.SortIDs.
 func (m MSD) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env Env) {
 	_, width := digitWidth(m.Bits)
 	if count <= 1 {
 		return
 	}
+	if mem.Reorderable(ids) {
+		ctx := &msdIDBulk{sc: env.scratch(), bins: 1 << m.Bits, tmp: env.IDSpace.Alloc(count), key: key}
+		m.sortIDRangeBulk(ids, 0, count, width-m.Bits, 0, ctx)
+		return
+	}
 	m.sortIDRange(ids, 0, count, width-m.Bits, key, env)
+}
+
+// msdIDBulk is msdBulk for the bare-ID recursion.
+type msdIDBulk struct {
+	tmp    mem.Words
+	sc     *Scratch
+	bins   int
+	key    func(uint32) uint32
+	starts [][]int
+}
+
+func (c *msdIDBulk) startsAt(depth int) []int {
+	for len(c.starts) <= depth {
+		c.starts = append(c.starts, make([]int, c.bins+1))
+	}
+	return c.starts[depth]
+}
+
+func (m *MSD) sortIDRangeBulk(ids mem.Words, lo, hi, shift, depth int, ctx *msdIDBulk) {
+	n := hi - lo
+	if n <= 1 || shift < 0 {
+		return
+	}
+	if n <= insertionThreshold {
+		insertionSortIDs(ids, lo, hi, ctx.key)
+		return
+	}
+	starts := ctx.startsAt(depth)
+	radixPassIDsBulk(ids, ctx.tmp, lo, hi, uint(shift), ctx.key, ctx.sc, starts)
+	for b := 0; b < ctx.bins; b++ {
+		m.sortIDRangeBulk(ids, starts[b], starts[b+1], shift-m.Bits, depth+1, ctx)
+	}
 }
 
 func (m *MSD) sortIDRange(ids mem.Words, lo, hi, shift int, key func(uint32) uint32, env Env) {

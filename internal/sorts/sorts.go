@@ -66,6 +66,13 @@ type Env struct {
 	// R provides pivot randomness for quicksort. If nil a fixed-seed
 	// stream is used.
 	R *rng.Source
+	// Scratch, when non-nil, supplies reusable plain-memory staging
+	// buffers for the bulk radix paths. A run context (core.Run, the
+	// sweep drivers) sets it once so consecutive sorts — the approx
+	// stage and the refine stage's SortIDs — share one set of buffers
+	// instead of reallocating per call. Nil is always safe: each sort
+	// then stages through a private Scratch.
+	Scratch *Scratch
 }
 
 func (e Env) rng() *rng.Source {
@@ -73,6 +80,54 @@ func (e Env) rng() *rng.Source {
 		return e.R
 	}
 	return rng.New(0x5eed)
+}
+
+func (e Env) scratch() *Scratch {
+	if e.Scratch != nil {
+		return e.Scratch
+	}
+	return &Scratch{}
+}
+
+// Scratch holds the plain-memory staging buffers behind the bulk radix
+// pass: the value snapshot, the post-model read-back, the permuted
+// output, the per-element destination positions, and the bucket
+// histogram. Buffers grow to the largest range staged and are reused
+// across passes, recursion levels, and — when shared through
+// Env.Scratch — across whole sorts, so the steady-state hot path
+// allocates nothing. None of this memory is simulated device memory:
+// every charged access still goes through the mem.Words arrays.
+type Scratch struct {
+	vals, stored, out []uint32
+	pos               []int
+	counts            []int
+}
+
+// buffers returns the staging slices sized for an n-element range with
+// the given bucket count, growing the backing arrays if needed.
+func (s *Scratch) buffers(n, bins int) (vals, stored, out []uint32, pos, counts []int) {
+	if cap(s.vals) < n {
+		s.vals = make([]uint32, n)
+		s.stored = make([]uint32, n)
+		s.out = make([]uint32, n)
+		s.pos = make([]int, n)
+	}
+	if cap(s.counts) < bins {
+		s.counts = make([]int, bins)
+	}
+	return s.vals[:n], s.stored[:n], s.out[:n], s.pos[:n], s.counts[:bins]
+}
+
+// bulkEligible reports whether the pair's arrays admit the bulk radix
+// rewrite: every array must commute under read/write decoupling
+// (mem.Reorderable), which excludes traced arrays — the queue path's
+// per-access event stream is part of the golden contract — and backends
+// whose reads consume the noise stream.
+func bulkEligible(p Pair) bool {
+	if !mem.Reorderable(p.Keys) {
+		return false
+	}
+	return p.IDs == nil || mem.Reorderable(p.IDs)
 }
 
 // Algorithm is one of the paper's sorting algorithms.

@@ -63,13 +63,17 @@ func Presets() []Config {
 }
 
 // Space is an approximate spintronic memory region compatible with
-// mem.Space.
+// mem.Space. Accounting follows the same batched Raw/Fold scheme as the
+// PCM spaces in package mem: the hot path mutates integer counters on
+// the owning array; Stats folds the array registry on demand.
 type Space struct {
 	cfg   Config
 	r     *rng.Source
-	stats mem.Stats
+	fold  mem.Fold
 	sink  mem.Sink
 	addrs mem.AddressAllocator
+	words []*words
+	base  mem.Raw
 
 	// logOneMinusWrite and logOneMinusRead cache ln(1−p) for geometric
 	// bit-flip skipping on writes and reads respectively.
@@ -84,8 +88,13 @@ func NewSpace(cfg Config, seed uint64) *Space {
 		panic(err)
 	}
 	return &Space{
-		cfg:              cfg,
-		r:                rng.New(seed),
+		cfg: cfg,
+		r:   rng.New(seed),
+		fold: mem.Fold{
+			ReadNanos:      mlc.ReadNanos,
+			WriteNanos:     mlc.PreciseWriteNanos,
+			EnergyPerWrite: 1 - cfg.Saving,
+		},
 		logOneMinusWrite: math.Log1p(-cfg.BitErrorProb),
 		logOneMinusRead:  math.Log1p(-cfg.ReadBitErrorProb),
 	}
@@ -94,19 +103,37 @@ func NewSpace(cfg Config, seed uint64) *Space {
 // Config returns the space's operating point.
 func (s *Space) Config() Config { return s.cfg }
 
-// SetSink attaches a trace sink.
-func (s *Space) SetSink(sink mem.Sink) { s.sink = sink }
+// SetSink attaches a trace sink, retroactively rebinding arrays
+// allocated before the attach.
+func (s *Space) SetSink(sink mem.Sink) {
+	s.sink = sink
+	for _, w := range s.words {
+		w.sink = sink
+	}
+}
 
 // Alloc implements mem.Space.
 func (s *Space) Alloc(n int) mem.Words {
-	return &words{space: s, base: s.addrs.Take(n), data: make([]uint32, n)}
+	w := &words{space: s, sink: s.sink, base: s.addrs.Take(n), data: make([]uint32, n)}
+	s.words = append(s.words, w)
+	return w
+}
+
+func (s *Space) rawTotal() mem.Raw {
+	var total mem.Raw
+	for _, w := range s.words {
+		total.Add(w.raw)
+	}
+	return total
 }
 
 // Stats implements mem.Space.
-func (s *Space) Stats() mem.Stats { return s.stats }
+func (s *Space) Stats() mem.Stats { return s.fold.Stats(s.rawTotal().Sub(s.base)) }
 
-// ResetStats clears the aggregate counters.
-func (s *Space) ResetStats() { s.stats = mem.Stats{} }
+// ResetStats zeroes the aggregate by snapshotting the current raw totals
+// as the new baseline; arrays allocated before the reset fold into the
+// post-reset aggregate exactly once.
+func (s *Space) ResetStats() { s.base = s.rawTotal() }
 
 // Approximate implements mem.Space.
 func (s *Space) Approximate() bool { return true }
@@ -136,47 +163,94 @@ func (s *Space) corrupt(v uint32, p, logOneMinusP float64) uint32 {
 
 type words struct {
 	space *Space
+	sink  mem.Sink
 	base  uint64
 	data  []uint32
-	stats mem.Stats
+	raw   mem.Raw
 }
 
 func (w *words) Len() int { return len(w.data) }
 
+//memlint:hotpath
 func (w *words) Get(i int) uint32 {
-	w.stats.Reads++
-	w.stats.ReadNanos += mlc.ReadNanos
-	w.space.stats.Reads++
-	w.space.stats.ReadNanos += mlc.ReadNanos
-	if w.space.sink != nil {
-		w.space.sink.Access(mem.OpRead, w.base+uint64(i)*4, 4)
+	w.raw.Reads++
+	if w.sink != nil {
+		w.sink.Access(mem.OpRead, w.base+uint64(i)*4, 4) //nolint:hotpath // traced arrays opt back into per-access sink dispatch
 	}
 	// Transient read flips (off unless ReadBitErrorProb is set): the
 	// stored value stays intact.
 	return w.space.corrupt(w.data[i], w.space.cfg.ReadBitErrorProb, w.space.logOneMinusRead)
 }
 
+//memlint:hotpath
 func (w *words) Set(i int, v uint32) {
 	stored := w.space.corrupt(v, w.space.cfg.BitErrorProb, w.space.logOneMinusWrite)
-	energy := 1 - w.space.cfg.Saving
-
-	w.stats.Writes++
-	w.stats.WriteNanos += mlc.PreciseWriteNanos
-	w.stats.WriteEnergy += energy
-	w.space.stats.Writes++
-	w.space.stats.WriteNanos += mlc.PreciseWriteNanos
-	w.space.stats.WriteEnergy += energy
+	w.raw.Writes++
 	if stored != v {
-		w.stats.Corrupted++
-		w.space.stats.Corrupted++
+		w.raw.Corrupted++
 	}
-	if w.space.sink != nil {
-		w.space.sink.Access(mem.OpWrite, w.base+uint64(i)*4, 4)
+	if w.sink != nil {
+		w.sink.Access(mem.OpWrite, w.base+uint64(i)*4, 4) //nolint:hotpath // traced arrays opt back into per-access sink dispatch
 	}
 	w.data[i] = stored
 }
 
-func (w *words) Stats() mem.Stats { return w.stats }
+// GetSlice implements mem.BulkWords. With read flips enabled each read
+// draws from the noise stream in index order, exactly as per-element
+// Gets would.
+func (w *words) GetSlice(i int, dst []uint32) {
+	if w.sink != nil {
+		for j := range dst {
+			dst[j] = w.Get(i + j)
+		}
+		return
+	}
+	s := w.space
+	if s.cfg.ReadBitErrorProb == 0 { //nolint:floatord // exact-zero fast path on a configured probability, not an accumulated sum
+		w.raw.Reads += len(dst)
+		copy(dst, w.data[i:i+len(dst)])
+		return
+	}
+	w.raw.Reads += len(dst)
+	for j := range dst {
+		dst[j] = s.corrupt(w.data[i+j], s.cfg.ReadBitErrorProb, s.logOneMinusRead)
+	}
+}
+
+// SetSlice implements mem.BulkWords: writes run through the bit-flip
+// model in index order, consuming the noise stream exactly as
+// per-element Sets would.
+func (w *words) SetSlice(i int, src []uint32) {
+	if w.sink != nil {
+		for j, v := range src {
+			w.Set(i+j, v)
+		}
+		return
+	}
+	s := w.space
+	corrupted := 0
+	for j, v := range src {
+		stored := s.corrupt(v, s.cfg.BitErrorProb, s.logOneMinusWrite)
+		if stored != v {
+			corrupted++
+		}
+		w.data[i+j] = stored
+	}
+	w.raw.Writes += len(src)
+	w.raw.Corrupted += corrupted
+}
+
+// Reorderable implements mem.BulkWords: untraced spintronic arrays
+// commute with other arrays only when reads are precise — with
+// ReadBitErrorProb set, reads share the noise stream with writes, so
+// cross-array reordering would shift every later draw.
+func (w *words) Reorderable() bool {
+	return w.sink == nil && w.space.cfg.ReadBitErrorProb == 0 //nolint:floatord // exact-zero gate on a configured probability, not an accumulated sum
+}
+
+// Stats returns the accesses charged to this array, folded under the
+// space's cost recipe.
+func (w *words) Stats() mem.Stats { return w.space.fold.Stats(w.raw) }
 
 // Peek implements mem.Peeker.
 func (w *words) Peek(i int) uint32 { return w.data[i] }

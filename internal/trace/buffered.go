@@ -1,0 +1,53 @@
+package trace
+
+import "approxsort/internal/mem"
+
+// DefaultBufferedEvents is the Buffered sink's default batch capacity.
+// 4096 events amortize the downstream dispatch well below the cost of
+// one event's encoding while keeping the retained batch under 100 KB.
+const DefaultBufferedEvents = 4096
+
+// Buffered is a mem.Sink that batches events in memory and forwards them
+// to the wrapped sink, in arrival order, whenever the batch fills or
+// Flush is called. Buffering never reorders or drops events, so a
+// single-stream capture (one space, one sink) observes the identical
+// event sequence — only the per-access dispatch to the downstream sink
+// is amortized.
+//
+// Do not interpose Buffered on one of several sinks feeding an
+// order-sensitive consumer (e.g. the hybrid memory system's per-region
+// sinks): batching delays this stream's events relative to the others',
+// which changes any cross-stream interleaving the consumer observes.
+//
+// The caller must Flush (or the batch tail is lost) before reading
+// whatever the downstream sink produced.
+type Buffered struct {
+	dst mem.Sink
+	buf []Event
+}
+
+// NewBuffered wraps dst with an events-sized batch buffer
+// (DefaultBufferedEvents if events <= 0).
+func NewBuffered(dst mem.Sink, events int) *Buffered {
+	if events <= 0 {
+		events = DefaultBufferedEvents
+	}
+	return &Buffered{dst: dst, buf: make([]Event, 0, events)}
+}
+
+// Access implements mem.Sink.
+func (b *Buffered) Access(op mem.Op, addr uint64, size int) {
+	b.buf = append(b.buf, Event{Op: op, Addr: addr, Size: size})
+	if len(b.buf) == cap(b.buf) {
+		b.Flush()
+	}
+}
+
+// Flush forwards every buffered event downstream, in order, and empties
+// the batch.
+func (b *Buffered) Flush() {
+	for _, e := range b.buf {
+		b.dst.Access(e.Op, e.Addr, e.Size)
+	}
+	b.buf = b.buf[:0]
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"approxsort/internal/mem"
+)
+
+// TestBufferedForwardsInOrder drives more events than one batch holds
+// through a Buffered sink and asserts the downstream recorder sees the
+// identical stream, in order, once the tail is flushed.
+func TestBufferedForwardsInOrder(t *testing.T) {
+	var direct, viaBuf Recorder
+	b := NewBuffered(&viaBuf, 16)
+	const n = 100 // 6 full batches plus a partial tail
+	for i := 0; i < n; i++ {
+		op := mem.OpRead
+		if i%3 == 0 {
+			op = mem.OpWrite
+		}
+		direct.Access(op, uint64(i)*4, 4)
+		b.Access(op, uint64(i)*4, 4)
+	}
+	if got := len(viaBuf.Events()); got != 96 {
+		t.Fatalf("before Flush: downstream has %d events, want 96 (full batches only)", got)
+	}
+	b.Flush()
+	if !reflect.DeepEqual(viaBuf.Events(), direct.Events()) {
+		t.Fatal("buffered stream differs from direct stream")
+	}
+}
+
+// TestBufferedFlushEmpty asserts Flush on an empty batch is a no-op and
+// repeated flushes do not duplicate events.
+func TestBufferedFlushEmpty(t *testing.T) {
+	var rec Recorder
+	b := NewBuffered(&rec, 0)
+	b.Flush()
+	b.Access(mem.OpWrite, 8, 4)
+	b.Flush()
+	b.Flush()
+	if len(rec.Events()) != 1 {
+		t.Fatalf("downstream has %d events, want 1", len(rec.Events()))
+	}
+}

@@ -9,7 +9,7 @@
 #                          CI always installs it)
 #   3. memlint           — the repo's own analyzer suite (cmd/memlint):
 #                          detrand, memescape, floatord, verifygate,
-#                          nolintreason. See DESIGN.md §11.
+#                          hotpath, nolintreason. See DESIGN.md §11.
 #
 # Usage: scripts/lint.sh
 set -euo pipefail

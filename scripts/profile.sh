@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Capture CPU (and optionally memory) profiles of the simulation-core
+# hot path. Runs the BenchmarkCore* suite behind BENCH_core.json —
+# table sampler, accounted Get/Set, refine at the roadmap sizes, one
+# sortd job — and leaves pprof artifacts plus the test binary (pprof
+# needs it for symbolization) under the output directory.
+#
+# Re-run this (and refresh BENCH_core.json) whenever the per-access
+# path changes: mem.Space accounting, the mlc sampler, bulk
+# GetSlice/SetSlice consumers, or the sorts inner loops. DESIGN.md §13
+# documents the budget these profiles are checked against.
+#
+# Usage: scripts/profile.sh [outdir]   (default: /tmp/approxsort-prof)
+#
+# Inspect with:
+#   go tool pprof -top   <outdir>/approxsort.test <outdir>/cpu.out
+#   go tool pprof -http: <outdir>/approxsort.test <outdir>/cpu.out
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-/tmp/approxsort-prof}
+mkdir -p "$OUT"
+
+echo "== profiling BenchmarkCore* -> $OUT"
+go test -run '^$' -bench 'BenchmarkCore' -benchtime 2x -count 1 \
+  -cpuprofile "$OUT/cpu.out" \
+  -memprofile "$OUT/mem.out" \
+  -o "$OUT/approxsort.test" \
+  .
+
+echo "== top CPU consumers"
+go tool pprof -top -nodecount 15 "$OUT/approxsort.test" "$OUT/cpu.out"
+
+echo
+echo "profiles: $OUT/cpu.out $OUT/mem.out (binary: $OUT/approxsort.test)"
