@@ -1,0 +1,161 @@
+package approxsort_test
+
+// Out-of-core benchmarks behind BENCH_extsort.json (DESIGN.md §14). These
+// measure the external pipeline's moving parts — replacement-selection
+// run formation, the write-limited k-way merge, and a full streamed sort
+// in each mode — at a size (400k records, RunSize 50k) that forces real
+// multi-run spills while staying bench-friendly. They use only public
+// package APIs; the full-size acceptance run is `approxsort -external`.
+
+import (
+	"io"
+	"testing"
+
+	"approxsort/internal/core"
+	"approxsort/internal/dataset"
+	"approxsort/internal/extsort"
+	"approxsort/internal/memmodel"
+	"approxsort/internal/sorts"
+	"approxsort/internal/verify"
+)
+
+const (
+	benchExtN       = 400000
+	benchExtRunSize = 50000
+)
+
+func benchExtConfig(b *testing.B, dir string) extsort.Config {
+	backend := memmodel.MustGet(memmodel.PCMMLC)
+	pt, err := backend.Normalize(memmodel.Point{
+		Backend: backend.Name(),
+		Params:  map[string]float64{"t": 0.055},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return extsort.Config{
+		Core: core.Config{
+			Algorithm: sorts.MSD{Bits: 6},
+			NewSpace:  func(s uint64) core.Space { return backend.NewApprox(pt, s) },
+			Seed:      benchSeed,
+		},
+		RunSize: benchExtRunSize,
+		FanIn:   8,
+		TempDir: dir,
+		Omega:   memmodel.WriteCostRatio(backend, pt),
+	}
+}
+
+func benchExtStream(b *testing.B) io.Reader {
+	src, err := dataset.StreamSpec{Kind: "uniform", N: benchExtN, Seed: benchSeed}.Stream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+func benchExtSort(b *testing.B, mutate func(*extsort.Config)) extsort.Stats {
+	var stats extsort.Stats
+	b.SetBytes(4 * benchExtN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchExtConfig(b, b.TempDir())
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		src := benchExtStream(b)
+		b.StartTimer()
+		st, err := extsort.SortStream(src, io.Discard, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = st
+	}
+	b.ReportMetric(stats.MeanRunLength()/float64(benchExtRunSize), "runlen/M")
+	b.ReportMetric(float64(stats.MergePasses), "passes")
+	return stats
+}
+
+// BenchmarkExtsortHybridReplacement is the headline configuration:
+// replacement-selection runs (each approx-refined on the hybrid system)
+// plus the staged k-way merge.
+func BenchmarkExtsortHybridReplacement(b *testing.B) {
+	st := benchExtSort(b, nil)
+	if st.Formation != extsort.FormationReplacement || !st.Hybrid {
+		b.Fatalf("unexpected configuration: %+v", st)
+	}
+}
+
+// BenchmarkExtsortHybridChunk isolates replacement selection's cost by
+// pinning the load-sort-store discipline over the same input.
+func BenchmarkExtsortHybridChunk(b *testing.B) {
+	benchExtSort(b, func(cfg *extsort.Config) { cfg.Formation = extsort.FormationChunk })
+}
+
+// BenchmarkExtsortRefineAtMerge defers every run's refine merge into the
+// k-way merge — the variant the (M, B, ω) planner prices against
+// refine-at-formation.
+func BenchmarkExtsortRefineAtMerge(b *testing.B) {
+	benchExtSort(b, func(cfg *extsort.Config) { cfg.RefineAtMerge = true })
+}
+
+// BenchmarkExtsortPrecise is the precise-only baseline: no approximate
+// stage, every formation write at full precise cost.
+func BenchmarkExtsortPrecise(b *testing.B) {
+	benchExtSort(b, func(cfg *extsort.Config) { cfg.Precise = true })
+}
+
+// BenchmarkExtsortAudited is the streaming-service configuration: the
+// headline sort plus the full verification chain (per-run Auditor, output
+// StreamChecker, stats ledger) — its overhead is what every sortd
+// streaming job pays for Verified:true.
+func BenchmarkExtsortAudited(b *testing.B) {
+	backend := memmodel.MustGet(memmodel.PCMMLC)
+	pt, err := backend.Normalize(memmodel.Point{
+		Backend: backend.Name(),
+		Params:  map[string]float64{"t": 0.055},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4 * benchExtN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchExtConfig(b, b.TempDir())
+		cfg.Verifier = verify.Auditor{ID: backend.Identities(pt)}
+		src := benchExtStream(b)
+		sc := verify.NewStreamChecker(io.Discard)
+		b.StartTimer()
+		st, err := extsort.SortStream(src, sc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sc.Finish(st.Records); err != nil {
+			b.Fatal(err)
+		}
+		if err := verify.CheckExtsortStats(st).Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtsortFormationOnly bounds replacement selection alone: runs
+// are formed and spilled but never merged, by sizing RunSize above the
+// input so the single run short-circuits the merge. The delta against
+// the full sort is the merge's cost.
+func BenchmarkExtsortFormationOnly(b *testing.B) {
+	b.SetBytes(4 * benchExtN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchExtConfig(b, b.TempDir())
+		cfg.RunSize = benchExtN
+		src := benchExtStream(b)
+		b.StartTimer()
+		if _, err := extsort.SortStream(src, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

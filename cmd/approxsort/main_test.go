@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,6 +48,50 @@ func TestRunDistributions(t *testing.T) {
 		if !strings.Contains(out.String(), "fully sorted: true") {
 			t.Errorf("%s: not sorted", dist)
 		}
+	}
+}
+
+func TestRunExternal(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-external", "-n", "50000", "-runsize", "6000", "-fanin", "3",
+		"-alg", "msd", "-T", "0.07", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"external approx-refine: 6-bit MSD over 50000 uniform keys",
+		"replacement formation",
+		"merge:",
+		"output verified: sorted stream, 50000 records conserved",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunExternalAutoplanToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sorted.raw")
+	var out strings.Builder
+	err := run([]string{
+		"-external", "-autoplan", "-n", "30000", "-runsize", "4000",
+		"-dist", "zipf", "-T", "0.07", "-o", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "planner (M=") {
+		t.Errorf("autoplan output missing planner line:\n%s", out.String())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 4*30000 {
+		t.Errorf("output file is %d bytes, want %d", fi.Size(), 4*30000)
 	}
 }
 

@@ -56,8 +56,13 @@ type loadConfig struct {
 	Backend string  `json:"backend,omitempty"`
 	T       float64 `json:"t"`
 	Seed    uint64  `json:"seed"`
-	out    string
-	client *http.Client
+	// Stream switches the generated jobs to POST /v1/sort/stream
+	// (out-of-core external sorts over server-generated dataset streams);
+	// RunSize is each streaming job's in-memory run budget.
+	Stream  bool `json:"stream,omitempty"`
+	RunSize int  `json:"run_size,omitempty"`
+	out     string
+	client  *http.Client
 }
 
 // levelSummary is one concurrency level's measured outcome.
@@ -97,6 +102,8 @@ func run(args []string, stdout io.Writer) error {
 	backend := fs.String("backend", "", "memory backend (see GET /v1/backends; empty = server default pcm-mlc)")
 	tFlag := fs.Float64("t", 0.055, "target half-width T (pcm-mlc only; ignored for other backends)")
 	seed := fs.Uint64("seed", 1, "base seed for the deterministic job stream")
+	stream := fs.Bool("stream", false, "drive POST /v1/sort/stream (out-of-core external sorts) instead of /v1/sort")
+	runSize := fs.Int("runsize", 0, "streaming jobs' in-memory run budget in records (0 = server default)")
 	out := fs.String("out", "BENCH_sortd.json", "benchmark artifact path")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-request timeout")
 	if err := fs.Parse(args); err != nil {
@@ -116,8 +123,12 @@ func run(args []string, stdout io.Writer) error {
 	cfg := loadConfig{
 		Addr: strings.TrimRight(*addr, "/"), Levels: levels, Jobs: *jobs,
 		N: *n, Dist: *dist, Alg: *alg, Bits: *bits, Mode: *mode,
-		Backend: *backend, T: *tFlag, Seed: *seed, out: *out,
+		Backend: *backend, T: *tFlag, Seed: *seed,
+		Stream: *stream, RunSize: *runSize, out: *out,
 		client: &http.Client{Timeout: *timeout},
+	}
+	if cfg.Stream && cfg.Dist == "nearlysorted" {
+		return fmt.Errorf("-stream cannot generate nearlysorted input (not streamable)")
 	}
 	// t is the pcm-mlc half-width; the server rejects it for other
 	// backends, whose operating points come from their schema defaults.
@@ -272,14 +283,32 @@ func driveLevel(cfg loadConfig, level int) (levelSummary, error) {
 // closed loop can still overrun the queue when the daemon serves other
 // clients).
 func postJob(cfg loadConfig, req server.SortRequest) jobOutcome {
-	body, err := json.Marshal(req)
+	route := "/v1/sort?wait=1"
+	var payload any = req
+	if cfg.Stream {
+		// Same deterministic coordinates, driven through the streaming
+		// job class: the server generates the dataset as a stream and
+		// runs the out-of-core external sort.
+		route = "/v1/sort/stream?wait=1"
+		payload = server.StreamRequest{
+			Dataset:   req.Dataset,
+			Algorithm: req.Algorithm,
+			Bits:      req.Bits,
+			Mode:      req.Mode,
+			Backend:   req.Backend,
+			T:         req.T,
+			Seed:      req.Seed,
+			RunSize:   cfg.RunSize,
+		}
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return jobOutcome{err: err}
 	}
 	var out jobOutcome
 	start := time.Now() //nolint:detrand // wall-clock by design: per-request latency measurement
 	for {
-		resp, err := cfg.client.Post(cfg.Addr+"/v1/sort?wait=1", "application/json", bytes.NewReader(body))
+		resp, err := cfg.client.Post(cfg.Addr+route, "application/json", bytes.NewReader(body))
 		if err != nil {
 			out.err = err
 			return out
@@ -307,6 +336,9 @@ func postJob(cfg loadConfig, req server.SortRequest) jobOutcome {
 			out.err = fmt.Errorf("job %s: %s %s", job.ID, job.Status, job.Error)
 		case job.Result == nil || !job.Result.Sorted:
 			out.err = fmt.Errorf("job %s: result missing or unsorted", job.ID)
+		case cfg.Stream && (!job.Result.Verified || job.Result.Extsort == nil):
+			out.err = fmt.Errorf("job %s: streaming result missing extsort audit (verified=%v)",
+				job.ID, job.Result.Verified)
 		default:
 			out.mode = job.Result.Mode
 		}

@@ -104,6 +104,57 @@ func TestSortloadEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSortloadStream drives the streaming job class end to end: every
+// job goes through POST /v1/sort/stream, and postJob rejects results
+// that lack the extsort audit.
+func TestSortloadStream(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, QueueDepth: 16, StreamDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_sortd_stream.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-conc", "2",
+		"-jobs", "4",
+		"-n", "20000",
+		"-alg", "msd",
+		"-mode", "hybrid",
+		"-stream",
+		"-runsize", "3000",
+		"-out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("sortload -stream: %v\n%s", err, stdout.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if !report.Config.Stream || report.Config.RunSize != 3000 {
+		t.Errorf("artifact config does not record streaming: %+v", report.Config)
+	}
+	if len(report.Levels) != 1 || report.Levels[0].Errors != 0 {
+		t.Fatalf("streaming level summary: %+v", report.Levels)
+	}
+	if report.Levels[0].HybridJobs != 4 {
+		t.Errorf("hybrid jobs = %d, want 4", report.Levels[0].HybridJobs)
+	}
+}
+
+func TestSortloadStreamRejectsNearlySorted(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stream", "-dist", "nearlysorted"}, &out); err == nil {
+		t.Error("-stream with nearlysorted accepted")
+	}
+}
+
 func TestSortloadFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-conc", "0"}, &out); err == nil {

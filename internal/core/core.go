@@ -265,97 +265,22 @@ type Result struct {
 
 // Run executes the approx-refine pipeline over the input keys and returns
 // the precise sorted output with full accounting. The input slice is not
-// modified.
+// modified. The front half (warm-up through refine step 2) lives in
+// startPipeline (parts.go) and is shared with RunParts.
 func Run(keys []uint32, cfg Config) (Result, error) {
-	if err := cfg.validate(); err != nil {
+	p, err := startPipeline(keys, cfg)
+	if err != nil {
 		return Result{}, err
 	}
 	n := len(keys)
-	precise := mem.NewPreciseSpace()
-	approx := cfg.newSpace()
-	if cfg.ApproxSink != nil {
-		s, ok := approx.(sinkable)
-		if !ok {
-			return Result{}, fmt.Errorf("core: approximate space %T cannot attach a sink", approx)
-		}
-		s.SetSink(cfg.ApproxSink)
-	}
-	report := &Report{
-		Algorithm:           cfg.Algorithm.Name(),
-		N:                   n,
-		T:                   cfg.T,
-		ExactLIS:            cfg.ExactLIS,
-		PostApproxRem:       -1,
-		PostApproxErrorRate: -1,
-	}
-	if cfg.NewSpace != nil {
-		report.T = 0
-	}
-
-	// Warm-up: Key0 and ID materialize in precise memory. The paper's
-	// accounting starts after warm-up (the input is assumed resident),
-	// so the load is not charged.
-	key0 := precise.Alloc(n)
-	mem.Load(key0, keys)
-	id := precise.Alloc(n)
-	mem.Load(id, iota32(n))
-	precise.ResetStats()
-	// The trace sink, like the accounting, starts after warm-up: the
-	// paper assumes the input is already resident.
-	if cfg.PreciseSink != nil {
-		precise.SetSink(cfg.PreciseSink)
-	}
-
-	var prevA, prevP mem.Stats
-	takeDelta := func() StageBreakdown {
-		a, p := approx.Stats(), precise.Stats()
-		d := StageBreakdown{Approx: a.Sub(prevA), Precise: p.Sub(prevP)}
-		prevA, prevP = a, p
-		return d
-	}
-
-	// Approx preparation: copy the keys into approximate memory.
-	keyA := approx.Alloc(n)
-	mem.Copy(keyA, key0)
-	report.Prep = takeDelta()
-
-	// Approx stage: sort <Key~, ID> with keys in approximate memory. The
-	// Env is the run context: its Scratch is shared by the approx-stage
-	// sort and the refine stage's SortIDs, so both reuse one set of bulk
-	// staging buffers.
-	env := sorts.Env{KeySpace: approx, IDSpace: precise, R: rng.New(cfg.Seed ^ 0x2545f4914f6cdd1d), Scratch: &sorts.Scratch{}}
-	cfg.Algorithm.Sort(sorts.Pair{Keys: keyA, IDs: id}, env)
-	report.ApproxSort = takeDelta()
-
-	if cfg.MeasureSortedness {
-		measureSortedness(report, keys, keyA, id)
-	}
-
-	// Refine step 1: one-pass approximate-LIS scan (Listing 1), or the
-	// exact-LIS ablation variant.
-	remID := precise.Alloc(maxInt(n, 1))
-	var remCount int
-	if cfg.ExactLIS {
-		remCount = findREMExact(key0, id, remID, precise)
-	} else {
-		remCount = findREM(key0, id, remID)
-	}
-	report.RemTilde = remCount
-	report.RefineFind = takeDelta()
-
-	// Refine step 2: sort REMID by key value with the same algorithm,
-	// writing only IDs (Listing discussion, Section 4.2 Step 2).
-	cfg.Algorithm.SortIDs(remID, remCount, func(rid uint32) uint32 {
-		return key0.Get(int(rid))
-	}, env)
-	report.RefineSort = takeDelta()
+	report := p.report
 
 	// Refine step 3: merge LIS and REM into the final precise output
 	// (Listing 2).
-	finalKey := precise.Alloc(n)
-	finalID := precise.Alloc(n)
-	mergeRefine(key0, id, remID, remCount, precise, finalKey, finalID)
-	report.RefineMerge = takeDelta()
+	finalKey := p.precise.Alloc(n)
+	finalID := p.precise.Alloc(n)
+	mergeRefine(p.key0, p.id, p.remID, p.remCount, p.precise, finalKey, finalID)
+	report.RefineMerge = p.takeDelta()
 
 	out := Result{
 		Report: report,

@@ -43,6 +43,9 @@ type Plan struct {
 	PredictedRem  int
 	// PilotSize is the sample size actually used.
 	PilotSize int
+	// External is the out-of-core geometry verdict, set only by
+	// PlanExternal (nil for in-memory plans).
+	External *ExternalPlan `json:",omitempty"`
 }
 
 // Plan runs the pilot over a strided sample of keys and returns the

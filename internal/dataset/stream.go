@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"approxsort/internal/rng"
+)
+
+// StreamSpec names a workload to generate as a byte stream instead of a
+// materialized slice, so out-of-core sorts can consume datasets far larger
+// than memory. Every streamable kind replicates its in-memory generator's
+// draw sequence exactly: decoding a Stream yields byte-for-byte the keys
+// of the corresponding slice function at the same parameters, which is
+// what keeps streaming jobs comparable with (and verifiable against) the
+// in-memory experiments.
+type StreamSpec struct {
+	// Kind: uniform|sorted|reverse|fewdistinct|zipf. nearlysorted is
+	// deliberately not streamable — its random transpositions touch
+	// arbitrary positions, so it requires the materialized array.
+	Kind string
+	N    int
+	Seed uint64
+	// K is the distinct-value count for fewdistinct/zipf (defaults 16 and
+	// 1024 as in the API's DatasetSpec); S the Zipf exponent (default 1.2).
+	K int
+	S float64
+}
+
+// Bytes returns the stream's total length: 4 bytes per key.
+func (sp StreamSpec) Bytes() int64 { return 4 * int64(sp.N) }
+
+// Stream returns a reader producing the spec's keys as little-endian
+// uint32 words — the wire format of the extsort pipeline and the
+// /v1/sort/stream endpoint.
+func (sp StreamSpec) Stream() (io.Reader, error) {
+	if sp.N < 0 {
+		return nil, fmt.Errorf("dataset: stream n = %d is negative", sp.N)
+	}
+	n := sp.N
+	switch sp.Kind {
+	case "uniform", "":
+		r := rng.New(sp.Seed)
+		return newKeyReader(n, func(int) uint32 { return r.Uint32() }), nil
+	case "sorted":
+		step := sortedStep(n)
+		return newKeyReader(n, func(i int) uint32 { return uint32(uint64(i) * step) }), nil
+	case "reverse":
+		step := sortedStep(n)
+		return newKeyReader(n, func(i int) uint32 { return uint32(uint64(n-1-i) * step) }), nil
+	case "fewdistinct":
+		k := sp.K
+		if k <= 0 {
+			k = 16
+		}
+		// Same draw order as FewDistinct: the k values first, then one
+		// Intn per key.
+		r := rng.New(sp.Seed)
+		values := make([]uint32, k)
+		for i := range values {
+			values[i] = r.Uint32()
+		}
+		return newKeyReader(n, func(int) uint32 { return values[r.Intn(k)] }), nil
+	case "zipf":
+		k, s := sp.K, sp.S
+		if k <= 0 {
+			k = 1024
+		}
+		if s <= 0 {
+			s = 1.2
+		}
+		r := rng.New(sp.Seed)
+		cdf := make([]float64, k)
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			sum += 1 / math.Pow(float64(i+1), s)
+			cdf[i] = sum
+		}
+		for i := range cdf {
+			cdf[i] /= sum
+		}
+		values := make([]uint32, k)
+		for i := range values {
+			values[i] = r.Uint32()
+		}
+		return newKeyReader(n, func(int) uint32 {
+			u := r.Float64()
+			lo, hi := 0, k-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if cdf[mid] < u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			return values[lo]
+		}), nil
+	case "nearlysorted":
+		return nil, fmt.Errorf("dataset: nearlysorted is not streamable (transpositions need the materialized array)")
+	default:
+		return nil, fmt.Errorf("unknown dataset kind %q", sp.Kind)
+	}
+}
+
+func sortedStep(n int) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return uint64(math.MaxUint32) / uint64(n)
+}
+
+// keyReader adapts a next-key function to io.Reader, encoding keys on
+// demand. Reads of any size are supported; a word split across Read calls
+// is carried in the 4-byte fragment buffer.
+type keyReader struct {
+	next  func(i int) uint32
+	n, i  int
+	frag  [4]byte
+	nfrag int // unread bytes of frag, right-aligned at 4-nfrag
+}
+
+func newKeyReader(n int, next func(i int) uint32) *keyReader {
+	return &keyReader{next: next, n: n}
+}
+
+func (kr *keyReader) Read(p []byte) (int, error) {
+	if kr.nfrag == 0 && kr.i >= kr.n {
+		return 0, io.EOF
+	}
+	total := 0
+	for len(p) > 0 {
+		if kr.nfrag > 0 {
+			c := copy(p, kr.frag[4-kr.nfrag:])
+			kr.nfrag -= c
+			p = p[c:]
+			total += c
+			continue
+		}
+		if kr.i >= kr.n {
+			break
+		}
+		if len(p) >= 4 {
+			binary.LittleEndian.PutUint32(p, kr.next(kr.i))
+			kr.i++
+			p = p[4:]
+			total += 4
+			continue
+		}
+		binary.LittleEndian.PutUint32(kr.frag[:], kr.next(kr.i))
+		kr.i++
+		kr.nfrag = 4
+	}
+	if total == 0 {
+		return 0, io.EOF
+	}
+	return total, nil
+}

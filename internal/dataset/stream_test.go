@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func drain(t *testing.T, sp StreamSpec, chunk int) []uint32 {
+	t.Helper()
+	r, err := sp.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for {
+		p := make([]byte, chunk)
+		n, err := r.Read(p)
+		buf.Write(p[:n])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 4*sp.N {
+		t.Fatalf("stream produced %d bytes, want %d", buf.Len(), 4*sp.N)
+	}
+	out := make([]uint32, sp.N)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf.Bytes()[4*i:])
+	}
+	return out
+}
+
+// TestStreamMatchesMaterialized pins the contract that a streamed dataset
+// is byte-for-byte the in-memory generator's output.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	const n = 5000
+	for _, tc := range []struct {
+		sp   StreamSpec
+		want []uint32
+	}{
+		{StreamSpec{Kind: "uniform", N: n, Seed: 7}, Uniform(n, 7)},
+		{StreamSpec{Kind: "", N: n, Seed: 7}, Uniform(n, 7)},
+		{StreamSpec{Kind: "sorted", N: n}, Sorted(n)},
+		{StreamSpec{Kind: "reverse", N: n}, Reverse(n)},
+		{StreamSpec{Kind: "fewdistinct", N: n, Seed: 3, K: 9}, FewDistinct(n, 9, 3)},
+		{StreamSpec{Kind: "fewdistinct", N: n, Seed: 3}, FewDistinct(n, 16, 3)},
+		{StreamSpec{Kind: "zipf", N: n, Seed: 5, K: 100, S: 1.5}, Zipf(n, 100, 1.5, 5)},
+		{StreamSpec{Kind: "zipf", N: n, Seed: 5}, Zipf(n, 1024, 1.2, 5)},
+	} {
+		for _, chunk := range []int{4096, 4, 3, 7} { // word-aligned and not
+			got := drain(t, tc.sp, chunk)
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("%s chunk=%d: key %d = %d, want %d", tc.sp.Kind, chunk, i, got[i], tc.want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStreamRejectsUnstreamable(t *testing.T) {
+	if _, err := (StreamSpec{Kind: "nearlysorted", N: 10}).Stream(); err == nil {
+		t.Error("nearlysorted stream accepted")
+	}
+	if _, err := (StreamSpec{Kind: "bogus", N: 10}).Stream(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (StreamSpec{Kind: "uniform", N: -1}).Stream(); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	got := drain(t, StreamSpec{Kind: "uniform", N: 0}, 16)
+	if len(got) != 0 {
+		t.Errorf("empty stream produced %d keys", len(got))
+	}
+}

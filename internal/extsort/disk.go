@@ -1,0 +1,177 @@
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrDiskQuota is wrapped by errors returned when a sort would exceed
+// Config.MaxDiskBytes of simultaneously-live spill data.
+var ErrDiskQuota = fmt.Errorf("extsort: disk quota exceeded")
+
+// diskTracker accounts the spill footprint of one external sort: bytes
+// currently on disk, the high-water mark, and the cumulative bytes ever
+// written. Every run-file write goes through add, every unlink through
+// sub, so the high-water mark is exact at write granularity — the number
+// the run-file-lifecycle tests pin (inputs must be unlinked as their
+// merge consumes them, not at the end of the sort).
+type diskTracker struct {
+	quota   int64 // 0 = unlimited
+	cur     int64
+	high    int64
+	written int64
+}
+
+func (d *diskTracker) add(n int64) error {
+	d.cur += n
+	d.written += n
+	if d.cur > d.high {
+		d.high = d.cur
+	}
+	if d.quota > 0 && d.cur > d.quota {
+		return fmt.Errorf("%w: %d bytes live > quota %d", ErrDiskQuota, d.cur, d.quota)
+	}
+	return nil
+}
+
+func (d *diskTracker) sub(n int64) { d.cur -= n }
+
+// runFile is one spilled sorted sequence: a level-0 run (or one part of a
+// refine-at-merge run pair) or an intermediate merge output.
+type runFile struct {
+	path    string
+	bytes   int64
+	records int64
+}
+
+// remove unlinks the file and returns its bytes to the tracker.
+func (f runFile) remove(disk *diskTracker) {
+	os.Remove(f.path)
+	disk.sub(f.bytes)
+}
+
+// writeRunFile spills keys as little-endian uint32 words, charging the
+// tracker before the data lands so a quota breach aborts the sort instead
+// of overfilling the volume.
+func writeRunFile(path string, keys []uint32, disk *diskTracker) (runFile, error) {
+	rf := runFile{path: path, bytes: 4 * int64(len(keys)), records: int64(len(keys))}
+	if err := disk.add(rf.bytes); err != nil {
+		return rf, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return rf, fmt.Errorf("extsort: creating run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var word [4]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(word[:], k)
+		if _, err := bw.Write(word[:]); err != nil {
+			f.Close()
+			return rf, fmt.Errorf("extsort: writing run: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return rf, fmt.Errorf("extsort: writing run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return rf, fmt.Errorf("extsort: closing run: %w", err)
+	}
+	return rf, nil
+}
+
+// copyOut streams a single run file to the output (the no-merge case) and
+// unlinks it.
+func copyOut(rf runFile, w io.Writer, disk *diskTracker) error {
+	f, err := os.Open(rf.path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(w, bufio.NewReaderSize(f, 1<<16)); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: writing output: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf.remove(disk)
+	return nil
+}
+
+// recordSource decodes the little-endian uint32 input stream in bulk
+// block reads, with a pushback buffer so the AutoPlan pilot can consume a
+// prefix and hand it back to run formation untouched.
+type recordSource struct {
+	r       io.Reader
+	buf     []byte
+	n, i    int // valid bytes and cursor into buf
+	eof     bool
+	pending []uint32 // pushed-back records, drained before the stream
+	pi      int
+	records int64 // total records handed out
+}
+
+func newRecordSource(r io.Reader) *recordSource {
+	return &recordSource{r: r, buf: make([]byte, 1<<16)}
+}
+
+// next returns the next record; ok=false means clean end of stream. A
+// stream whose byte length is not a multiple of 4 errors — silent
+// truncation would drop records.
+func (s *recordSource) next() (uint32, bool, error) {
+	if s.pi < len(s.pending) {
+		k := s.pending[s.pi]
+		s.pi++
+		s.records++
+		return k, true, nil
+	}
+	if s.n-s.i < 4 {
+		if err := s.fill(); err != nil {
+			return 0, false, err
+		}
+		if s.n-s.i < 4 {
+			if s.n != s.i {
+				return 0, false, fmt.Errorf("extsort: input truncated mid-record (%d trailing bytes)", s.n-s.i)
+			}
+			return 0, false, nil
+		}
+	}
+	k := binary.LittleEndian.Uint32(s.buf[s.i:])
+	s.i += 4
+	s.records++
+	return k, true, nil
+}
+
+// pushBack returns records to the source; they are re-delivered (in
+// order) before any further stream bytes, without recounting.
+func (s *recordSource) pushBack(keys []uint32) {
+	s.pending = keys
+	s.pi = 0
+	s.records -= int64(len(keys))
+}
+
+func (s *recordSource) fill() error {
+	if s.eof {
+		return nil
+	}
+	// Keep the 0–3 undecoded tail bytes.
+	copy(s.buf, s.buf[s.i:s.n])
+	s.n -= s.i
+	s.i = 0
+	for s.n < 4 {
+		n, err := s.r.Read(s.buf[s.n:])
+		s.n += n
+		if err == io.EOF {
+			s.eof = true
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("extsort: reading input: %w", err)
+		}
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
 )
 
 // Point is one operating point of a backend: a backend name plus the
@@ -166,6 +167,16 @@ type Backend interface {
 	// approximate word write at pt — the device clock the sortd memory
 	// system charges for the approximate region.
 	ApproxWriteNanos(pt Point) float64
+}
+
+// WriteCostRatio returns ω: the ratio of the backend's modelled mean
+// approximate-write latency at pt to the precise-write latency. It is the
+// write-cost parameter of the (M, B, ω) external-sort cost model
+// (core.PlanExternal, DESIGN.md §14): ω < 1 means approximate writes are
+// cheap and run formation should lean on the approx stage; ω = 1 means
+// the device clock offers no write asymmetry to exploit.
+func WriteCostRatio(b Backend, pt Point) float64 {
+	return b.ApproxWriteNanos(pt) / mlc.PreciseWriteNanos
 }
 
 // DefaultName is the backend assumed when a request names none: the MLC

@@ -172,35 +172,47 @@ func (r *SortRequest) normalize(maxN int) error {
 	if _, err := r.algorithm(); err != nil {
 		return err
 	}
-	b, err := memmodel.Get(r.Backend)
+	b, pt, t, err := resolveBackendPoint(r.Backend, r.Params, r.T)
 	if err != nil {
 		return err // *memmodel.UnknownBackendError → 400
 	}
-	r.Backend = b.Name() // canonicalize "" to the default backend's name
-	pt := memmodel.Point{Backend: b.Name(), Params: r.Params}
-	if r.T != 0 {
+	r.Backend, r.backend, r.point, r.T = b.Name(), b, pt, t
+	return nil
+}
+
+// resolveBackendPoint resolves a request's backend name, parameter map
+// and legacy T shorthand against the memmodel registry, returning the
+// normalized operating point and the resolved half-width to echo (0 for
+// non-pcm-mlc backends). Shared by the in-memory and streaming request
+// paths.
+func resolveBackendPoint(name string, params map[string]float64, t float64) (memmodel.Backend, memmodel.Point, float64, error) {
+	b, err := memmodel.Get(name)
+	if err != nil {
+		return nil, memmodel.Point{}, 0, err // *memmodel.UnknownBackendError → 400
+	}
+	pt := memmodel.Point{Backend: b.Name(), Params: params}
+	if t != 0 {
 		if b.Name() != memmodel.PCMMLC {
-			return fmt.Errorf("t applies only to the %s backend; parameterize %s via params",
+			return nil, memmodel.Point{}, 0, fmt.Errorf("t applies only to the %s backend; parameterize %s via params",
 				memmodel.PCMMLC, b.Name())
 		}
 		if _, dup := pt.Param("t"); dup {
-			return fmt.Errorf("provide the half-width as t or params.t, not both")
+			return nil, memmodel.Point{}, 0, fmt.Errorf("provide the half-width as t or params.t, not both")
 		}
-		params := map[string]float64{"t": r.T}
+		merged := map[string]float64{"t": t}
 		for k, v := range pt.Params {
-			params[k] = v
+			merged[k] = v
 		}
-		pt.Params = params
+		pt.Params = merged
 	}
 	pt, err = b.Normalize(pt)
 	if err != nil {
-		return err
+		return nil, memmodel.Point{}, 0, err
 	}
-	r.backend, r.point = b, pt
 	if b.Name() == memmodel.PCMMLC {
-		r.T, _ = pt.Param("t") // echo the resolved half-width in the legacy column
+		t, _ = pt.Param("t") // echo the resolved half-width in the legacy column
 	}
-	return nil
+	return b, pt, t, nil
 }
 
 // algorithm resolves the request's algorithm name.
@@ -233,6 +245,15 @@ const (
 	StatusRunning = "running"
 	StatusDone    = "done"
 	StatusFailed  = "failed"
+)
+
+// Job kinds.
+const (
+	// KindSort is an in-memory POST /v1/sort job (the zero value, omitted
+	// from JSON for compatibility).
+	KindSort = ""
+	// KindStream is an out-of-core POST /v1/sort/stream job.
+	KindStream = "stream"
 )
 
 // Execution modes.
@@ -273,6 +294,11 @@ type JobResult struct {
 
 	// Plan is present when the job consulted the planner (mode auto).
 	Plan *PlanView `json:"plan,omitempty"`
+
+	// Extsort is the external-sort section of a streaming job's result:
+	// run formation, merge structure, disk ledger, and the (M, B, ω)
+	// planner verdict.
+	Extsort *ExtsortView `json:"extsort,omitempty"`
 
 	// Rem is the refine stage's heuristic remainder Rem~ (hybrid only).
 	Rem int `json:"rem"`
@@ -330,6 +356,8 @@ func (r *JobResult) sanitize() {
 type Job struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
+	// Kind distinguishes in-memory sorts from streaming jobs.
+	Kind string `json:"kind,omitempty"`
 
 	// Echoed request coordinates, for list/debug views.
 	Algorithm string  `json:"algorithm"`
@@ -338,6 +366,12 @@ type Job struct {
 	N         int     `json:"n"`
 	T         float64 `json:"t"`
 
+	// Progress is a streaming job's live progress (nil otherwise),
+	// refreshed by the worker mid-run.
+	Progress *JobProgress `json:"progress,omitempty"`
+	// OutputBytes is a finished streaming job's downloadable output size.
+	OutputBytes int64 `json:"output_bytes,omitempty"`
+
 	Result *JobResult `json:"result,omitempty"`
 	Error  string     `json:"error,omitempty"`
 
@@ -345,8 +379,12 @@ type Job struct {
 	StartedAt  time.Time `json:"started_at,omitempty"`
 	FinishedAt time.Time `json:"finished_at,omitempty"`
 
-	// done closes when the job reaches a terminal state; req carries the
-	// work. Unexported, so neither serializes.
-	done chan struct{}
-	req  *SortRequest
+	// done closes when the job reaches a terminal state; req (in-memory)
+	// or stream (streaming) carries the work; dir is the streaming job's
+	// on-disk state, records its input count. Unexported: none serialize.
+	done    chan struct{}
+	req     *SortRequest
+	stream  *StreamRequest
+	dir     string
+	records int64
 }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,14 @@ type Config struct {
 	// MaxBodyBytes bounds a request body (default 64 MB, enough for a
 	// maxReturnKeys inline array with JSON overhead).
 	MaxBodyBytes int64
+	// StreamDir is where streaming jobs keep their spooled input, run
+	// spill, and downloadable output (default: the OS temp dir). Each job
+	// gets its own subdirectory, removed when the job record is evicted.
+	StreamDir string
+	// MaxStreamBytes is the per-job disk quota for streaming jobs:
+	// spooled input, live spill, and output are each held under it
+	// (default 1 GiB). Requests may lower it per job, never raise it.
+	MaxStreamBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +74,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.StreamDir == "" {
+		c.StreamDir = os.TempDir()
+	}
+	if c.MaxStreamBytes <= 0 {
+		c.MaxStreamBytes = 1 << 30
 	}
 	return c
 }
@@ -87,6 +102,12 @@ type Server struct {
 	jobsTotal    *CounterVec   // backend, algorithm, mode, status
 	jobLatency   *HistogramVec // backend, algorithm, mode
 	queueRejects *Counter
+
+	// External-sort (streaming job) counters.
+	extsortRecords     *Counter
+	extsortRuns        *Counter
+	extsortMergePasses *Counter
+	extsortSpillBytes  *Counter
 
 	// testHookBeforeExec, when non-nil, runs on the worker goroutine
 	// before a job executes — the lifecycle tests use it to hold jobs
@@ -114,6 +135,14 @@ func New(cfg Config) *Server {
 		DefaultLatencyBuckets, "backend", "algorithm", "mode")
 	s.queueRejects = m.Counter("sortd_queue_rejected_total",
 		"Jobs rejected with 429 because the queue was full.")
+	s.extsortRecords = m.Counter("sortd_extsort_records_total",
+		"Records sorted by completed streaming (external-sort) jobs.")
+	s.extsortRuns = m.Counter("sortd_extsort_runs_total",
+		"Level-0 runs formed by completed streaming jobs.")
+	s.extsortMergePasses = m.Counter("sortd_extsort_merge_passes_total",
+		"Merge passes executed by completed streaming jobs.")
+	s.extsortSpillBytes = m.Counter("sortd_extsort_spill_bytes_total",
+		"Bytes spilled to disk by completed streaming jobs (runs + intermediate merges).")
 	m.GaugeFunc("sortd_queue_depth", "Accepted jobs not yet started.",
 		func() float64 { return float64(s.pool.Queued()) })
 	m.GaugeFunc("sortd_queue_capacity", "Bounded queue capacity.",
@@ -146,8 +175,10 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sort", s.handleSort)
+	mux.HandleFunc("POST /v1/sort/stream", s.handleSortStream)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleJobOutput)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -266,7 +297,13 @@ func (s *Server) runJob(job *Job) {
 	job.StartedAt = start.UTC()
 	s.mu.Unlock()
 
-	res, err := execute(job.req, s.cfg.PilotSize)
+	var res *JobResult
+	var err error
+	if job.Kind == KindStream {
+		res, err = s.executeStream(job)
+	} else {
+		res, err = execute(job.req, s.cfg.PilotSize)
+	}
 
 	elapsed := time.Since(start) //nolint:detrand // wall-clock by design: feeds the latency histogram only
 	s.mu.Lock()
@@ -284,8 +321,15 @@ func (s *Server) runJob(job *Job) {
 		job.Status = StatusDone
 	}
 	status := job.Status
-	s.retainLocked(job)
+	evicted := s.retainLocked(job)
 	s.mu.Unlock()
+	if err != nil && job.dir != "" {
+		// A failed streaming job keeps its record but not its files.
+		os.RemoveAll(job.dir)
+	}
+	for _, dir := range evicted {
+		os.RemoveAll(dir)
+	}
 
 	s.inflight.Add(-1)
 	s.jobsTotal.With(job.Backend, job.Algorithm, mode, status).Inc()
@@ -294,13 +338,20 @@ func (s *Server) runJob(job *Job) {
 }
 
 // retainLocked appends a terminal job to the retention ring, evicting the
-// oldest records past the cap. Caller holds s.mu.
-func (s *Server) retainLocked(job *Job) {
+// oldest records past the cap. It returns the evicted jobs' stream
+// directories for the caller to remove outside the lock — eviction is the
+// moment a streaming job's output stops being downloadable, so its disk
+// state dies with its record. Caller holds s.mu.
+func (s *Server) retainLocked(job *Job) (evictedDirs []string) {
 	s.order = append(s.order, job.ID)
 	for len(s.order) > s.cfg.RetainJobs {
+		if old, ok := s.jobs[s.order[0]]; ok && old.dir != "" {
+			evictedDirs = append(evictedDirs, old.dir)
+		}
 		delete(s.jobs, s.order[0])
 		s.order = s.order[1:]
 	}
+	return evictedDirs
 }
 
 // snapshot copies a job's public state under the store lock, so handlers

@@ -1,0 +1,306 @@
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"approxsort/internal/core"
+	"approxsort/internal/extsort"
+	"approxsort/internal/memmodel"
+	"approxsort/internal/mlc"
+	"approxsort/internal/sortedness"
+)
+
+// Auditor adapts this package to extsort.Verifier so an external sort can
+// audit every run it forms against the backend's identity set before the
+// run is spilled. A streaming job that installs an Auditor and then
+// passes CheckExtsortStats (totals) and a StreamChecker (output) has had
+// every record of its pipeline checked: per-run invariants at formation
+// time, merge structure at output time, accounting reconciliation at the
+// end.
+type Auditor struct {
+	// ID is the approximate backend's identity set
+	// (memmodel.Backend.Identities); the zero value audits only the
+	// backend-independent invariants.
+	ID memmodel.Identities
+}
+
+var _ extsort.Verifier = Auditor{}
+
+// VerifyHybridRun audits one approx-refine run via CheckRefineRun.
+func (a Auditor) VerifyHybridRun(input []uint32, res core.Result) error {
+	return CheckRefineRun(input, res, a.ID).Err()
+}
+
+// VerifyPartsRun audits one refine-at-merge run via CheckRunParts.
+func (a Auditor) VerifyPartsRun(input []uint32, parts core.Parts) error {
+	return CheckRunParts(input, parts, a.ID).Err()
+}
+
+// VerifyPreciseRun audits one precise-only run via CheckOutput.
+func (a Auditor) VerifyPreciseRun(input, output []uint32) error {
+	return CheckOutput(input, output).Err()
+}
+
+// CheckRunParts audits the output of core.RunParts: the split LIS~/REM
+// pair that refine-at-merge formation spills instead of a merged run. The
+// parts must individually be sorted, jointly partition the input (IDs a
+// permutation of [0, n), every key the original record's key), and the
+// four executed stages' accounting must reconcile exactly as in a full
+// run — with the merge stage empty, because deferring those 2n + Rem~
+// writes into the external merge is the variant's whole point.
+func CheckRunParts(input []uint32, parts core.Parts, id memmodel.Identities) *Report {
+	r := parts.Report
+	n := len(input)
+	rep := &Report{N: n}
+
+	rep.check(r != nil, "result-shape", "Parts.Report is nil")
+	if r == nil {
+		return rep
+	}
+	rep.check(r.N == n, "result-shape", "Report.N = %d, input has %d keys", r.N, n)
+	rep.check(len(parts.LisKeys) == len(parts.LisIDs), "result-shape",
+		"LIS~ has %d keys but %d IDs", len(parts.LisKeys), len(parts.LisIDs))
+	rep.check(len(parts.RemKeys) == len(parts.RemIDs), "result-shape",
+		"REM has %d keys but %d IDs", len(parts.RemKeys), len(parts.RemIDs))
+	if len(parts.LisKeys) != len(parts.LisIDs) || len(parts.RemKeys) != len(parts.RemIDs) {
+		return rep
+	}
+	rep.check(len(parts.LisKeys)+len(parts.RemKeys) == n, "parts-split",
+		"LIS~ (%d) + REM (%d) does not partition the %d-key input",
+		len(parts.LisKeys), len(parts.RemKeys), n)
+	rep.check(r.RemTilde == len(parts.RemKeys), "parts-split",
+		"Report.RemTilde = %d but REM holds %d keys", r.RemTilde, len(parts.RemKeys))
+
+	// Both parts must arrive sorted: the LIS~ by the find-step invariant,
+	// the REM because refine step 2 sorted it. The external merge trusts
+	// this order, so a violation here would corrupt the merged output.
+	rep.check(sortedness.IsSorted(parts.LisKeys), "parts-unsorted",
+		"LIS~ keys are not non-decreasing")
+	rep.check(sortedness.IsSorted(parts.RemKeys), "parts-unsorted",
+		"REM keys are not non-decreasing")
+	rep.check(r.Sorted == (sortedness.IsSorted(parts.LisKeys) && sortedness.IsSorted(parts.RemKeys)),
+		"sorted-flag", "Report.Sorted = %v disagrees with the parts", r.Sorted)
+
+	// Record identity across the split: the two ID sets are disjoint,
+	// cover [0, n), and each part's keys are the original records'.
+	if len(parts.LisKeys)+len(parts.RemKeys) == n {
+		seen := make([]bool, n)
+		ok := true
+		for _, half := range []struct {
+			name string
+			keys []uint32
+			ids  []uint32
+		}{
+			{"LIS~", parts.LisKeys, parts.LisIDs},
+			{"REM", parts.RemKeys, parts.RemIDs},
+		} {
+			for i, rid := range half.ids {
+				if int(rid) >= n || seen[rid] {
+					rep.check(false, "id-not-permutation",
+						"%s IDs[%d] = %d is out of range or repeated", half.name, i, rid)
+					ok = false
+					break
+				}
+				seen[rid] = true
+				if input[rid] != half.keys[i] {
+					rep.check(false, "id-key-mismatch",
+						"%s Keys[%d] = %d but input[IDs[%d]=%d] = %d",
+						half.name, i, half.keys[i], i, rid, input[rid])
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			rep.check(true, "id-not-permutation", "")
+		}
+	}
+
+	checkRem(rep, r)
+
+	// Find step writes as in a full run; the merge stage must be empty —
+	// its 2n + Rem~ writes are the external merge's to pay.
+	wantFind := r.RemTilde
+	if r.ExactLIS {
+		wantFind = 2*n + r.RemTilde
+	}
+	if n >= 2 {
+		rep.check(r.RefineFind.Precise.Writes == wantFind, "find-writes",
+			"find stage wrote %d precise words, want %d (exactLIS=%v)",
+			r.RefineFind.Precise.Writes, wantFind, r.ExactLIS)
+	}
+	rep.check(r.RefineMerge.Precise.Writes == 0 && r.RefineMerge.Precise.Reads == 0 &&
+		r.RefineMerge.Approx.Writes == 0 && r.RefineMerge.Approx.Reads == 0,
+		"parts-merge-not-empty",
+		"RunParts executed merge traffic: %+v", r.RefineMerge)
+
+	// The refine stages never touch approximate memory (Section 4.2).
+	for _, st := range []struct {
+		name string
+		b    core.StageBreakdown
+	}{
+		{"find", r.RefineFind}, {"sort", r.RefineSort},
+	} {
+		rep.check(st.b.Approx.Reads == 0 && st.b.Approx.Writes == 0,
+			"refine-touches-approx",
+			"refine %s stage performed %d approximate reads and %d writes",
+			st.name, st.b.Approx.Reads, st.b.Approx.Writes)
+	}
+
+	checkStages(rep, r, id)
+	return rep
+}
+
+// StreamChecker audits a merged output stream in flight: it wraps the
+// destination io.Writer, decodes the little-endian words as they pass,
+// and tracks order and count so the caller never needs to buffer the
+// (out-of-core sized) output to verify it. Monotonicity plus conservation
+// against the job's input count is exactly the pair of properties the
+// k-way merge must preserve; permutation identity is already pinned
+// per-run by the Auditor before the runs are spilled.
+type StreamChecker struct {
+	w       io.Writer
+	prev    uint32
+	started bool
+	records int64
+	frag    [4]byte // partial trailing word across Write boundaries
+	nfrag   int
+	err     error
+}
+
+// NewStreamChecker wraps w. A nil w audits without forwarding.
+func NewStreamChecker(w io.Writer) *StreamChecker {
+	if w == nil {
+		w = io.Discard
+	}
+	return &StreamChecker{w: w}
+}
+
+// Write forwards p to the underlying writer after auditing it. An order
+// violation fails the Write immediately — downstream gets no bytes the
+// checker has rejected.
+func (c *StreamChecker) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	b := p
+	if c.nfrag > 0 {
+		need := 4 - c.nfrag
+		if len(b) < need {
+			copy(c.frag[c.nfrag:], b)
+			c.nfrag += len(b)
+			return c.w.Write(p)
+		}
+		copy(c.frag[c.nfrag:], b[:need])
+		b = b[need:]
+		c.nfrag = 0
+		if err := c.record(binary.LittleEndian.Uint32(c.frag[:])); err != nil {
+			return 0, err
+		}
+	}
+	for ; len(b) >= 4; b = b[4:] {
+		if err := c.record(binary.LittleEndian.Uint32(b)); err != nil {
+			return 0, err
+		}
+	}
+	if len(b) > 0 {
+		copy(c.frag[:], b)
+		c.nfrag = len(b)
+	}
+	return c.w.Write(p)
+}
+
+func (c *StreamChecker) record(k uint32) error {
+	if c.started && k < c.prev {
+		c.err = fmt.Errorf("verify: stream not sorted at record %d: %d after %d", c.records, k, c.prev)
+		return c.err
+	}
+	c.prev = k
+	c.started = true
+	c.records++
+	return nil
+}
+
+// Records returns the number of complete records seen so far.
+func (c *StreamChecker) Records() int64 { return c.records }
+
+// Finish validates end-of-stream: no dangling partial word and exactly
+// expected records delivered.
+func (c *StreamChecker) Finish(expected int64) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.nfrag != 0 {
+		return fmt.Errorf("verify: stream ends mid-record (%d trailing bytes)", c.nfrag)
+	}
+	if c.records != expected {
+		return fmt.Errorf("verify: stream carried %d records, expected %d", c.records, expected)
+	}
+	return nil
+}
+
+// CheckExtsortStats reconciles an external sort's aggregate Stats against
+// its own per-run ledger — the streaming analogue of checkStages. Every
+// job total must be the fold of its runs (records, Rem~, formation write
+// latency), the merge traffic must match the cost model's passes×records
+// structure at the precise device constants, and the disk ledger must be
+// internally consistent. A streaming job reports Verified:true only after
+// its runs, its output stream, and these totals have all passed.
+func CheckExtsortStats(stats extsort.Stats) *Report {
+	rep := &Report{N: int(stats.Records)}
+
+	rep.check(stats.Runs == len(stats.PerRun), "extsort-ledger",
+		"Stats.Runs = %d but PerRun has %d entries", stats.Runs, len(stats.PerRun))
+
+	var recs int64
+	var rem int
+	var nanos float64
+	for i, ri := range stats.PerRun {
+		rep.check(ri.Records > 0, "extsort-ledger", "run %d has %d records", i, ri.Records)
+		rep.check(ri.RemTilde >= 0 && ri.RemTilde <= ri.Records, "rem-range",
+			"run %d Rem~ = %d out of [0, %d]", i, ri.RemTilde, ri.Records)
+		rep.check(ri.Hybrid == stats.Hybrid, "extsort-ledger",
+			"run %d hybrid=%v disagrees with job hybrid=%v", i, ri.Hybrid, stats.Hybrid)
+		rep.check(ri.Hybrid || ri.RemTilde == 0, "extsort-ledger",
+			"precise run %d reports Rem~ = %d", i, ri.RemTilde)
+		recs += int64(ri.Records)
+		rem += ri.RemTilde
+		nanos += ri.WriteNanos
+	}
+	rep.check(recs == stats.Records, "extsort-ledger",
+		"per-run records sum to %d, job total is %d", recs, stats.Records)
+	rep.check(rem == stats.RemTildeTotal, "extsort-ledger",
+		"per-run Rem~ sums to %d, job total is %d", rem, stats.RemTildeTotal)
+	rep.check(closeEnough(nanos, stats.HybridWriteNanos), "extsort-ledger",
+		"per-run write latency sums to %g, job total is %g", nanos, stats.HybridWriteNanos)
+
+	// Merge accounting: every pass streams every record through the
+	// precise staging window, so writes are exactly passes×records and
+	// the latency is the precise per-write constant times that.
+	wantMerge := int64(stats.MergePasses) * stats.Records
+	rep.check(stats.MergeWrites == wantMerge, "merge-accounting",
+		"MergeWrites = %d, want passes×records = %d×%d = %d",
+		stats.MergeWrites, stats.MergePasses, stats.Records, wantMerge)
+	rep.check(closeEnough(stats.MergeWriteNanos, float64(stats.MergeWrites)*mlc.PreciseWriteNanos),
+		"merge-accounting", "MergeWriteNanos %g != MergeWrites %d × %g",
+		stats.MergeWriteNanos, stats.MergeWrites, mlc.PreciseWriteNanos)
+
+	// Disk ledger: the high-water mark cannot exceed the cumulative
+	// volume, and any spilled sort wrote at least its own records once.
+	rep.check(stats.DiskHighWater <= stats.DiskBytesWritten, "disk-ledger",
+		"DiskHighWater %d exceeds DiskBytesWritten %d",
+		stats.DiskHighWater, stats.DiskBytesWritten)
+	if stats.Runs > 0 {
+		rep.check(stats.DiskBytesWritten >= 4*stats.Records, "disk-ledger",
+			"DiskBytesWritten %d below one pass over %d records",
+			stats.DiskBytesWritten, stats.Records)
+	}
+	rep.check(!stats.Hybrid || stats.HybridWriteNanos > 0 || stats.Records == 0,
+		"extsort-ledger", "hybrid job charged no formation writes")
+	return rep
+}
