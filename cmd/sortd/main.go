@@ -5,15 +5,27 @@
 //
 // API:
 //
-//	POST /v1/sort          submit a job; ?wait=1 blocks for the result
-//	GET  /v1/jobs/{id}     poll a job record
-//	GET  /healthz          readiness (503 while draining)
-//	GET  /metrics          Prometheus text metrics
+//	POST /v1/sort           submit a job; ?wait=1 blocks for the result
+//	POST /v1/sort/stream    submit an out-of-core streaming job
+//	POST /v1/sort/sharded   fan one sort across the -shards fleet
+//	GET  /v1/jobs/{id}      poll a job record
+//	GET  /v1/jobs/{id}/output  download a finished job's sorted stream
+//	GET  /v1/tables         export a calibrated MLC table artifact
+//	POST /v1/tables         install a relayed table artifact
+//	GET  /healthz           readiness (503 while draining)
+//	GET  /metrics           Prometheus text metrics
 //
 // Usage:
 //
 //	go run ./cmd/sortd [-addr :8080] [-workers 0] [-queue 64]
 //	                   [-pilot 4096] [-maxn 8388608] [-drain 30s]
+//	                   [-shards http://h1:8081,http://h2:8081]
+//	                   [-tenant-inflight 2] [-streamdir DIR]
+//
+// With -shards the instance also acts as a cluster coordinator:
+// POST /v1/sort/sharded range-partitions the input over the listed
+// sortd nodes, runs one verified approx-refine job per shard, and
+// k-way-merges the shard outputs under a single write accountant.
 //
 // SIGINT/SIGTERM trigger a graceful drain: health flips to 503, new jobs
 // are refused, queued and in-flight jobs finish (up to -drain), then the
@@ -31,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +74,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxN := fs.Int("maxn", 8<<20, "largest accepted input size")
 	retain := fs.Int("retain", 4096, "finished job records kept for GET /v1/jobs")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	shards := fs.String("shards", "", "comma-separated shard sortd URLs; enables the /v1/sort/sharded coordinator")
+	tenantInflight := fs.Int("tenant-inflight", 2, "concurrent sharded sorts allowed per tenant")
+	streamDir := fs.String("streamdir", "", "streaming/sharded job spool directory (default: OS temp)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,20 +87,35 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("-maxn must be positive, got %d", *maxN)
 	}
 
+	var shardNodes []string
+	if *shards != "" {
+		for _, n := range strings.Split(*shards, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				shardNodes = append(shardNodes, n)
+			}
+		}
+		if len(shardNodes) == 0 {
+			return fmt.Errorf("-shards must list at least one node URL")
+		}
+	}
+
 	s := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		PilotSize:  *pilot,
-		MaxN:       *maxN,
-		RetainJobs: *retain,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		PilotSize:         *pilot,
+		MaxN:              *maxN,
+		RetainJobs:        *retain,
+		StreamDir:         *streamDir,
+		ShardNodes:        shardNodes,
+		TenantMaxInflight: *tenantInflight,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "sortd listening on %s (workers=%d queue=%d maxn=%d)\n",
-		ln.Addr(), *workers, *queue, *maxN)
+	fmt.Fprintf(stdout, "sortd listening on %s (workers=%d queue=%d maxn=%d shards=%d)\n",
+		ln.Addr(), *workers, *queue, *maxN, len(shardNodes))
 	if onListen != nil {
 		onListen(ln.Addr().String())
 	}

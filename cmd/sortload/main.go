@@ -14,6 +14,13 @@
 //	go run ./cmd/sortload -addr http://127.0.0.1:8080 \
 //	    [-conc 1,4] [-jobs 32] [-n 100000] [-alg auto] [-t 0.055] \
 //	    [-backend pcm-mlc] [-dist uniform] [-seed 1] [-out BENCH_sortd.json]
+//
+// With -nodes the tool instead drives POST /v1/sort/sharded against a
+// coordinator: one round per listed shard-count cap, reporting aggregate
+// and per-node throughput so a 1-vs-3-node run shows the scaling curve:
+//
+//	go run ./cmd/sortload -addr http://127.0.0.1:8090 -nodes 1,3 \
+//	    -jobs 4 -n 2000000 -runsize 262144 -out BENCH_cluster.json
 package main
 
 import (
@@ -46,7 +53,7 @@ func main() {
 // loadConfig is the parsed invocation.
 type loadConfig struct {
 	Addr   string  `json:"addr"`
-	Levels []int   `json:"concurrency_levels"`
+	Levels []int   `json:"concurrency_levels,omitempty"`
 	Jobs   int     `json:"jobs_per_level"`
 	N      int     `json:"n"`
 	Dist   string  `json:"dist"`
@@ -61,8 +68,14 @@ type loadConfig struct {
 	// RunSize is each streaming job's in-memory run budget.
 	Stream  bool `json:"stream,omitempty"`
 	RunSize int  `json:"run_size,omitempty"`
-	out     string
-	client  *http.Client
+	// Nodes switches to the multi-node sweep: each entry is a shard-count
+	// cap for one round of POST /v1/sort/sharded jobs against the
+	// coordinator, so one invocation measures the same work at (say) 1
+	// and 3 shards and reports per-node throughput and scaling.
+	Nodes  []int  `json:"nodes,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	out    string
+	client *http.Client
 }
 
 // levelSummary is one concurrency level's measured outcome.
@@ -81,11 +94,34 @@ type levelSummary struct {
 	WallMillis  float64 `json:"wall_ms"`
 }
 
-// benchReport is the BENCH_sortd.json schema.
+// shardSummary is one shard-count round's measured outcome in the
+// multi-node sweep.
+type shardSummary struct {
+	// ShardCap is the requested max_shards; Shards the fan-out the
+	// planner actually chose (identical across the round's jobs — the
+	// stream is deterministic).
+	ShardCap int `json:"shard_cap"`
+	Shards   int `json:"shards"`
+	Jobs     int `json:"jobs"`
+	Errors   int `json:"errors"`
+	// Verified counts jobs whose full cross-shard audit chain passed.
+	Verified   int     `json:"verified"`
+	MeanMillis float64 `json:"mean_ms"`
+	// RecordsPerSec is the round's aggregate sort throughput; PerNode
+	// divides by the fan-out — flat PerNode across rounds is linear
+	// scaling. Speedup is this round's throughput over the first
+	// round's.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	PerNode       float64 `json:"records_per_sec_per_node"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH_sortd.json / BENCH_cluster.json schema.
 type benchReport struct {
-	Tool   string         `json:"tool"`
-	Config loadConfig     `json:"config"`
-	Levels []levelSummary `json:"levels"`
+	Tool    string         `json:"tool"`
+	Config  loadConfig     `json:"config"`
+	Levels  []levelSummary `json:"levels,omitempty"`
+	Sharded []shardSummary `json:"sharded,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -104,6 +140,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "base seed for the deterministic job stream")
 	stream := fs.Bool("stream", false, "drive POST /v1/sort/stream (out-of-core external sorts) instead of /v1/sort")
 	runSize := fs.Int("runsize", 0, "streaming jobs' in-memory run budget in records (0 = server default)")
+	nodes := fs.String("nodes", "", "comma-separated shard-count caps for the multi-node sweep (drives POST /v1/sort/sharded)")
+	tenant := fs.String("tenant", "sortload", "tenant identity for sharded jobs (placement + quota)")
 	out := fs.String("out", "BENCH_sortd.json", "benchmark artifact path")
 	timeout := fs.Duration("timeout", 5*time.Minute, "per-request timeout")
 	if err := fs.Parse(args); err != nil {
@@ -124,16 +162,25 @@ func run(args []string, stdout io.Writer) error {
 		Addr: strings.TrimRight(*addr, "/"), Levels: levels, Jobs: *jobs,
 		N: *n, Dist: *dist, Alg: *alg, Bits: *bits, Mode: *mode,
 		Backend: *backend, T: *tFlag, Seed: *seed,
-		Stream: *stream, RunSize: *runSize, out: *out,
+		Stream: *stream, RunSize: *runSize, Tenant: *tenant, out: *out,
 		client: &http.Client{Timeout: *timeout},
 	}
-	if cfg.Stream && cfg.Dist == "nearlysorted" {
-		return fmt.Errorf("-stream cannot generate nearlysorted input (not streamable)")
+	if *nodes != "" {
+		if cfg.Nodes, err = parseLevels(*nodes); err != nil {
+			return fmt.Errorf("-nodes: %v", err)
+		}
+		cfg.Levels = nil // the sweep axis is shard caps, not client concurrency
+	}
+	if (cfg.Stream || cfg.Nodes != nil) && cfg.Dist == "nearlysorted" {
+		return fmt.Errorf("nearlysorted input is not streamable")
 	}
 	// t is the pcm-mlc half-width; the server rejects it for other
 	// backends, whose operating points come from their schema defaults.
 	if cfg.Backend != "" && cfg.Backend != "pcm-mlc" {
 		cfg.T = 0
+	}
+	if cfg.Nodes != nil {
+		return driveSharded(cfg, stdout)
 	}
 	return drive(cfg, stdout)
 }
@@ -343,6 +390,138 @@ func postJob(cfg loadConfig, req server.SortRequest) jobOutcome {
 			out.mode = job.Result.Mode
 		}
 		return out
+	}
+}
+
+// driveSharded runs the multi-node sweep: one round of sharded sorts
+// per -nodes entry, same deterministic job stream each round, so the
+// rounds differ only in the shard-count cap. Per-node throughput staying
+// flat while aggregate throughput grows with the cap is the linear-
+// scaling signature the sweep exists to measure.
+func driveSharded(cfg loadConfig, stdout io.Writer) error {
+	report := benchReport{Tool: "sortload", Config: cfg}
+	var base float64
+	for _, cap := range cfg.Nodes {
+		summary := shardSummary{ShardCap: cap}
+		var sum float64
+		start := time.Now() //nolint:detrand // wall-clock by design: the load generator measures real throughput
+		for i := 0; i < cfg.Jobs; i++ {
+			out, shards, verified := postShardedJob(cfg, cap, i)
+			summary.Jobs++
+			if out.err != nil {
+				summary.Errors++
+				continue
+			}
+			if verified {
+				summary.Verified++
+			}
+			summary.Shards = shards
+			sum += float64(out.latency) / float64(time.Millisecond)
+		}
+		wall := time.Since(start) //nolint:detrand // wall-clock by design: real elapsed time is the benchmark output
+		done := summary.Jobs - summary.Errors
+		if done > 0 {
+			summary.MeanMillis = sum / float64(done)
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			summary.RecordsPerSec = float64(done) * float64(cfg.N) / secs
+		}
+		if summary.Shards > 0 {
+			summary.PerNode = summary.RecordsPerSec / float64(summary.Shards)
+		}
+		if base == 0 && summary.RecordsPerSec > 0 {
+			base = summary.RecordsPerSec
+		}
+		if base > 0 {
+			summary.Speedup = summary.RecordsPerSec / base
+		}
+		if summary.Errors == summary.Jobs {
+			return fmt.Errorf("shard cap %d: every job failed", cap)
+		}
+		report.Sharded = append(report.Sharded, summary)
+		fmt.Fprintf(stdout,
+			"nodes=%-2d shards=%-2d jobs=%-3d errors=%d verified=%d  mean=%.1fms  %.0f rec/s (%.0f rec/s/node, speedup %.2fx)\n",
+			cap, summary.Shards, summary.Jobs, summary.Errors, summary.Verified,
+			summary.MeanMillis, summary.RecordsPerSec, summary.PerNode, summary.Speedup)
+	}
+
+	if cfg.out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", cfg.out)
+	}
+	return nil
+}
+
+// postShardedJob runs one synchronous sharded sort and reports the
+// fan-out the coordinator chose and whether the cross-shard audit chain
+// verified.
+func postShardedJob(cfg loadConfig, cap, i int) (jobOutcome, int, bool) {
+	payload := server.ShardedRequest{
+		StreamRequest: server.StreamRequest{
+			Dataset: &server.DatasetSpec{
+				Kind: cfg.Dist,
+				N:    cfg.N,
+				Seed: rng.Split(cfg.Seed, "sortload", "sharded", "dataset", cap, i),
+			},
+			Algorithm: cfg.Alg,
+			Bits:      cfg.Bits,
+			Mode:      cfg.Mode,
+			Backend:   cfg.Backend,
+			T:         cfg.T,
+			Seed:      rng.Split(cfg.Seed, "sortload", "sharded", "run", cap, i),
+			RunSize:   cfg.RunSize,
+		},
+		Tenant:    cfg.Tenant,
+		MaxShards: cap,
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return jobOutcome{err: err}, 0, false
+	}
+	var out jobOutcome
+	start := time.Now() //nolint:detrand // wall-clock by design: per-request latency measurement
+	for {
+		resp, err := cfg.client.Post(cfg.Addr+"/v1/sort/sharded?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			out.err = err
+			return out, 0, false
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			out.retries++
+			if out.retries > 1000 {
+				out.err = fmt.Errorf("giving up after %d 429s", out.retries)
+				return out, 0, false
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		var job server.Job
+		decErr := json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		out.latency = time.Since(start) //nolint:detrand // wall-clock by design: per-request latency measurement
+		switch {
+		case resp.StatusCode != http.StatusOK:
+			out.err = fmt.Errorf("status %d", resp.StatusCode)
+		case decErr != nil:
+			out.err = decErr
+		case job.Status != server.StatusDone:
+			out.err = fmt.Errorf("job %s: %s %s", job.ID, job.Status, job.Error)
+		case job.Result == nil || job.Result.Cluster == nil:
+			out.err = fmt.Errorf("job %s: result missing cluster ledger", job.ID)
+		case !job.Result.Verified:
+			out.err = fmt.Errorf("job %s: cross-shard audit chain not verified", job.ID)
+		default:
+			out.mode = job.Result.Mode
+			return out, len(job.Result.Cluster.Shards), job.Result.Cluster.Verified
+		}
+		return out, 0, false
 	}
 }
 

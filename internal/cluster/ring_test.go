@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	nodes := ringNodes(5)
+	a, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed membership list: placement must not depend on input order.
+	rev := make([]string, len(nodes))
+	for i, n := range nodes {
+		rev[len(nodes)-1-i] = n
+	}
+	b, err := NewRing(rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		ga, gb := a.LookupN(key, 3), b.LookupN(key, 3)
+		for j := range ga {
+			if ga[j] != gb[j] {
+				t.Fatalf("key %s: placement differs by input order: %v vs %v", key, ga, gb)
+			}
+		}
+	}
+}
+
+func TestRingLookupNDistinct(t *testing.T) {
+	r, err := NewRing(ringNodes(4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got := r.LookupN(fmt.Sprintf("k%d", i), 4)
+		if len(got) != 4 {
+			t.Fatalf("LookupN returned %d nodes", len(got))
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("duplicate node %s in %v", n, got)
+			}
+			seen[n] = true
+		}
+	}
+	// Asking for more nodes than exist clamps.
+	if got := r.LookupN("k", 99); len(got) != 4 {
+		t.Fatalf("over-ask returned %d nodes", len(got))
+	}
+}
+
+func TestRingStableUnderMembershipChange(t *testing.T) {
+	// Consistent hashing's whole point: adding one node moves roughly
+	// 1/(n+1) of the keys and nothing else; removing it restores the
+	// original placement exactly.
+	nodes := ringNodes(4)
+	before, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing(append(append([]string(nil), nodes...), "http://10.0.0.99:8080"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 2000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		was, now := before.Lookup(key), grown.Lookup(key)
+		if was != now {
+			if now != "http://10.0.0.99:8080" {
+				t.Fatalf("key %s moved between surviving nodes: %s -> %s", key, was, now)
+			}
+			moved++
+		}
+	}
+	// Expected share 1/5 = 400; vnode variance keeps it loose.
+	if moved < keys/10 || moved > keys/2 {
+		t.Fatalf("adding a node moved %d/%d keys, want roughly %d", moved, keys, keys/5)
+	}
+	// Remove the node again: placement is exactly the original.
+	shrunk, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		if before.Lookup(key) != shrunk.Lookup(key) {
+			t.Fatalf("key %s placement not restored after removal", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(ringNodes(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 6000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	for node, c := range counts {
+		if c < keys/3/2 || c > keys/3*2 {
+			t.Errorf("node %s owns %d/%d keys, want near %d", node, c, keys, keys/3)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+
+	"approxsort/internal/dataset"
+)
+
+func TestPartitionerRoutesWithinRange(t *testing.T) {
+	p, err := NewPartitioner([]uint32{100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+	for _, key := range dataset.Uniform(20000, 3) {
+		s := p.Route(key)
+		lo, hi := p.Range(s)
+		if key < lo || key > hi {
+			t.Fatalf("key %d routed to shard %d with range [%d, %d]", key, s, lo, hi)
+		}
+	}
+}
+
+func TestPartitionerBoundaryRoundRobin(t *testing.T) {
+	// A constant input equal to every splitter (the degenerate
+	// fewdistinct case) must spread across all shards, not land on one.
+	p, err := NewPartitioner([]uint32{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, p.Shards())
+	for i := 0; i < 4000; i++ {
+		counts[p.Route(7)]++
+	}
+	for s, c := range counts {
+		if c != 1000 {
+			t.Fatalf("shard %d got %d of 4000 boundary keys, want exact round-robin: %v", s, c, counts)
+		}
+	}
+}
+
+func TestPartitionerSingleBoundaryAlternates(t *testing.T) {
+	p, err := NewPartitioner([]uint32{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	for i := 0; i < 10; i++ {
+		counts[p.Route(50)]++
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("boundary key split %v, want 5/5", counts)
+	}
+	if s := p.Route(49); s != 0 {
+		t.Fatalf("Route(49) = %d", s)
+	}
+	if s := p.Route(51); s != 1 {
+		t.Fatalf("Route(51) = %d", s)
+	}
+}
+
+func TestPartitionerDeterministic(t *testing.T) {
+	keys := dataset.FewDistinct(5000, 8, 21)
+	mk := func() []int {
+		p, err := NewPartitioner([]uint32{1 << 10, 1 << 20, 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, len(keys))
+		for i, k := range keys {
+			out[i] = p.Route(k)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("routing diverged at %d", i)
+		}
+	}
+}
+
+func TestPartitionerRejectsUnsorted(t *testing.T) {
+	if _, err := NewPartitioner([]uint32{5, 3}); err == nil {
+		t.Fatal("unsorted splitters accepted")
+	}
+}

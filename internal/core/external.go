@@ -105,8 +105,13 @@ type ExternalPlan struct {
 	// equivalent precise writes of the chosen variant; PreciseWrites is
 	// the all-precise alternative at its own best geometry, so
 	// TotalWrites/PreciseWrites is the predicted external write ratio.
+	// CollapseWrites is the refine-at-merge fragment-collapse term
+	// already included in MergeWrites: the predicted REM volume the
+	// fragment-aware fan-in allocator pre-folds when part pairs exceed
+	// the fan-in (0 otherwise).
 	FormationWrites float64
 	MergeWrites     float64
+	CollapseWrites  float64
 	TotalWrites     float64
 	PreciseWrites   float64
 }
@@ -247,14 +252,23 @@ func (pl Planner) PlanExternal(sample []uint32, ext ExtConfig) (Plan, error) {
 			runLength = int(ext.N)
 		}
 		for _, v := range variants {
-			cursorsPerRun := 1
-			if v.refineAtMerge {
-				cursorsPerRun = 2
+			runs, fanIn, passes := extGeometry(ext.N, runLength, 1, ext)
+			if v.refineAtMerge && passes == 0 {
+				// A single parts run still needs one pass to fold its
+				// LIS~/REM pair.
+				passes = 1
 			}
-			runs, fanIn, passes := extGeometry(ext.N, runLength, cursorsPerRun, ext)
 			formation := formationPerRecord(runLength, v) * float64(ext.N)
 			merge := float64(passes) * float64(ext.N)
-			total := formation + merge
+			collapse := 0.0
+			if v.refineAtMerge && 2*runs > int64(fanIn) {
+				// Fragment-aware fan-in: once part pairs exceed the
+				// fan-in, the merge pre-folds the small REM fragments
+				// instead of paying a full extra pass; the predicted
+				// collapse cost is the REM volume.
+				collapse = float64(remAt(runLength)) / float64(runLength) * float64(ext.N)
+			}
+			total := formation + merge + collapse
 			if !v.hybrid && total < bestPrecise {
 				bestPrecise = total
 			}
@@ -274,7 +288,8 @@ func (pl Planner) PlanExternal(sample []uint32, ext ExtConfig) (Plan, error) {
 					FanIn:           fanIn,
 					MergePasses:     passes,
 					FormationWrites: formation,
-					MergeWrites:     merge,
+					MergeWrites:     merge + collapse,
+					CollapseWrites:  collapse,
 					TotalWrites:     total,
 				}
 			}

@@ -46,6 +46,9 @@ type Plan struct {
 	// External is the out-of-core geometry verdict, set only by
 	// PlanExternal (nil for in-memory plans).
 	External *ExternalPlan `json:",omitempty"`
+	// Sharded is the multi-node fan-out verdict, set only by PlanSharded
+	// (nil for single-node plans).
+	Sharded *ShardedPlan `json:",omitempty"`
 }
 
 // Plan runs the pilot over a strided sample of keys and returns the

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"approxsort/internal/rng"
+)
+
+// This file supports range partitioning for the cluster coordinator: a
+// deterministic reservoir sampled while the input spools, then shard
+// boundary keys read off the sample's quantiles. Determinism matters —
+// the same input, seed and shard count must partition identically on
+// every coordinator, so regression runs stay bit-reproducible.
+
+// Reservoir is a fixed-capacity uniform sample over a key stream of
+// unknown length (Vitter's Algorithm R with the repo's deterministic
+// generator). The zero value is not valid; use NewReservoir.
+type Reservoir struct {
+	sample []uint32
+	seen   int64
+	r      *rng.Source
+}
+
+// NewReservoir returns a reservoir holding at most k keys, seeded
+// deterministically; identical (k, seed) and Add sequences yield
+// identical samples.
+func NewReservoir(k int, seed uint64) *Reservoir {
+	if k < 1 {
+		k = 1
+	}
+	return &Reservoir{
+		sample: make([]uint32, 0, k),
+		r:      rng.New(rng.Split(seed, "dataset", "reservoir", k)),
+	}
+}
+
+// Add offers one key to the sample.
+func (rv *Reservoir) Add(key uint32) {
+	rv.seen++
+	if len(rv.sample) < cap(rv.sample) {
+		rv.sample = append(rv.sample, key)
+		return
+	}
+	// Replace a random slot with probability k/seen. seen fits an int on
+	// 64-bit builds; inputs beyond 2^31 keys arrive in practice as int64
+	// counts well below that on the sampled prefix alone, and Intn's
+	// argument only needs the running total.
+	if j := rv.r.Intn(int(rv.seen)); j < cap(rv.sample) {
+		rv.sample[j] = key
+	}
+}
+
+// AddAll offers every key in keys.
+func (rv *Reservoir) AddAll(keys []uint32) {
+	for _, k := range keys {
+		rv.Add(k)
+	}
+}
+
+// Seen reports how many keys have been offered.
+func (rv *Reservoir) Seen() int64 { return rv.seen }
+
+// Keys returns the current sample in reservoir order — an unbiased
+// random subsequence of the stream, suitable as a planner pilot sample
+// (Sample's sorted order would make the pilot measure a sorted input).
+// The caller owns the returned slice.
+func (rv *Reservoir) Keys() []uint32 {
+	return append([]uint32(nil), rv.sample...)
+}
+
+// Sample returns the current sample, sorted ascending. The caller owns
+// the returned slice.
+func (rv *Reservoir) Sample() []uint32 {
+	out := append([]uint32(nil), rv.sample...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Splitters returns shards−1 boundary keys that cut the sampled
+// distribution into shards near-equal ranges: shard i takes keys in
+// (splitters[i−1], splitters[i]] with the open ends at the extremes.
+// Boundaries are read off the sample's quantiles, so skew in the input
+// (zipf, clustered) moves the boundaries instead of overloading a
+// shard. Duplicate quantiles — constant or few-valued inputs — are NOT
+// deduplicated: the router breaks boundary ties by round-robin, and
+// collapsing equal splitters here would silently drop shards instead.
+func (rv *Reservoir) Splitters(shards int) ([]uint32, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("dataset: Splitters(%d): need at least one shard", shards)
+	}
+	if shards == 1 {
+		return nil, nil
+	}
+	s := rv.Sample()
+	if len(s) == 0 {
+		return nil, fmt.Errorf("dataset: Splitters(%d): empty reservoir", shards)
+	}
+	out := make([]uint32, shards-1)
+	for i := 1; i < shards; i++ {
+		idx := i * len(s) / shards
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		out[i-1] = s[idx]
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"sort"
+	"testing"
+)
+
+func reservoirOver(keys []uint32, k int, seed uint64) *Reservoir {
+	rv := NewReservoir(k, seed)
+	rv.AddAll(keys)
+	return rv
+}
+
+// shardShares partitions keys by the splitters (boundary keys go to the
+// lower shard, matching the router's (lo, hi] ranges) and returns the
+// per-shard counts.
+func shardShares(keys []uint32, splitters []uint32) []int {
+	counts := make([]int, len(splitters)+1)
+	for _, k := range keys {
+		i := sort.Search(len(splitters), func(i int) bool { return splitters[i] >= k })
+		counts[i]++
+	}
+	return counts
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	keys := Uniform(50000, 7)
+	a := reservoirOver(keys, 512, 42).Sample()
+	b := reservoirOver(keys, 512, 42).Sample()
+	if len(a) != 512 {
+		t.Fatalf("sample size %d, want 512", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("samples diverge at %d: %d != %d", i, a[i], b[i])
+		}
+	}
+	c := reservoirOver(keys, 512, 43).Sample()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestReservoirShortStream(t *testing.T) {
+	rv := reservoirOver([]uint32{5, 3, 9}, 16, 1)
+	if got := rv.Sample(); len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("short-stream sample = %v", got)
+	}
+	if rv.Seen() != 3 {
+		t.Fatalf("Seen = %d", rv.Seen())
+	}
+}
+
+func TestSplittersBalanceUniform(t *testing.T) {
+	keys := Uniform(200000, 11)
+	for _, shards := range []int{2, 3, 5, 8} {
+		sp, err := reservoirOver(keys, 1024, 9).Splitters(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sp) != shards-1 {
+			t.Fatalf("%d shards: %d splitters", shards, len(sp))
+		}
+		if !sort.SliceIsSorted(sp, func(i, j int) bool { return sp[i] < sp[j] }) {
+			t.Fatalf("splitters not sorted: %v", sp)
+		}
+		ideal := len(keys) / shards
+		for i, c := range shardShares(keys, sp) {
+			// A 1024-key sample holds quantiles to a few percent; 35%
+			// relative slack keeps the test sharp without flaking.
+			if c < ideal*65/100 || c > ideal*135/100 {
+				t.Errorf("%d shards: shard %d got %d keys, ideal %d", shards, i, c, ideal)
+			}
+		}
+	}
+}
+
+func TestSplittersBalanceSkewed(t *testing.T) {
+	// Zipf-like skew: quantile splitters must still cut near-equal
+	// shares, because boundaries move with the mass.
+	keys := Zipf(150000, 1<<20, 1.2, 13)
+	sp, err := reservoirOver(keys, 2048, 17).Splitters(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := len(keys) / 4
+	for i, c := range shardShares(keys, sp) {
+		if c < ideal/2 || c > ideal*2 {
+			t.Errorf("skewed shard %d got %d keys, ideal %d", i, c, ideal)
+		}
+	}
+}
+
+func TestSplittersConstantInput(t *testing.T) {
+	// A constant stream yields equal splitters; they must be preserved
+	// (not deduplicated) so the router can round-robin boundary ties
+	// across all shards instead of dropping shards.
+	keys := make([]uint32, 10000)
+	for i := range keys {
+		keys[i] = 77
+	}
+	sp, err := reservoirOver(keys, 256, 3).Splitters(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 3 {
+		t.Fatalf("got %d splitters, want 3", len(sp))
+	}
+	for _, s := range sp {
+		if s != 77 {
+			t.Fatalf("constant input splitters = %v", sp)
+		}
+	}
+}
+
+func TestSplittersEdgeCases(t *testing.T) {
+	rv := reservoirOver(Uniform(100, 1), 64, 1)
+	if sp, err := rv.Splitters(1); err != nil || sp != nil {
+		t.Fatalf("Splitters(1) = %v, %v; want nil, nil", sp, err)
+	}
+	if _, err := rv.Splitters(0); err == nil {
+		t.Fatal("Splitters(0) accepted")
+	}
+	if _, err := NewReservoir(8, 1).Splitters(2); err == nil {
+		t.Fatal("empty reservoir accepted")
+	}
+	// More shards than sampled keys still yields sorted boundaries.
+	tiny := reservoirOver([]uint32{10, 20}, 4, 1)
+	sp, err := tiny.Splitters(5)
+	if err != nil || len(sp) != 4 {
+		t.Fatalf("tiny sample: %v, %v", sp, err)
+	}
+	if !sort.SliceIsSorted(sp, func(i, j int) bool { return sp[i] < sp[j] }) {
+		t.Fatalf("tiny splitters not sorted: %v", sp)
+	}
+}

@@ -78,7 +78,8 @@ type Progress struct {
 	Records int64
 	// Runs is the number of level-0 runs formed so far.
 	Runs int
-	// Pass is the current merge pass (1-based; 0 during formation).
+	// Pass is the current merge pass (1-based; 0 during formation and
+	// during the refine-at-merge fragment collapse).
 	Pass int
 	// MergedRecords counts records written during the current merge pass.
 	MergedRecords int64
@@ -224,10 +225,20 @@ type Stats struct {
 	RunSize int
 	FanIn   int
 
-	// MergeWrites and MergeWriteNanos are the merge passes' charged
-	// precise staging traffic: one write per record per pass.
+	// MergeWrites and MergeWriteNanos are the merge's charged precise
+	// staging traffic: one write per record per full pass, plus the
+	// fragment-collapse records below.
 	MergeWrites     int64
 	MergeWriteNanos float64
+
+	// FragmentCollapses and CollapsedRecords ledger the fragment-aware
+	// fan-in allocator (refine-at-merge only): when LIS~/REM part pairs
+	// exceed the fan-in, the smallest files are pre-folded in
+	// FragmentCollapses greedy groups totalling CollapsedRecords staged
+	// records instead of paying a full extra level pass. The exact merge
+	// identity is MergeWrites == MergePasses×Records + CollapsedRecords.
+	FragmentCollapses int
+	CollapsedRecords  int64
 
 	// DiskBytesWritten is the cumulative spill volume; DiskHighWater the
 	// peak simultaneously-live spill footprint.

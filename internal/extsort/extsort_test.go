@@ -356,6 +356,57 @@ func TestRefineAtMergeCheaperFormation(t *testing.T) {
 	}
 }
 
+func TestFragmentCollapseAvoidsExtraPass(t *testing.T) {
+	// Refine-at-merge spills two part files per run, so R runs expose 2R
+	// fragments; with R <= fanIn < 2R the old allocator paid a full extra
+	// merge pass (MergeWrites = 2×Records). The fragment-aware allocator
+	// pre-folds only the smallest fragments — mostly the tiny REM files —
+	// so the merge finishes in one pass plus the collapsed volume.
+	keys := dataset.Uniform(25000, 17)
+	cfg := testConfig(t, 3000, 6) // ~5 replacement runs: 5 <= 6 < 10 parts
+	cfg.RefineAtMerge = true
+	got, stats := runSort(t, keys, cfg)
+	checkSorted(t, keys, got)
+	if stats.Runs > cfg.FanIn || 2*stats.Runs <= cfg.FanIn {
+		t.Fatalf("runs=%d does not exercise runs <= fanIn=%d < 2×runs", stats.Runs, cfg.FanIn)
+	}
+	if stats.FragmentCollapses == 0 || stats.CollapsedRecords == 0 {
+		t.Fatalf("collapses=%d collapsed=%d, want both nonzero",
+			stats.FragmentCollapses, stats.CollapsedRecords)
+	}
+	if stats.MergePasses != 1 {
+		t.Errorf("MergePasses = %d, want 1 after fragment collapse", stats.MergePasses)
+	}
+	// Before/after: the old two-full-pass cost is 2×Records; the collapse
+	// path charges passes×Records + CollapsedRecords, which must be a
+	// strict improvement (REM fragments are far smaller than full runs).
+	oldCost := 2 * stats.Records
+	newCost := int64(stats.MergePasses)*stats.Records + stats.CollapsedRecords
+	if stats.MergeWrites != newCost {
+		t.Errorf("MergeWrites = %d, want passes×records + collapsed = %d",
+			stats.MergeWrites, newCost)
+	}
+	if newCost >= oldCost {
+		t.Errorf("collapse cost %d not cheaper than extra full pass %d", newCost, oldCost)
+	}
+}
+
+func TestFragmentCollapseOnlyInRefineAtMerge(t *testing.T) {
+	// Whole-run merges keep the exact passes×records identity: the
+	// collapse path must never trigger for plain (non-parts) spills even
+	// when runs exceed the fan-in.
+	keys := dataset.Uniform(20000, 29)
+	_, stats := runSort(t, keys, chunkConfig(t, 1000, 2)) // 20 runs, fan-in 2
+	if stats.FragmentCollapses != 0 || stats.CollapsedRecords != 0 {
+		t.Errorf("plain merge collapsed fragments: collapses=%d collapsed=%d",
+			stats.FragmentCollapses, stats.CollapsedRecords)
+	}
+	if stats.MergeWrites != int64(stats.MergePasses)*stats.Records {
+		t.Errorf("MergeWrites = %d, want %d", stats.MergeWrites,
+			int64(stats.MergePasses)*stats.Records)
+	}
+}
+
 // --- Precise formation ---
 
 func TestPreciseFormation(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"approxsort/internal/mem"
 )
@@ -45,22 +46,38 @@ func (a *mergeAccountant) totals() (writes int64, writeNanos float64) {
 	return int64(st.Writes), st.WriteNanos
 }
 
-// cursor streams one sorted run file in decoded blocks, verifying
-// monotonicity as it goes (a run that ever yields a decreasing key is
-// corruption, reported instead of silently merged). The file is closed
-// and unlinked the moment it is exhausted — the earliest point the bytes
-// are dead — which keeps the live spill footprint near n instead of 2n.
+// cursor streams one sorted record source in decoded blocks, verifying
+// monotonicity as it goes (a source that ever yields a decreasing key is
+// corruption, reported instead of silently merged). File-backed cursors
+// (openCursor) are closed and unlinked the moment they are exhausted —
+// the earliest point the bytes are dead — which keeps the live spill
+// footprint near n instead of 2n; reader-backed cursors (MergeReaders,
+// e.g. a remote shard's downloaded output) carry no disk state.
 type cursor struct {
-	f    *os.File
-	rf   runFile
-	disk *diskTracker
-	raw  []byte
-	buf  []uint32
-	i, n int
+	src     io.Reader
+	label   string // for error messages: a run path or a stream name
+	expect  int64  // expected record count; -1 skips the check
+	closeFn func() // idempotent close of the underlying source
+	doneFn  func() // clean-exhaust hook: unlink + disk credit for files
+	raw     []byte
+	buf     []uint32
+	i, n    int
 	prev    uint32
 	started bool
 	got     int64
 	done    bool
+}
+
+// newCursor wraps a sorted little-endian uint32 stream. expect < 0 skips
+// the end-of-stream record-count check.
+func newCursor(src io.Reader, label string, expect int64, blockRecords int) *cursor {
+	return &cursor{
+		src:    src,
+		label:  label,
+		expect: expect,
+		raw:    make([]byte, 4*blockRecords),
+		buf:    make([]uint32, blockRecords),
+	}
 }
 
 func openCursor(rf runFile, blockRecords int, disk *diskTracker) (*cursor, error) {
@@ -68,13 +85,9 @@ func openCursor(rf runFile, blockRecords int, disk *diskTracker) (*cursor, error
 	if err != nil {
 		return nil, err
 	}
-	c := &cursor{
-		f:    f,
-		rf:   rf,
-		disk: disk,
-		raw:  make([]byte, 4*blockRecords),
-		buf:  make([]uint32, blockRecords),
-	}
+	c := newCursor(f, rf.path, rf.records, blockRecords)
+	c.closeFn = func() { f.Close() }
+	c.doneFn = func() { rf.remove(disk) }
 	if err := c.fill(); err != nil {
 		c.close()
 		return nil, err
@@ -82,24 +95,27 @@ func openCursor(rf runFile, blockRecords int, disk *diskTracker) (*cursor, error
 	return c, nil
 }
 
-// fill decodes the next block. On end of file it validates the record
-// count, closes and unlinks the run, and marks the cursor done.
+// fill decodes the next block. On end of stream it validates the record
+// count, closes the source, runs the exhaust hook, and marks the cursor
+// done.
 func (c *cursor) fill() error {
 	if c.done {
 		return nil
 	}
-	nb, err := io.ReadFull(c.f, c.raw)
+	nb, err := io.ReadFull(c.src, c.raw)
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		if nb%4 != 0 {
-			return fmt.Errorf("extsort: run %s truncated mid-record", c.rf.path)
+			return fmt.Errorf("extsort: run %s truncated mid-record", c.label)
 		}
 		if nb == 0 {
-			if c.got != c.rf.records {
-				return fmt.Errorf("extsort: run %s has %d records, expected %d", c.rf.path, c.got, c.rf.records)
+			if c.expect >= 0 && c.got != c.expect {
+				return fmt.Errorf("extsort: run %s has %d records, expected %d", c.label, c.got, c.expect)
 			}
 			c.done = true
 			c.close()
-			c.rf.remove(c.disk)
+			if c.doneFn != nil {
+				c.doneFn()
+			}
 			return nil
 		}
 	} else if err != nil {
@@ -110,7 +126,7 @@ func (c *cursor) fill() error {
 	for i := 0; i < c.n; i++ {
 		k := binary.LittleEndian.Uint32(c.raw[4*i:])
 		if c.started && k < c.prev {
-			return fmt.Errorf("extsort: run %s not sorted at record %d (%d after %d)", c.rf.path, c.got+int64(i), k, c.prev)
+			return fmt.Errorf("extsort: run %s not sorted at record %d (%d after %d)", c.label, c.got+int64(i), k, c.prev)
 		}
 		c.prev = k
 		c.started = true
@@ -121,9 +137,9 @@ func (c *cursor) fill() error {
 }
 
 func (c *cursor) close() {
-	if c.f != nil {
-		c.f.Close()
-		c.f = nil
+	if c.closeFn != nil {
+		c.closeFn()
+		c.closeFn = nil
 	}
 }
 
@@ -300,9 +316,42 @@ func (st *state) mergeGroupToFile(files []runFile, path string, pass int) (runFi
 	return runFile{path: path, bytes: 4 * n, records: n}, nil
 }
 
+// collapseFragments is the fragment-aware fan-in allocator for
+// refine-at-merge: part pairs double the cursor count, but the REM
+// fragments carry only Rem~ records each, so once 2·runs exceeds the
+// fan-in it is far cheaper to pre-fold the smallest files together
+// (cost ≈ the REM volume) than to pay a full extra level pass over all
+// records. Each group merges the min(fanIn, len−fanIn+1) smallest files
+// — the greedy optimal-merge-pattern choice — until the survivors fit a
+// single final pass. Collapse traffic is charged through the same
+// accountant as the passes and ledgered separately in
+// Stats.CollapsedRecords so MergeWrites stays exactly reconcilable.
+func (st *state) collapseFragments(files []runFile) ([]runFile, error) {
+	group := 0
+	for len(files) > st.fanIn {
+		sort.SliceStable(files, func(i, j int) bool { return files[i].records < files[j].records })
+		k := len(files) - st.fanIn + 1
+		if k > st.fanIn {
+			k = st.fanIn
+		}
+		path := filepath.Join(st.dir, fmt.Sprintf("collapse-%d.run", group))
+		rf, err := st.mergeGroupToFile(files[:k], path, 0)
+		if err != nil {
+			return nil, err
+		}
+		st.stats.FragmentCollapses++
+		st.stats.CollapsedRecords += rf.records
+		files = append(files[k:], rf)
+		group++
+	}
+	return files, nil
+}
+
 // mergeAll merges the level-0 files down to the output writer,
 // FanIn-wide per group, one level per pass. Every pass streams all
-// records, matching the cost model's passes×n merge writes.
+// records, matching the cost model's passes×n merge writes; under
+// refine-at-merge a fragment collapse first folds excess small part
+// files so the level structure never pays a full pass for them.
 func (st *state) mergeAll(files []runFile, w io.Writer) error {
 	switch len(files) {
 	case 0:
@@ -312,6 +361,12 @@ func (st *state) mergeAll(files []runFile, w io.Writer) error {
 		// refine-at-merge run always has two part files.)
 		st.stats.MergePasses = 0
 		return copyOut(files[0], w, &st.disk)
+	}
+	if st.refineAtMerge && len(files) > st.fanIn {
+		var err error
+		if files, err = st.collapseFragments(files); err != nil {
+			return err
+		}
 	}
 	level := 0
 	for len(files) > st.fanIn {

@@ -1,0 +1,71 @@
+package extsort
+
+import (
+	"fmt"
+	"io"
+
+	"approxsort/internal/core"
+)
+
+// MergeStats summarizes one MergeReaders invocation.
+type MergeStats struct {
+	// Records is the number of records delivered to the output.
+	Records int64
+	// Writes and WriteNanos are the charged precise staging traffic:
+	// every record passes through the block-sized precise window exactly
+	// once (a single merge pass), so Writes == Records exactly.
+	Writes     int64
+	WriteNanos float64
+}
+
+// MergeReaders k-way merges sorted little-endian uint32 key streams into
+// w through the same winner tournament and block-staging accountant the
+// on-disk merge uses, so a cross-machine merge (e.g. a cluster
+// coordinator folding shard outputs) is charged identically to a local
+// pass: one precise write per record, block-granular, on a single
+// accountant spanning all inputs. counts[i] >= 0 pins stream i's expected
+// record count (a mismatch is corruption, not a silent truncation); a nil
+// counts slice — or a -1 entry — skips that check. block is the staging
+// window in records (<= 0 selects core.ExtBlockDefault). A stream that
+// ever yields a decreasing key fails the merge with a typed message
+// naming the offending input.
+func MergeReaders(rs []io.Reader, counts []int64, w io.Writer, block int) (MergeStats, error) {
+	if len(counts) != 0 && len(counts) != len(rs) {
+		return MergeStats{}, fmt.Errorf("extsort: MergeReaders got %d counts for %d readers", len(counts), len(rs))
+	}
+	if block <= 0 {
+		block = core.ExtBlockDefault
+	}
+	acct := newMergeAccountant(block)
+	if len(rs) == 0 {
+		return MergeStats{}, nil
+	}
+	curs := make([]*cursor, len(rs))
+	keys := make([]uint64, len(rs))
+	for i, r := range rs {
+		expect := int64(-1)
+		if len(counts) > 0 {
+			expect = counts[i]
+		}
+		c := newCursor(r, fmt.Sprintf("stream %d", i), expect, block)
+		if err := c.fill(); err != nil {
+			return MergeStats{}, err
+		}
+		curs[i] = c
+		if c.done {
+			keys[i] = mergeSentinel
+		} else {
+			keys[i] = uint64(c.buf[0])<<32 | uint64(i)
+		}
+	}
+	t := newTournamentTree(keys)
+	mw := newMergeWriter(w, acct, nil, nil)
+	if err := runMergeLoop(t, curs, mw); err != nil {
+		return MergeStats{}, err
+	}
+	if err := mw.finish(); err != nil {
+		return MergeStats{}, err
+	}
+	writes, nanos := acct.totals()
+	return MergeStats{Records: mw.written, Writes: writes, WriteNanos: nanos}, nil
+}

@@ -1,0 +1,72 @@
+package extsort
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"approxsort/internal/dataset"
+)
+
+func sortedStream(keys []uint32) ([]byte, []uint32) {
+	s := append([]uint32(nil), keys...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return encode(s), s
+}
+
+func TestMergeReaders(t *testing.T) {
+	parts := [][]uint32{
+		dataset.Uniform(5000, 3),
+		dataset.Uniform(1, 5),
+		dataset.Uniform(3000, 7),
+		nil, // an empty shard is legal
+	}
+	readers := make([]io.Reader, len(parts))
+	counts := make([]int64, len(parts))
+	var all []uint32
+	for i, p := range parts {
+		raw, s := sortedStream(p)
+		readers[i] = bytes.NewReader(raw)
+		counts[i] = int64(len(s))
+		all = append(all, s...)
+	}
+	var out bytes.Buffer
+	stats, err := MergeReaders(readers, counts, &out, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, all, decode(t, out.Bytes()))
+	if stats.Records != int64(len(all)) {
+		t.Errorf("Records = %d, want %d", stats.Records, len(all))
+	}
+	if stats.Writes != stats.Records {
+		t.Errorf("Writes = %d, want one precise write per record (%d)", stats.Writes, stats.Records)
+	}
+	if stats.WriteNanos <= 0 {
+		t.Error("merge charged no write latency")
+	}
+}
+
+func TestMergeReadersCountMismatch(t *testing.T) {
+	raw, _ := sortedStream(dataset.Uniform(100, 11))
+	var out bytes.Buffer
+	_, err := MergeReaders([]io.Reader{bytes.NewReader(raw)}, []int64{99}, &out, 0)
+	if err == nil || !strings.Contains(err.Error(), "stream 0") {
+		t.Fatalf("short stream not detected: %v", err)
+	}
+	_, err = MergeReaders([]io.Reader{bytes.NewReader(raw)}, []int64{99, 1}, &out, 0)
+	if err == nil {
+		t.Fatal("counts/readers length mismatch not detected")
+	}
+}
+
+func TestMergeReadersUnsortedInput(t *testing.T) {
+	keys := []uint32{5, 4, 3}
+	var out bytes.Buffer
+	_, err := MergeReaders([]io.Reader{bytes.NewReader(encode(keys))}, nil, &out, 0)
+	if err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("decreasing stream not detected: %v", err)
+	}
+}

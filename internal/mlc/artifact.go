@@ -1,0 +1,153 @@
+package mlc
+
+import (
+	"fmt"
+)
+
+// A table calibration is deterministic in (Params, Samples, Seed), but it
+// costs a Monte-Carlo campaign per level — the dominant cold-start cost
+// of a sortd instance. TableArtifact is the wire form of a finished
+// calibration: a coordinator fetches it from one warm shard and installs
+// it on the rest, so an N-node cluster pays for one campaign instead of
+// N. Only the empirical distributions travel; the dense fixed-point
+// sampler state is derived locally by buildDense, which is a pure
+// function of them, so an installed table is bit-identical to a locally
+// built one.
+
+// TableArtifact is a serializable calibrated table.
+type TableArtifact struct {
+	// Params, Samples and Seed are the calibration key; an installed
+	// artifact lands in the cache under exactly this TableKey.
+	Params  Params
+	Samples int
+	Seed    uint64
+
+	// ResCum, ItersCum, AvgP and ErrProb mirror Table's calibrated
+	// distributions (see Table's field docs).
+	ResCum   [][]float64
+	ItersCum [][]float64
+	AvgP     float64
+	ErrProb  []float64
+}
+
+// Artifact exports the table's calibration under the given (samples,
+// seed) key. samples <= 0 normalizes to DefaultTableSamples, matching
+// NewTable and TableCache.Get. The returned artifact shares no state
+// with the table.
+func (t *Table) Artifact(samples int, seed uint64) TableArtifact {
+	if samples <= 0 {
+		samples = DefaultTableSamples
+	}
+	a := TableArtifact{
+		Params:   t.p,
+		Samples:  samples,
+		Seed:     seed,
+		ResCum:   make([][]float64, len(t.resCum)),
+		ItersCum: make([][]float64, len(t.itersCum)),
+		AvgP:     t.avgP,
+		ErrProb:  append([]float64(nil), t.errProb...),
+	}
+	for i := range t.resCum {
+		a.ResCum[i] = append([]float64(nil), t.resCum[i]...)
+	}
+	for i := range t.itersCum {
+		a.ItersCum[i] = append([]float64(nil), t.itersCum[i]...)
+	}
+	return a
+}
+
+// Validate checks the artifact's shape against its own Params: per-level
+// distribution counts, row lengths, cumulative rows ending at exactly 1
+// (the invariant cumulate enforces, which the dense sampler relies on),
+// and probabilities in range. It does not re-run the calibration.
+func (a TableArtifact) Validate() error {
+	if err := a.Params.Validate(); err != nil {
+		return fmt.Errorf("mlc: artifact params: %w", err)
+	}
+	L := a.Params.Levels
+	if len(a.ResCum) != L || len(a.ItersCum) != L || len(a.ErrProb) != L {
+		return fmt.Errorf("mlc: artifact has %d/%d/%d rows, want %d levels",
+			len(a.ResCum), len(a.ItersCum), len(a.ErrProb), L)
+	}
+	checkRow := func(name string, row []float64, want int) error {
+		if len(row) != want {
+			return fmt.Errorf("mlc: artifact %s row has %d entries, want %d", name, len(row), want)
+		}
+		prev := 0.0
+		for _, v := range row {
+			if v < prev || v > 1 {
+				return fmt.Errorf("mlc: artifact %s row not a cumulative distribution", name)
+			}
+			prev = v
+		}
+		if row[want-1] != 1 { //nolint:floatord // cumulate pins the last entry to exactly 1; the dense sampler relies on bit-exact termination
+			return fmt.Errorf("mlc: artifact %s row ends at %v, want exactly 1", name, row[want-1])
+		}
+		return nil
+	}
+	for l := 0; l < L; l++ {
+		if err := checkRow("ResCum", a.ResCum[l], L); err != nil {
+			return err
+		}
+		if err := checkRow("ItersCum", a.ItersCum[l], a.Params.MaxIters); err != nil {
+			return err
+		}
+		if a.ErrProb[l] < 0 || a.ErrProb[l] > 1 {
+			return fmt.Errorf("mlc: artifact ErrProb[%d] = %v out of [0,1]", l, a.ErrProb[l])
+		}
+	}
+	if a.AvgP < 1 {
+		return fmt.Errorf("mlc: artifact AvgP = %v; every cell write takes at least one pulse", a.AvgP)
+	}
+	return nil
+}
+
+// Table reconstructs the calibrated table, deriving the dense sampler
+// state locally. The result is bit-identical to NewTable(Params,
+// Samples, Seed) when the artifact came from such a table.
+func (a TableArtifact) Table() (*Table, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		p:        a.Params,
+		resCum:   make([][]float64, len(a.ResCum)),
+		itersCum: make([][]float64, len(a.ItersCum)),
+		avgP:     a.AvgP,
+		errProb:  append([]float64(nil), a.ErrProb...),
+	}
+	for i := range a.ResCum {
+		t.resCum[i] = append([]float64(nil), a.ResCum[i]...)
+	}
+	for i := range a.ItersCum {
+		t.itersCum[i] = append([]float64(nil), a.ItersCum[i]...)
+	}
+	t.buildDense()
+	return t, nil
+}
+
+// Install places a reconstructed artifact table into the cache under the
+// artifact's own key, so subsequent Get calls for that key return it
+// without running a calibration campaign. A key whose table already
+// exists (or is being built) is left untouched — the existing table is
+// identical by construction — and Install reports false.
+func (c *TableCache) Install(a TableArtifact) (bool, error) {
+	t, err := a.Table()
+	if err != nil {
+		return false, err
+	}
+	samples := a.Samples
+	if samples <= 0 {
+		samples = DefaultTableSamples
+	}
+	key := TableKey{Params: a.Params, Samples: samples, Seed: a.Seed}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false, nil
+	}
+	e := &tableEntry{ready: make(chan struct{}), table: t}
+	close(e.ready)
+	c.entries[key] = e
+	return true, nil
+}

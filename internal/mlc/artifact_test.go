@@ -1,0 +1,103 @@
+package mlc
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"approxsort/internal/rng"
+)
+
+func TestTableArtifactRoundTripBitIdentical(t *testing.T) {
+	p := Approximate(0.07)
+	built := NewTable(p, 2000, CalibrationSeed)
+	a := built.Artifact(2000, CalibrationSeed)
+
+	// The wire form is JSON; the round trip must survive encoding.
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TableArtifact
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(built, got) {
+		t.Fatal("reconstructed table differs from the built one")
+	}
+
+	// And the sampler must consume the RNG stream identically.
+	r1, r2 := rng.New(5), rng.New(5)
+	for i := 0; i < 2000; i++ {
+		w := uint32(i * 2654435761)
+		s1, it1 := built.WriteWord(r1, w)
+		s2, it2 := got.WriteWord(r2, w)
+		if s1 != s2 || it1 != it2 {
+			t.Fatalf("WriteWord diverged at %d: (%x,%d) != (%x,%d)", i, s1, it1, s2, it2)
+		}
+	}
+}
+
+func TestTableArtifactValidate(t *testing.T) {
+	p := Approximate(0.07)
+	good := NewTable(p, 500, 1).Artifact(500, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*TableArtifact){
+		"missing level row":   func(a *TableArtifact) { a.ResCum = a.ResCum[:1] },
+		"short iters row":     func(a *TableArtifact) { a.ItersCum[0] = a.ItersCum[0][:2] },
+		"non-monotone cum":    func(a *TableArtifact) { a.ResCum[1][0] = 2 },
+		"cum not ending at 1": func(a *TableArtifact) { a.ResCum[0][len(a.ResCum[0])-1] = 0.999 },
+		"errprob out of range": func(a *TableArtifact) {
+			a.ErrProb[0] = 1.5
+		},
+		"impossible avgp": func(a *TableArtifact) { a.AvgP = 0.2 },
+		"bad params":      func(a *TableArtifact) { a.Params.Levels = 3 },
+	}
+	for name, mutate := range cases {
+		a := good
+		// Deep-copy the rows the mutation may touch.
+		a.ResCum = append([][]float64(nil), good.ResCum...)
+		a.ResCum[0] = append([]float64(nil), good.ResCum[0]...)
+		a.ResCum[1] = append([]float64(nil), good.ResCum[1]...)
+		a.ItersCum = append([][]float64(nil), good.ItersCum...)
+		a.ItersCum[0] = append([]float64(nil), good.ItersCum[0]...)
+		a.ErrProb = append([]float64(nil), good.ErrProb...)
+		mutate(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTableCacheInstall(t *testing.T) {
+	p := Approximate(0.08)
+	a := NewTable(p, 600, 9).Artifact(600, 9)
+
+	c := NewTableCache()
+	installed, err := c.Install(a)
+	if err != nil || !installed {
+		t.Fatalf("Install = %v, %v", installed, err)
+	}
+	if got := c.Get(p, 600, 9); !reflect.DeepEqual(got.Artifact(600, 9), a) {
+		t.Fatal("Get after Install returned a different calibration")
+	}
+	if c.Misses() != 0 {
+		t.Fatalf("Get after Install built a table (misses = %d)", c.Misses())
+	}
+	// Idempotent: a second install leaves the existing entry in place.
+	if installed, err = c.Install(a); err != nil || installed {
+		t.Fatalf("re-Install = %v, %v; want false, nil", installed, err)
+	}
+	// Invalid artifacts never reach the cache.
+	bad := a
+	bad.AvgP = 0
+	if _, err := c.Install(bad); err == nil {
+		t.Fatal("invalid artifact installed")
+	}
+}

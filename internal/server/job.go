@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"approxsort/internal/cluster"
 	"approxsort/internal/dataset"
 	"approxsort/internal/memmodel"
 	"approxsort/internal/sorts"
@@ -254,6 +255,9 @@ const (
 	KindSort = ""
 	// KindStream is an out-of-core POST /v1/sort/stream job.
 	KindStream = "stream"
+	// KindSharded is a multi-node POST /v1/sort/sharded job, fanned
+	// across the configured shard fleet by the cluster coordinator.
+	KindSharded = "sharded"
 )
 
 // Execution modes.
@@ -299,6 +303,11 @@ type JobResult struct {
 	// run formation, merge structure, disk ledger, and the (M, B, ω)
 	// planner verdict.
 	Extsort *ExtsortView `json:"extsort,omitempty"`
+
+	// Cluster is the multi-node section of a sharded job's result: the
+	// per-shard ledger, splitters, the (M, B, ω, S) plan, and the
+	// cross-shard merge accounting.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 
 	// Rem is the refine stage's heuristic remainder Rem~ (hybrid only).
 	Rem int `json:"rem"`
@@ -379,12 +388,15 @@ type Job struct {
 	StartedAt  time.Time `json:"started_at,omitempty"`
 	FinishedAt time.Time `json:"finished_at,omitempty"`
 
-	// done closes when the job reaches a terminal state; req (in-memory)
-	// or stream (streaming) carries the work; dir is the streaming job's
-	// on-disk state, records its input count. Unexported: none serialize.
+	// done closes when the job reaches a terminal state; req (in-memory),
+	// stream (streaming) or sharded (multi-node) carries the work; dir is
+	// the job's on-disk state, records its input count, tenant its
+	// sharded-quota identity. Unexported: none serialize.
 	done    chan struct{}
 	req     *SortRequest
 	stream  *StreamRequest
+	sharded *ShardedRequest
+	tenant  string
 	dir     string
 	records int64
 }

@@ -60,6 +60,12 @@ type Config struct {
 	// spooled input, live spill, and output are each held under it
 	// (default 1 GiB). Requests may lower it per job, never raise it.
 	MaxStreamBytes int64
+	// ShardNodes are the shard sortd base URLs this instance coordinates
+	// (cmd/sortd -shards). Empty disables POST /v1/sort/sharded.
+	ShardNodes []string
+	// TenantMaxInflight caps concurrent sharded sorts per tenant
+	// (default 2); past it the endpoint rejects with 429 + Retry-After.
+	TenantMaxInflight int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStreamBytes <= 0 {
 		c.MaxStreamBytes = 1 << 30
 	}
+	if c.TenantMaxInflight <= 0 {
+		c.TenantMaxInflight = 2
+	}
 	return c
 }
 
@@ -90,12 +99,13 @@ type Server struct {
 	cfg  Config
 	pool *parallel.Pool
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // retained terminal jobs, oldest first
-	seq      uint64
-	draining atomic.Bool
-	inflight atomic.Int64
+	mu             sync.Mutex
+	jobs           map[string]*Job
+	order          []string // retained terminal jobs, oldest first
+	seq            uint64
+	tenantInflight map[string]int // sharded sorts inflight per tenant
+	draining       atomic.Bool
+	inflight       atomic.Int64
 
 	metrics      *Registry
 	requests     *CounterVec   // route, code
@@ -108,6 +118,11 @@ type Server struct {
 	extsortRuns        *Counter
 	extsortMergePasses *Counter
 	extsortSpillBytes  *Counter
+
+	// Cluster (sharded job) counters.
+	clusterShards  *Counter
+	clusterRecords *Counter
+	tenantRejects  *Counter
 
 	// testHookBeforeExec, when non-nil, runs on the worker goroutine
 	// before a job executes — the lifecycle tests use it to hold jobs
@@ -143,6 +158,12 @@ func New(cfg Config) *Server {
 		"Merge passes executed by completed streaming jobs.")
 	s.extsortSpillBytes = m.Counter("sortd_extsort_spill_bytes_total",
 		"Bytes spilled to disk by completed streaming jobs (runs + intermediate merges).")
+	s.clusterShards = m.Counter("sortd_cluster_shards_total",
+		"Shard jobs fanned out by completed sharded sorts.")
+	s.clusterRecords = m.Counter("sortd_cluster_records_total",
+		"Records sorted by completed sharded (multi-node) sorts.")
+	s.tenantRejects = m.Counter("sortd_tenant_rejected_total",
+		"Sharded sorts rejected with 429 by the per-tenant inflight cap.")
 	m.GaugeFunc("sortd_queue_depth", "Accepted jobs not yet started.",
 		func() float64 { return float64(s.pool.Queued()) })
 	m.GaugeFunc("sortd_queue_capacity", "Bounded queue capacity.",
@@ -176,6 +197,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sort", s.handleSort)
 	mux.HandleFunc("POST /v1/sort/stream", s.handleSortStream)
+	mux.HandleFunc("POST /v1/sort/sharded", s.handleSortSharded)
+	mux.HandleFunc("GET /v1/tables", s.handleTablesGet)
+	mux.HandleFunc("POST /v1/tables", s.handleTablesPost)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleJobOutput)
@@ -299,9 +323,12 @@ func (s *Server) runJob(job *Job) {
 
 	var res *JobResult
 	var err error
-	if job.Kind == KindStream {
+	switch job.Kind {
+	case KindStream:
 		res, err = s.executeStream(job)
-	} else {
+	case KindSharded:
+		res, err = s.executeSharded(job)
+	default:
 		res, err = execute(job.req, s.cfg.PilotSize)
 	}
 
@@ -332,6 +359,9 @@ func (s *Server) runJob(job *Job) {
 	}
 
 	s.inflight.Add(-1)
+	if job.tenant != "" {
+		s.releaseTenant(job.tenant)
+	}
 	s.jobsTotal.With(job.Backend, job.Algorithm, mode, status).Inc()
 	s.jobLatency.With(job.Backend, job.Algorithm, mode).Observe(elapsed.Seconds())
 	close(job.done)

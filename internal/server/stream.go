@@ -537,14 +537,14 @@ func (s *Server) handleJobOutput(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		status, dir, size = job.Status, job.dir, job.OutputBytes
 	}
-	kindOK := ok && job.Kind == KindStream
+	kindOK := ok && (job.Kind == KindStream || job.Kind == KindSharded)
 	s.mu.Unlock()
 	if !ok {
 		s.writeJSON(w, route, http.StatusNotFound, apiError{Error: "unknown job " + id})
 		return
 	}
 	if !kindOK {
-		s.writeJSON(w, route, http.StatusBadRequest, apiError{Error: "job " + id + " is not a streaming job"})
+		s.writeJSON(w, route, http.StatusBadRequest, apiError{Error: "job " + id + " has no downloadable output"})
 		return
 	}
 	if status != StatusDone {

@@ -387,3 +387,86 @@ func TestApproxSortednessOrdering(t *testing.T) {
 		t.Errorf("mergesort Rem ratio %v not clearly worse than quicksort %v", ms, qs)
 	}
 }
+
+// nullSink is an order-sensitivity marker: attaching any sink makes the
+// space's arrays non-reorderable, so the radix sorts must take the
+// queue paths whose per-access event stream is the golden contract.
+type nullSink struct{}
+
+func (nullSink) Access(mem.Op, uint64, int) {}
+
+func tracedEnv() (Env, *mem.PreciseSpace) {
+	s := mem.NewPreciseSpace()
+	s.SetSink(nullSink{})
+	return Env{KeySpace: s, IDSpace: s, R: rng.New(7)}, s
+}
+
+// TestAlgorithmsSortTracedArrays pins the queue fallback: with a sink
+// attached the bulk rewrite is ineligible, and the historical
+// queue-bucket implementation must still sort correctly, with and
+// without a carried ID array.
+func TestAlgorithmsSortTracedArrays(t *testing.T) {
+	keys := dataset.Uniform(600, 13)
+	for _, alg := range allAlgorithms() {
+		for _, withIDs := range []bool{false, true} {
+			env, space := tracedEnv()
+			p := Pair{Keys: space.Alloc(len(keys))}
+			mem.Load(p.Keys, keys)
+			if withIDs {
+				p.IDs = space.Alloc(len(keys))
+				mem.Load(p.IDs, dataset.IDs(len(keys)))
+			}
+			if bulkEligible(p) {
+				t.Fatal("sink-attached arrays must not be bulk eligible")
+			}
+			alg.Sort(p, env)
+			got := mem.ReadAll(p.Keys)
+			if !sortedness.IsSorted(got) {
+				t.Errorf("%s (traced, ids=%v): output not sorted", alg.Name(), withIDs)
+			}
+			if !sortedness.SameMultiset(got, keys) {
+				t.Errorf("%s (traced, ids=%v): output not a permutation", alg.Name(), withIDs)
+			}
+			if withIDs {
+				ids := mem.ReadAll(p.IDs)
+				for i, id := range ids {
+					if keys[id] != got[i] {
+						t.Errorf("%s (traced): id %d detached from its key at %d", alg.Name(), id, i)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortIDsTracedArrays is the SortIDs counterpart: the ID array is
+// order-sensitive, so the per-element queue path must be used.
+func TestSortIDsTracedArrays(t *testing.T) {
+	keys := dataset.Uniform(300, 17)
+	for _, alg := range allAlgorithms() {
+		env, space := tracedEnv()
+		ids := space.Alloc(len(keys))
+		mem.Load(ids, dataset.IDs(len(keys)))
+		if mem.Reorderable(ids) {
+			t.Fatal("sink-attached ids must not be reorderable")
+		}
+		alg.SortIDs(ids, len(keys), func(id uint32) uint32 { return keys[id] }, env)
+		got := mem.ReadAll(ids)
+		seen := make([]bool, len(keys))
+		prev := uint32(0)
+		for i, id := range got {
+			if seen[id] {
+				t.Errorf("%s: traced SortIDs duplicated id %d", alg.Name(), id)
+				break
+			}
+			seen[id] = true
+			if k := keys[id]; i > 0 && k < prev {
+				t.Errorf("%s: traced SortIDs order violated at %d", alg.Name(), i)
+				break
+			} else {
+				prev = k
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"approxsort/internal/cluster"
+)
+
+func leBytes(keys []uint32) []byte {
+	out := make([]byte, 4*len(keys))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint32(out[4*i:], k)
+	}
+	return out
+}
+
+func drain(r io.Reader) error {
+	_, err := io.Copy(io.Discard, iotest{r})
+	return err
+}
+
+// iotest forces small reads so fragment carry paths run.
+type iotest struct{ r io.Reader }
+
+func (t iotest) Read(p []byte) (int, error) {
+	if len(p) > 3 {
+		p = p[:3]
+	}
+	return t.r.Read(p)
+}
+
+func TestRangeReaderAcceptsInRange(t *testing.T) {
+	keys := []uint32{10, 10, 15, 20}
+	rr := NewRangeReader(bytes.NewReader(leBytes(keys)), "shard 0", 10, 20, 4)
+	if err := drain(rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Records() != 4 {
+		t.Fatalf("Records = %d", rr.Records())
+	}
+}
+
+func TestRangeReaderRejects(t *testing.T) {
+	cases := map[string]struct {
+		keys   []uint32
+		expect int64
+		want   string
+	}{
+		"below range":   {[]uint32{5}, 1, "outside assigned range"},
+		"above range":   {[]uint32{25}, 1, "outside assigned range"},
+		"not sorted":    {[]uint32{15, 12}, 2, "not sorted"},
+		"short stream":  {[]uint32{15}, 2, "ended at 1 records"},
+		"excess stream": {[]uint32{15, 16, 17}, 2, "exceeds expected"},
+	}
+	for name, tc := range cases {
+		rr := NewRangeReader(bytes.NewReader(leBytes(tc.keys)), "shard 1", 10, 20, tc.expect)
+		err := drain(rr)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", name, err, tc.want)
+		}
+	}
+	// Misaligned stream.
+	rr := NewRangeReader(bytes.NewReader(leBytes([]uint32{15})[:3]), "shard 2", 0, 20, -1)
+	if err := drain(rr); err == nil || !strings.Contains(err.Error(), "mid-record") {
+		t.Errorf("misaligned: err = %v", err)
+	}
+}
+
+func goodClusterStats() cluster.Stats {
+	return cluster.Stats{
+		Records:   100,
+		Splitters: []uint32{1000, 2000},
+		Shards: []cluster.ShardStat{
+			{Node: "a", JobID: "j1", Lo: 0, Hi: 1000, Records: 30, Verified: true, WriteNanos: 5},
+			{Node: "b", JobID: "j2", Lo: 1000, Hi: 2000, Records: 40, Verified: true, WriteNanos: 5},
+			{Node: "c", JobID: "j3", Lo: 2000, Hi: 1<<32 - 1, Records: 30, Verified: true, WriteNanos: 5},
+		},
+		MergeWrites:     100,
+		MergeWriteNanos: 7,
+		Verified:        true,
+	}
+}
+
+func TestCheckClusterStatsPasses(t *testing.T) {
+	if err := CheckClusterStats(goodClusterStats()).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckClusterStatsCatches(t *testing.T) {
+	cases := map[string]func(*cluster.Stats){
+		"lost records":      func(s *cluster.Stats) { s.Shards[1].Records-- },
+		"unverified shard":  func(s *cluster.Stats) { s.Shards[2].Verified = false },
+		"range gap":         func(s *cluster.Stats) { s.Shards[1].Lo = 1001 },
+		"wrong splitter":    func(s *cluster.Stats) { s.Splitters[0] = 999 },
+		"open upper bound":  func(s *cluster.Stats) { s.Shards[2].Hi = 3000 },
+		"inflated merge":    func(s *cluster.Stats) { s.MergeWrites = 200 },
+		"free merge":        func(s *cluster.Stats) { s.MergeWriteNanos = 0 },
+		"splitter count":    func(s *cluster.Stats) { s.Splitters = s.Splitters[:1] },
+		"unverified result": func(s *cluster.Stats) { s.Verified = false },
+	}
+	for name, mutate := range cases {
+		st := goodClusterStats()
+		mutate(&st)
+		if err := CheckClusterStats(st).Err(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

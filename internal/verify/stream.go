@@ -279,13 +279,21 @@ func CheckExtsortStats(stats extsort.Stats) *Report {
 	rep.check(closeEnough(nanos, stats.HybridWriteNanos), "extsort-ledger",
 		"per-run write latency sums to %g, job total is %g", nanos, stats.HybridWriteNanos)
 
-	// Merge accounting: every pass streams every record through the
-	// precise staging window, so writes are exactly passes×records and
-	// the latency is the precise per-write constant times that.
-	wantMerge := int64(stats.MergePasses) * stats.Records
+	// Merge accounting: every full pass streams every record through the
+	// precise staging window, and the refine-at-merge fragment collapse
+	// stages exactly its ledgered records on top, so writes are exactly
+	// passes×records + collapsed and the latency is the precise
+	// per-write constant times that.
+	rep.check(stats.CollapsedRecords >= 0 && (stats.CollapsedRecords == 0 || stats.RefineAtMerge),
+		"merge-accounting", "fragment collapse staged %d records outside refine-at-merge",
+		stats.CollapsedRecords)
+	rep.check((stats.FragmentCollapses == 0) == (stats.CollapsedRecords == 0),
+		"merge-accounting", "FragmentCollapses = %d disagrees with CollapsedRecords = %d",
+		stats.FragmentCollapses, stats.CollapsedRecords)
+	wantMerge := int64(stats.MergePasses)*stats.Records + stats.CollapsedRecords
 	rep.check(stats.MergeWrites == wantMerge, "merge-accounting",
-		"MergeWrites = %d, want passes×records = %d×%d = %d",
-		stats.MergeWrites, stats.MergePasses, stats.Records, wantMerge)
+		"MergeWrites = %d, want passes×records + collapsed = %d×%d + %d = %d",
+		stats.MergeWrites, stats.MergePasses, stats.Records, stats.CollapsedRecords, wantMerge)
 	rep.check(closeEnough(stats.MergeWriteNanos, float64(stats.MergeWrites)*mlc.PreciseWriteNanos),
 		"merge-accounting", "MergeWriteNanos %g != MergeWrites %d × %g",
 		stats.MergeWriteNanos, stats.MergeWrites, mlc.PreciseWriteNanos)

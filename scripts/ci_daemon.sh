@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Daemon lifecycle helpers for CI smoke jobs. Source this, then:
+#
+#   daemon_start NAME LOGFILE CMD...    start CMD in the background
+#   daemon_wait_healthy NAME URL [SECS] poll URL until 200 (default 10s),
+#                                       failing fast if the daemon died
+#   daemon_stop NAME [SECS]             SIGTERM with a bounded wait
+#                                       (default 10s), then SIGKILL + fail
+#   daemon_stop_all [SECS]              daemon_stop every started daemon
+#   daemon_dump_logs                    cat every daemon's log, labelled
+#
+# Every daemon-spawning job uses the same pattern:
+#
+#   source scripts/ci_daemon.sh
+#   trap daemon_dump_logs ERR
+#   daemon_start sortd /tmp/sortd.log /tmp/sortd -addr 127.0.0.1:18080
+#   daemon_wait_healthy sortd http://127.0.0.1:18080/healthz
+#   ...assertions...
+#   daemon_stop_all
+#
+# The bounded SIGTERM wait is the point: an unbounded `wait` turns a
+# wedged drain into a 6-hour CI hang, while an unchecked `kill` hides
+# shutdown bugs. A daemon that outlives its drain budget fails the job.
+
+declare -A CI_DAEMON_PID CI_DAEMON_LOG
+
+daemon_start() {
+  local name=$1 log=$2
+  shift 2
+  "$@" >"$log" 2>&1 &
+  CI_DAEMON_PID[$name]=$!
+  CI_DAEMON_LOG[$name]=$log
+}
+
+daemon_wait_healthy() {
+  local name=$1 url=$2 secs=${3:-10}
+  local i
+  for i in $(seq 1 $((secs * 5))); do
+    if curl -sf "$url" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "${CI_DAEMON_PID[$name]}" 2>/dev/null; then
+      echo "$name exited before becoming healthy" >&2
+      return 1
+    fi
+    sleep 0.2
+  done
+  echo "$name not healthy at $url within ${secs}s" >&2
+  return 1
+}
+
+daemon_stop() {
+  local name=$1 secs=${2:-10} pid=${CI_DAEMON_PID[$name]}
+  local i
+  kill -TERM "$pid" 2>/dev/null || true
+  for i in $(seq 1 $((secs * 5))); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "$name (pid $pid) did not exit within ${secs}s of SIGTERM" >&2
+  kill -KILL "$pid" 2>/dev/null || true
+  return 1
+}
+
+daemon_stop_all() {
+  local rc=0 name
+  for name in "${!CI_DAEMON_PID[@]}"; do
+    daemon_stop "$name" "${1:-10}" || rc=1
+  done
+  return $rc
+}
+
+daemon_dump_logs() {
+  local name
+  for name in "${!CI_DAEMON_LOG[@]}"; do
+    echo "--- $name log (${CI_DAEMON_LOG[$name]}) ---"
+    cat "${CI_DAEMON_LOG[$name]}" 2>/dev/null || true
+  done
+}
