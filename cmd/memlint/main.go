@@ -1,24 +1,35 @@
 // Command memlint runs the repository's static-analysis suite
-// (internal/analysis): detrand, memescape, floatord, verifygate and
-// nolintreason — the compile-time guards for the simulator's
-// determinism, accounting and verification invariants.
+// (internal/analysis): the ten compile-time guards for the simulator's
+// determinism, accounting, verification and service-concurrency
+// invariants.
 //
-// Two modes share the same analyzers:
+// Two modes share the same analyzers and the same cross-package facts:
 //
-// Standalone, over go list patterns (run from anywhere in the module):
+// Standalone, over go list patterns (run from anywhere in the module),
+// analyzing all matched packages in dependency order so facts flow from
+// importees to importers:
 //
 //	go run ./cmd/memlint ./...
 //	memlint -floatord=false ./internal/...
+//	memlint -json ./... > findings.json
+//	memlint -sarif ./... > memlint.sarif
+//	memlint -baseline scripts/lint_baseline.json ./...
 //
 // As a go vet tool, speaking vet's unitchecker protocol (-V=full,
-// -flags, and per-package *.cfg invocations):
+// -flags, and per-package *.cfg invocations), with facts serialized
+// through the .vetx files the go command shuttles between units:
 //
 //	go build -o "$(go env GOPATH)/bin/memlint" ./cmd/memlint
 //	go vet -vettool=$(which memlint) ./...
 //
-// Each analyzer has a boolean flag of the same name to toggle it;
-// all are on by default. Exit status is 2 when diagnostics were
-// reported, 1 on operational errors, 0 on a clean run.
+// Each analyzer has a boolean flag of the same name to toggle it; all
+// are on by default. -json and -sarif write machine-readable findings
+// to stdout (SARIF 2.1.0 for CI annotation). -baseline compares the
+// per-analyzer finding counts against a committed baseline and fails
+// only on regressions — the ratchet: counts may fall, never rise —
+// while -update-baseline rewrites the file to the current counts.
+// Exit status is 2 when diagnostics were reported (or the baseline was
+// exceeded), 1 on operational errors, 0 on a clean run.
 package main
 
 import (
@@ -43,6 +54,10 @@ func run(args []string) int {
 	for _, a := range analysis.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
 	}
+	jsonOut := fs.Bool("json", false, "write findings as JSON to stdout")
+	sarifOut := fs.Bool("sarif", false, "write findings as SARIF 2.1.0 to stdout")
+	baselinePath := fs.String("baseline", "", "compare finding counts against this baseline file; fail only on regressions")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite -baseline to the current finding counts")
 	// The go command probes vet tools with `-V=full` (version/cache key)
 	// and `-flags` (supported flags) before the per-package runs; both
 	// are handled before normal flag parsing.
@@ -71,7 +86,12 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVetUnit(rest[0], active)
 	}
-	return runStandalone(rest, active)
+	return runStandalone(rest, active, &outputConfig{
+		json:           *jsonOut,
+		sarif:          *sarifOut,
+		baselinePath:   *baselinePath,
+		updateBaseline: *updateBaseline,
+	})
 }
 
 // printVersion implements the `-V=full` probe: the go command uses the
@@ -109,9 +129,10 @@ func printFlags(fs *flag.FlagSet) {
 	fmt.Println(string(data))
 }
 
-// runStandalone loads packages via go list from the enclosing module and
-// analyzes them all.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// runStandalone loads packages via go list from the enclosing module
+// and analyzes them as one dependency-ordered suite, so cross-package
+// facts flow exactly as under go vet.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, out *outputConfig) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -130,20 +151,10 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "memlint:", err)
 		return 1
 	}
-	found := false
-	for _, u := range units {
-		diags, err := analysis.RunAnalyzers(u, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "memlint:", err)
-			return 1
-		}
-		for _, d := range diags {
-			found = true
-			fmt.Fprintln(os.Stderr, d)
-		}
+	diags, err := analysis.RunSuite(units, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 1
 	}
-	if found {
-		return 2
-	}
-	return 0
+	return emit(diags, analyzers, root, out)
 }

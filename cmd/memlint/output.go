@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"approxsort/internal/analysis"
+)
+
+// outputConfig selects how runStandalone renders its findings and
+// whether they are judged against a committed baseline.
+type outputConfig struct {
+	json           bool
+	sarif          bool
+	baselinePath   string
+	updateBaseline bool
+}
+
+// emit renders diagnostics in the selected format and computes the exit
+// code: 2 when findings were reported (or the baseline regressed), 0
+// otherwise. Paths in machine-readable output are module-relative so
+// CI annotations and committed baselines are host-independent.
+func emit(diags []analysis.Diagnostic, analyzers []*analysis.Analyzer, root string, out *outputConfig) int {
+	switch {
+	case out.json:
+		if err := writeJSON(os.Stdout, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 1
+		}
+	case out.sarif:
+		if err := writeSARIF(os.Stdout, diags, analyzers, root); err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 1
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+
+	if out.baselinePath != "" {
+		return judgeBaseline(diags, out)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// relPath makes file module-relative (slash-separated) when it lies
+// under root.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []analysis.Diagnostic, root string) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings []jsonFinding `json:"findings"`
+	}{findings})
+}
+
+// SARIF 2.1.0 subset: enough for GitHub code-scanning upload and PR
+// annotation. One run, one rule per analyzer, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(w *os.File, diags []analysis.Diagnostic, analyzers []*analysis.Analyzer, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relPath(root, d.Pos.Filename), URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "memlint", InformationURI: "https://example.invalid/approxsort/DESIGN.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// baselineFile is the committed ratchet state: per-analyzer finding
+// counts. The repository is expected to hold every count at zero; the
+// baseline exists so a future justified exemption can land explicitly
+// and then only shrink.
+type baselineFile struct {
+	Total      int            `json:"total"`
+	ByAnalyzer map[string]int `json:"by_analyzer"`
+}
+
+// judgeBaseline compares current counts against the baseline and
+// applies the ratchet: any analyzer exceeding its recorded count fails;
+// counts below the baseline invite (or, with -update-baseline, apply)
+// a tightening rewrite.
+func judgeBaseline(diags []analysis.Diagnostic, out *outputConfig) int {
+	current := baselineFile{ByAnalyzer: map[string]int{}}
+	for _, d := range diags {
+		current.Total++
+		current.ByAnalyzer[d.Analyzer]++
+	}
+
+	if out.updateBaseline {
+		data, err := json.MarshalIndent(orderedBaseline(current), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 1
+		}
+		if err := os.WriteFile(out.baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "memlint: baseline %s updated: %d finding(s)\n", out.baselinePath, current.Total)
+		return 0
+	}
+
+	data, err := os.ReadFile(out.baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memlint:", err)
+		return 1
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "memlint: parsing baseline %s: %v\n", out.baselinePath, err)
+		return 1
+	}
+
+	names := make([]string, 0, len(current.ByAnalyzer))
+	for name := range current.ByAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := false
+	for _, name := range names {
+		if cur, was := current.ByAnalyzer[name], base.ByAnalyzer[name]; cur > was {
+			regressed = true
+			fmt.Fprintf(os.Stderr, "memlint: ratchet: %s has %d finding(s), baseline allows %d\n", name, cur, was)
+		}
+	}
+	if regressed {
+		return 2
+	}
+	if current.Total < base.Total {
+		fmt.Fprintf(os.Stderr, "memlint: ratchet: findings fell %d -> %d; tighten with -update-baseline\n", base.Total, current.Total)
+	}
+	return 0
+}
+
+// orderedBaseline returns a marshal-stable copy (encoding/json sorts
+// map keys, so the struct is already deterministic; this exists to
+// normalize a nil map).
+func orderedBaseline(b baselineFile) baselineFile {
+	if b.ByAnalyzer == nil {
+		b.ByAnalyzer = map[string]int{}
+	}
+	return b
+}

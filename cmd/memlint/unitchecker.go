@@ -5,14 +5,16 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"sort"
+	"strings"
 
 	"approxsort/internal/analysis"
 )
 
 // vetConfig is the JSON configuration the go command writes for each
 // package when a vet tool runs (the unitchecker protocol): the files of
-// one compilation unit plus the import resolution and export data of
-// everything it depends on.
+// one compilation unit plus the import resolution, export data and
+// serialized analyzer facts (.vetx) of everything it depends on.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -21,13 +23,18 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // runVetUnit analyzes the single compilation unit described by a vet
-// .cfg file. Exit codes follow vet's convention: 0 clean, 1 operational
+// .cfg file: it decodes the fact files of every dependency, runs the
+// analyzers (even for VetxOnly dependency visits — those exist exactly
+// to produce facts), writes this unit's accumulated facts to
+// VetxOutput, and reports diagnostics only for requested (non-VetxOnly)
+// units. Exit codes follow vet's convention: 0 clean, 1 operational
 // failure, 2 diagnostics reported.
 func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
@@ -41,17 +48,24 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		return 1
 	}
 
-	// The go command requires the facts file regardless; this suite
-	// defines no facts, so a placeholder suffices.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("memlint: no facts\n"), 0o666); err != nil {
+	// Import facts from every dependency's vetx file, in sorted order
+	// for determinism. Placeholder files from older memlint builds
+	// decode to nothing.
+	facts := analysis.NewFactStore()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for _, p := range cfg.PackageVetx { //nolint:detrand // paths are sorted before use on the next line
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue // missing dep facts degrade to intra-package analysis
+		}
+		if err := facts.DecodeFacts(b, analyzers); err != nil {
 			fmt.Fprintln(os.Stderr, "memlint:", err)
 			return 1
 		}
-	}
-	// Dependency-only visits exist to produce facts; nothing to do.
-	if cfg.VetxOnly {
-		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -65,7 +79,7 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		}
 		return f, nil
 	})
-	unit, err := analysis.TypeCheck(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	unit, err := analysis.TypeCheck(fset, vetBasePkgPath(cfg.ImportPath), cfg.GoFiles, imp)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -73,10 +87,30 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "memlint:", err)
 		return 1
 	}
-	diags, err := analysis.RunAnalyzers(unit, analyzers)
+	diags, err := analysis.RunUnit(unit, analyzers, facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memlint:", err)
 		return 1
+	}
+
+	// The go command requires the facts file regardless of content; it
+	// carries this unit's facts (plus its deps', so transitive imports
+	// resolve without re-reading the whole graph) to importers.
+	if cfg.VetxOutput != "" {
+		enc, err := facts.EncodeFacts()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "memlint:", err)
+			return 1
+		}
+	}
+	// Dependency-only visits exist to produce facts; their diagnostics
+	// belong to their own requested runs.
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
@@ -85,4 +119,13 @@ func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
 		return 2
 	}
 	return 0
+}
+
+// vetBasePkgPath strips the " [foo.test]" variant suffix so path-scoped
+// analyzers see one identity for a package and its test recompilation.
+func vetBasePkgPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
 }

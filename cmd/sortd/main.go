@@ -76,6 +76,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	shards := fs.String("shards", "", "comma-separated shard sortd URLs; enables the /v1/sort/sharded coordinator")
 	tenantInflight := fs.Int("tenant-inflight", 2, "concurrent sharded sorts allowed per tenant")
+	shardTimeout := fs.Duration("shard-timeout", 10*time.Minute, "deadline for one sharded sort's whole shard fan-out")
 	streamDir := fs.String("streamdir", "", "streaming/sharded job spool directory (default: OS temp)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +109,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		StreamDir:         *streamDir,
 		ShardNodes:        shardNodes,
 		TenantMaxInflight: *tenantInflight,
+		ShardSortTimeout:  *shardTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

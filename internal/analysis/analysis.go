@@ -1,16 +1,20 @@
-// Package analysis is the repository's static-analysis suite: six
+// Package analysis is the repository's static-analysis suite: ten
 // analyzers that turn the simulator's runtime contracts into
-// compile-time checks, plus the loading and reporting plumbing that
-// cmd/memlint and the analysistest harness share.
+// compile-time checks, plus the loading, fact-propagation and
+// reporting plumbing that cmd/memlint and the analysistest harness
+// share.
 //
 // The shape deliberately mirrors golang.org/x/tools/go/analysis — an
-// Analyzer value with a Run function over a type-checked Pass — so the
-// analyzers would port to the upstream framework verbatim. The repo
-// vendors no third-party modules, so the minimal subset used here
-// (single-package passes, no facts) is implemented on the standard
-// library alone.
+// Analyzer value with a Run function over a type-checked Pass, plus
+// per-object facts flowing from imported packages to importers — so
+// the analyzers would port to the upstream framework verbatim. The
+// repo vendors no third-party modules, so the subset used here is
+// implemented on the standard library alone: packages load through
+// `go list -export` (load.go), facts serialize as JSON keyed by
+// canonical object keys (facts.go), and RunSuite analyzes units in
+// dependency order so every pass sees its imports' facts.
 //
-// The five analyzers and the runtime invariant each one fronts:
+// The ten analyzers and the runtime invariant each one fronts:
 //
 //   - detrand: byte-identical reports for any -workers value (no wall
 //     clock, no math/rand, no map-ordered output) — the determinism
@@ -27,6 +31,16 @@
 //     allocations and dynamic dispatch (DESIGN.md §13).
 //   - nolintreason: every //nolint directive names its check and
 //     justifies itself, so exemptions stay auditable.
+//   - ctxleak: goroutines launched in the service layers are joined or
+//     context-bound, and outbound HTTP carries a deadline-bearing
+//     context — no shard fan-out may outlive its request.
+//   - lockorder: the global mutex acquisition graph, assembled from
+//     per-function facts across server, cluster, parallel and friends,
+//     stays acyclic.
+//   - verdictcheck: no call whose result carries a verify verdict or
+//     Stats ledger may discard it, through wrappers interprocedurally.
+//   - bodyclose: every *http.Response obtained from the cluster client
+//     or elsewhere is closed on all paths or handed to a closer.
 //
 // Suppression: a diagnostic is suppressed only by a same-line
 // `//nolint:<name> // reason` directive naming the analyzer. Bare or
@@ -53,6 +67,10 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer over one type-checked package.
 	Run func(*Pass) error
+	// NewFact returns a fresh zero value of the analyzer's fact type,
+	// used to decode serialized facts in go vet mode. Nil means the
+	// analyzer neither exports nor imports facts.
+	NewFact func() Fact
 }
 
 // Pass carries one type-checked package through an analyzer, mirroring
@@ -70,6 +88,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *FactStore
 }
 
 // Reportf records a diagnostic at pos.
@@ -101,14 +120,17 @@ func (d Diagnostic) String() string {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Memescape, Floatord, Verifygate, Hotpath, Nolintreason}
+	return []*Analyzer{
+		Detrand, Memescape, Floatord, Verifygate, Hotpath, Nolintreason,
+		Ctxleak, Lockorder, Verdictcheck, Bodyclose,
+	}
 }
 
-// RunAnalyzers executes each analyzer over the package held by unit and
-// returns the surviving diagnostics sorted by position. Diagnostics on a
-// line carrying a conforming //nolint directive that names the analyzer
-// are suppressed.
-func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunUnit executes each analyzer over one unit against a shared fact
+// store: facts exported by earlier units (or decoded from .vetx files
+// in go vet mode) are visible, and facts this unit exports land in the
+// store for later units. Diagnostics are nolint-filtered and sorted.
+func RunUnit(u *Unit, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -119,12 +141,38 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, u.PkgPath, err)
 		}
 	}
 	diags = suppressNolinted(u, diags)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunSuite analyzes units in dependency order (importees before
+// importers) with one shared fact store, so cross-package facts flow
+// exactly as in a `go vet` build graph, and returns every surviving
+// diagnostic sorted by position. This is the standalone multi-package
+// entry point behind `memlint ./...` and the repository self-clean
+// gate.
+func RunSuite(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var diags []Diagnostic
+	for _, u := range SortUnitsByDeps(units) {
+		ds, err := RunUnit(u, analyzers, facts)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -138,7 +186,6 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // suppressNolinted drops diagnostics whose line carries a well-formed

@@ -39,7 +39,12 @@ import (
 )
 
 // Run loads each fixture package and reports expectation mismatches as
-// test errors.
+// test errors. All named packages plus every fixture package they pull
+// in are analyzed in dependency order against one shared fact store —
+// the same shape as a real multi-package memlint run — so cross-package
+// facts flow into the named fixtures. Expectations are checked only in
+// the named packages; dependency fixtures contribute facts, not
+// diagnostics.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	ld := &loader{
@@ -48,16 +53,32 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		units:   make(map[string]*analysis.Unit),
 		exports: make(map[string]string),
 	}
+	named := make(map[string]bool, len(pkgPaths))
 	for _, path := range pkgPaths {
-		unit, err := ld.load(path)
-		if err != nil {
+		if _, err := ld.load(path); err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+		named[path] = true
+	}
+	paths := make([]string, 0, len(ld.units))
+	for path := range ld.units { //nolint:detrand // sorted on the next line
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	units := make([]*analysis.Unit, 0, len(paths))
+	for _, path := range paths {
+		units = append(units, ld.units[path])
+	}
+
+	facts := analysis.NewFactStore()
+	for _, u := range analysis.SortUnitsByDeps(units) {
+		diags, err := analysis.RunUnit(u, []*analysis.Analyzer{a}, facts)
 		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			t.Fatalf("running %s on %s: %v", a.Name, u.PkgPath, err)
 		}
-		checkExpectations(t, unit, diags)
+		if named[u.PkgPath] {
+			checkExpectations(t, u, diags)
+		}
 	}
 }
 

@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Bodyclose verifies that every *http.Response obtained in this module
+// is closed on all paths. The cluster data plane moves shard uploads,
+// outputs and warm tables over HTTP; one unclosed body pins a
+// keep-alive connection per shard round-trip until the fleet starves
+// its file descriptors.
+//
+// For each variable bound to the *http.Response result of a call, the
+// enclosing function must do one of:
+//
+//   - close it: resp.Body.Close() directly or deferred;
+//   - hand it off: return resp (or resp.Body), assign it to a field
+//     or collection, or pass resp to a function that closes bodies;
+//   - consume via an owner: pass resp.Body to a function taking an
+//     io.ReadCloser (ownership transfer by convention).
+//
+// "A function that closes bodies" is a fact (bodycloseFact): any
+// function with a *http.Response (or io.ReadCloser) parameter whose
+// body calls Close on it exports the fact, so helpers like a response
+// drainer are recognized across packages. Note io.Reader parameters do
+// NOT transfer ownership — io.ReadAll(resp.Body) reads but never
+// closes.
+var Bodyclose = &Analyzer{
+	Name:    "bodyclose",
+	Doc:     "every *http.Response must be closed on all paths or handed to a closer",
+	Run:     runBodyclose,
+	NewFact: func() Fact { return new(bodycloseFact) },
+}
+
+// bodycloseFact marks a function that closes the *http.Response (or
+// io.ReadCloser) passed to it.
+type bodycloseFact struct {
+	ClosesBody bool
+}
+
+func (*bodycloseFact) AFact() {}
+
+func runBodyclose(pass *Pass) error {
+	closers := bodycloseComputeFacts(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			bodycloseCheckFunc(pass, fd, closers)
+		}
+	}
+	return nil
+}
+
+// bodycloseComputeFacts exports a fact for every function that closes a
+// response (or read-closer) it receives as a parameter, and returns the
+// local closer set for same-package resolution.
+func bodycloseComputeFacts(pass *Pass) map[types.Object]bool {
+	closers := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			// Parameters that carry a closable body.
+			params := make(map[types.Object]bool)
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					p := pass.TypesInfo.Defs[name]
+					if p == nil {
+						continue
+					}
+					if isHTTPResponsePtr(p.Type()) || isReadCloser(p.Type()) {
+						params[p] = true
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			closes := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Close" {
+					return true
+				}
+				// p.Close() on a read-closer param, or p.Body.Close()
+				// on a response param.
+				switch x := sel.X.(type) {
+				case *ast.Ident:
+					if params[pass.TypesInfo.Uses[x]] {
+						closes = true
+					}
+				case *ast.SelectorExpr:
+					if x.Sel.Name == "Body" {
+						if id, ok := x.X.(*ast.Ident); ok && params[pass.TypesInfo.Uses[id]] {
+							closes = true
+						}
+					}
+				}
+				return !closes
+			})
+			if closes {
+				closers[obj] = true
+				pass.ExportObjectFact(obj, &bodycloseFact{ClosesBody: true})
+			}
+		}
+	}
+	return closers
+}
+
+// bodycloseCheckFunc flags response variables in one function that are
+// neither closed nor handed off.
+func bodycloseCheckFunc(pass *Pass, fd *ast.FuncDecl, closers map[types.Object]bool) {
+	// Collect candidate bindings: `resp, err := <call>` where the call
+	// yields *http.Response.
+	type candidate struct {
+		obj  types.Object
+		pos  ast.Expr
+		call *ast.CallExpr
+	}
+	var candidates []candidate
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id] // plain = assignment
+			}
+			if obj == nil || !isHTTPResponsePtr(obj.Type()) {
+				continue
+			}
+			candidates = append(candidates, candidate{obj: obj, pos: id, call: call})
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return
+	}
+
+	resolved := func(obj types.Object) bool {
+		ok := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "Close" {
+					// resp.Body.Close()
+					if inner, isSel2 := sel.X.(*ast.SelectorExpr); isSel2 && inner.Sel.Name == "Body" {
+						if id, isID := inner.X.(*ast.Ident); isID && pass.TypesInfo.Uses[id] == obj {
+							ok = true
+							return false
+						}
+					}
+				}
+				// resp (or resp.Body) passed to a closer / ReadCloser sink.
+				callee := calleeObj(pass, n)
+				for i, arg := range n.Args {
+					argObj, body := bodycloseRespArg(pass, arg)
+					if argObj != obj {
+						continue
+					}
+					if callee != nil && (closers[callee] || bodycloseImportedCloser(pass, callee)) {
+						ok = true
+						return false
+					}
+					if body && bodycloseParamIsReadCloser(callee, i) {
+						ok = true
+						return false
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if argObj, _ := bodycloseRespArg(pass, res); argObj == obj {
+						ok = true
+						return false
+					}
+				}
+			case *ast.AssignStmt:
+				// Handed off into a field, map, slice or named struct:
+				// conservative escape.
+				for i, rhs := range n.Rhs {
+					argObj, _ := bodycloseRespArg(pass, rhs)
+					if argObj != obj || i >= len(n.Lhs) {
+						continue
+					}
+					if _, plainIdent := n.Lhs[i].(*ast.Ident); !plainIdent {
+						ok = true
+						return false
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					e := elt
+					if kv, isKV := e.(*ast.KeyValueExpr); isKV {
+						e = kv.Value
+					}
+					if argObj, _ := bodycloseRespArg(pass, e); argObj == obj {
+						ok = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return ok
+	}
+
+	seen := make(map[types.Object]bool)
+	for _, c := range candidates {
+		if seen[c.obj] {
+			continue
+		}
+		seen[c.obj] = true
+		if resolved(c.obj) {
+			continue
+		}
+		pass.Reportf(c.pos.Pos(), "response body of %s is never closed in %s; defer %s.Body.Close() or hand it to the caller", bodycloseCallLabel(pass, c.call), fd.Name.Name, bodycloseVarName(c.pos))
+	}
+}
+
+// bodycloseRespArg resolves expr to a response variable: `resp` yields
+// (obj, false), `resp.Body` yields (obj, true), anything else (nil, _).
+func bodycloseRespArg(pass *Pass, expr ast.Expr) (types.Object, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj != nil && isHTTPResponsePtr(obj.Type()) {
+			return obj, false
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "Body" {
+			if id, ok := e.X.(*ast.Ident); ok {
+				obj := pass.TypesInfo.Uses[id]
+				if obj != nil && isHTTPResponsePtr(obj.Type()) {
+					return obj, true
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		return bodycloseRespArg(pass, e.X)
+	}
+	return nil, false
+}
+
+func bodycloseImportedCloser(pass *Pass, obj types.Object) bool {
+	f, ok := pass.ImportObjectFact(obj)
+	if !ok {
+		return false
+	}
+	bf, ok := f.(*bodycloseFact)
+	return ok && bf.ClosesBody
+}
+
+// bodycloseParamIsReadCloser reports whether callee's i-th parameter is
+// io.ReadCloser — an ownership transfer by convention.
+func bodycloseParamIsReadCloser(callee types.Object, i int) bool {
+	if callee == nil {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if i >= sig.Params().Len() {
+		if !sig.Variadic() || sig.Params().Len() == 0 {
+			return false
+		}
+		i = sig.Params().Len() - 1
+	}
+	return isReadCloser(sig.Params().At(i).Type())
+}
+
+func bodycloseCallLabel(pass *Pass, call *ast.CallExpr) string {
+	if callee := calleeObj(pass, call); callee != nil {
+		return verdictCallName(callee)
+	}
+	return "call"
+}
+
+func bodycloseVarName(expr ast.Expr) string {
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "resp"
+}
+
+// isHTTPResponsePtr reports whether t is *net/http.Response.
+func isHTTPResponsePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Response"
+}
+
+// isReadCloser reports whether t is io.ReadCloser.
+func isReadCloser(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "io" && obj.Name() == "ReadCloser"
+}

@@ -7,7 +7,9 @@ import (
 )
 
 // TestRepositoryIsClean runs the full analyzer suite over every package
-// of the module: plain `go test` must catch a new violation without
+// of the module as one dependency-ordered, fact-sharing pass: plain
+// `go test` must catch a new violation — including cross-package ones
+// like a lock-order cycle spanning server and parallel — without
 // waiting for CI's memlint job. Intentional exemptions are the
 // per-call //nolint directives rostered in DESIGN.md §11.
 func TestRepositoryIsClean(t *testing.T) {
@@ -25,13 +27,11 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(units) == 0 {
 		t.Fatal("no packages loaded")
 	}
-	for _, u := range units {
-		diags, err := analysis.RunAnalyzers(u, analysis.All())
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+	diags, err := analysis.RunSuite(units, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

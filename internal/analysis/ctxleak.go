@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxleak enforces the service layers' goroutine and context hygiene.
+// The sharded sort path fans one request out across nodes; a goroutine
+// or HTTP round-trip that is not joined and not bound to a
+// deadline-bearing context outlives its request, holds its tenant slot,
+// and defeats the graceful-drain contract (DESIGN.md §15). Two rules,
+// both scoped to the request-serving packages (internal/server,
+// internal/cluster):
+//
+//  1. Every `go` statement must be visibly joined or cancellable: the
+//     goroutine body (or callee) must signal completion through a
+//     sync.WaitGroup, close or send on a channel, or observe a
+//     context.Context from the enclosing request scope.
+//  2. Outbound HTTP must carry a caller-derived or deadline-bearing
+//     context: the context-less senders (http.Get, http.Post,
+//     http.PostForm, http.Head, http.NewRequest) are banned, and
+//     passing context.Background() or context.TODO() directly into a
+//     function that performs HTTP (known interprocedurally via facts)
+//     is flagged.
+//
+// The "performs HTTP" property is a fact (ctxleakFact.DoesHTTP)
+// exported for every function in every analyzed package, so rule 2
+// sees through wrappers like cluster.Client.Submit from two packages
+// away.
+var Ctxleak = &Analyzer{
+	Name:    "ctxleak",
+	Doc:     "service goroutines must be joined or context-bound; outbound HTTP must carry a deadline-bearing context",
+	Run:     runCtxleak,
+	NewFact: func() Fact { return new(ctxleakFact) },
+}
+
+// ctxleakFact marks a function that performs an outbound HTTP
+// round-trip, directly or through a callee that carries the same fact.
+type ctxleakFact struct {
+	DoesHTTP bool
+}
+
+func (*ctxleakFact) AFact() {}
+
+// ctxleakScope lists the packages whose goroutines and HTTP calls are
+// checked. Facts are computed everywhere; diagnostics fire only here —
+// cmd/ mains legitimately start from context.Background, and the
+// simulation core neither spawns nor dials.
+var ctxleakScope = map[string]bool{
+	"approxsort/internal/server":  true,
+	"approxsort/internal/cluster": true,
+}
+
+func runCtxleak(pass *Pass) error {
+	doesHTTP := ctxleakComputeFacts(pass)
+	if !ctxleakScope[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if pass.InTestFile(n.Pos()) {
+					return true
+				}
+				ctxleakCheckGo(pass, n)
+			case *ast.CallExpr:
+				if pass.InTestFile(n.Pos()) {
+					return true
+				}
+				ctxleakCheckCall(pass, n, doesHTTP)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxleakComputeFacts finds every function in the package that performs
+// HTTP — a call to one of net/http's client entry points, or a call to
+// a function already carrying the fact — iterating in-package calls to
+// a fixpoint, and exports a fact per such function. The local set is
+// returned so rule 2 works on unexported same-package helpers too.
+func ctxleakComputeFacts(pass *Pass) map[types.Object]bool {
+	type fnInfo struct {
+		obj     types.Object
+		body    *ast.BlockStmt
+		callees []types.Object
+		http    bool
+	}
+	var fns []*fnInfo
+	byObj := make(map[types.Object]*fnInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			info := &fnInfo{obj: obj, body: fd.Body}
+			fns = append(fns, info)
+			byObj[obj] = info
+		}
+	}
+	for _, info := range fns {
+		ast.Inspect(info.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObj(pass, call)
+			if callee == nil {
+				return true
+			}
+			if httpSenderName(callee) != "" {
+				info.http = true
+			} else if fact, ok := ctxleakImport(pass, callee); ok && fact.DoesHTTP {
+				info.http = true
+			} else {
+				info.callees = append(info.callees, callee)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range fns {
+			if info.http {
+				continue
+			}
+			for _, callee := range info.callees {
+				if c, ok := byObj[callee]; ok && c.http {
+					info.http = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	out := make(map[types.Object]bool)
+	for _, info := range fns {
+		if info.http {
+			out[info.obj] = true
+			pass.ExportObjectFact(info.obj, &ctxleakFact{DoesHTTP: true})
+		}
+	}
+	return out
+}
+
+func ctxleakImport(pass *Pass, obj types.Object) (*ctxleakFact, bool) {
+	f, ok := pass.ImportObjectFact(obj)
+	if !ok {
+		return nil, false
+	}
+	cf, ok := f.(*ctxleakFact)
+	return cf, ok
+}
+
+// httpSenderName classifies net/http client round-trip entry points
+// (for the DoesHTTP fact): it returns the dotted name for diagnostics
+// ("http.Get", "(*http.Client).Do"), or "" if obj is not one.
+// NewRequestWithContext is deliberately not a sender — it is the
+// sanctioned way to attach a context.
+func httpSenderName(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		switch fn.Name() {
+		case "Get", "Post", "PostForm", "Head":
+			return "http." + fn.Name()
+		}
+		return ""
+	}
+	recv := namedOf(deref(sig.Recv().Type()))
+	if recv == nil || recv.Obj().Name() != "Client" {
+		return "" // http.Header.Get and friends are not round-trips
+	}
+	switch fn.Name() {
+	case "Do", "Get", "Post", "PostForm", "Head":
+		return "(*http.Client)." + fn.Name()
+	}
+	return ""
+}
+
+// contextlessSender reports whether obj is a sender that cannot carry a
+// context at all: the convenience Get/Post/PostForm/Head entry points.
+// (*http.Client).Do is excluded — its *http.Request carries the context
+// and rule 2's NewRequest ban polices how that request is built.
+func contextlessSender(obj types.Object) bool {
+	name := httpSenderName(obj)
+	return name != "" && !strings.HasSuffix(name, ".Do")
+}
+
+// ctxleakCheckGo applies rule 1 to one go statement.
+func ctxleakCheckGo(pass *Pass, g *ast.GoStmt) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if ctxleakLitJoined(pass, lit) {
+			return
+		}
+		pass.Reportf(g.Pos(), "goroutine is neither joined (WaitGroup, channel close/send) nor bound to a context.Context; it can outlive its request and defeat graceful drain")
+		return
+	}
+	// Named call: accept when any argument (or the receiver chain)
+	// carries a context.Context — cancellation reaches the goroutine.
+	for _, arg := range g.Call.Args {
+		if isContextType(pass.TypesInfo.Types[arg].Type) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine call takes no context.Context and is not visibly joined; pass a cancellable context or join it with a WaitGroup")
+}
+
+// ctxleakLitJoined reports whether a goroutine func literal visibly
+// terminates with its request: it calls (*sync.WaitGroup).Done, closes
+// or sends on a channel, or references a context.Context value from the
+// enclosing scope (so cancellation reaches it).
+func ctxleakLitJoined(pass *Pass, lit *ast.FuncLit) bool {
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := calleeObj(pass, n); callee != nil {
+				if callee.Pkg() != nil && callee.Pkg().Path() == "sync" && callee.Name() == "Done" {
+					joined = true
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin || pass.TypesInfo.Uses[id] == nil {
+					joined = true // builtin close: a completion signal
+				}
+			}
+		case *ast.SendStmt:
+			joined = true
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// ctxleakCheckCall applies rule 2 to one call expression.
+func ctxleakCheckCall(pass *Pass, call *ast.CallExpr, doesHTTP map[types.Object]bool) {
+	callee := calleeObj(pass, call)
+	if callee == nil {
+		return
+	}
+	if contextlessSender(callee) && !hasContextParam(callee) {
+		pass.Reportf(call.Pos(), "%s carries no context; build the request with http.NewRequestWithContext and a deadline-bearing context", httpSenderName(callee))
+		return
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "net/http" && callee.Name() == "NewRequest" {
+		pass.Reportf(call.Pos(), "http.NewRequest yields a context-less request; use http.NewRequestWithContext so the round-trip inherits the caller's deadline")
+		return
+	}
+	// context.Background()/TODO() flowing straight into an HTTP-performing
+	// function: the round-trip can never be cancelled.
+	target := ""
+	switch {
+	case doesHTTP[callee]:
+		target = callee.Name()
+	default:
+		if fact, ok := ctxleakImport(pass, callee); ok && fact.DoesHTTP {
+			target = callee.Name()
+		} else if callee.Pkg() != nil && callee.Pkg().Path() == "net/http" && callee.Name() == "NewRequestWithContext" {
+			target = "http.NewRequestWithContext"
+		}
+	}
+	if target == "" {
+		return
+	}
+	for _, arg := range call.Args {
+		inner, ok := arg.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		argCallee := calleeObj(pass, inner)
+		if argCallee == nil || argCallee.Pkg() == nil || argCallee.Pkg().Path() != "context" {
+			continue
+		}
+		if argCallee.Name() == "Background" || argCallee.Name() == "TODO" {
+			pass.Reportf(arg.Pos(), "context.%s() passed into %s, which performs outbound HTTP; derive a deadline-bearing context (context.WithTimeout) or thread the request's", argCallee.Name(), target)
+		}
+	}
+}
+
+// hasContextParam reports whether fn takes a context.Context anywhere
+// in its signature.
+func hasContextParam(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

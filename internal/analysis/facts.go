@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Fact is a unit of analyzer knowledge attached to a package-level
+// object (a function, method, type, or variable) and visible to later
+// passes of the same analyzer over downstream packages. It mirrors the
+// upstream go/analysis fact model with two simplifications that keep
+// the implementation on the standard library:
+//
+//   - facts are keyed by the object's canonical string key (FactKey)
+//     rather than by types.Object identity, so a fact survives the
+//     round trip through export data, where the importing package
+//     materializes a different types.Object for the same symbol;
+//   - facts are serialized as JSON (not gob) into the .vetx files the
+//     go vet driver shuttles between compilation units, so the files
+//     stay inspectable and the analyzers need no init-time type
+//     registration.
+//
+// A Fact implementation must be a pointer to a JSON-marshalable struct;
+// AFact is a marker that documents intent and keeps arbitrary values
+// out of the store.
+type Fact interface {
+	AFact()
+}
+
+// FactKey returns the canonical cross-package key for a package-level
+// object: "pkgpath.Name" for functions, types and variables, and
+// "pkgpath.(Recv).Name" for methods, with any pointer receiver
+// stripped so (*T).M and (T).M share one key. Objects without a
+// package (builtins, the blank identifier) key to "".
+func FactKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				name = "(" + named.Obj().Name() + ")." + name
+			}
+		}
+	}
+	return obj.Pkg().Path() + "." + name
+}
+
+// FactStore accumulates facts across a dependency-ordered run of many
+// packages. One store is shared by every pass of a suite run: when
+// analyzer A runs over package P it exports facts about P's objects,
+// and when A later runs over a package importing P those facts are
+// already present. The zero value is not usable; call NewFactStore.
+type FactStore struct {
+	// byAnalyzer maps analyzer name -> object key -> fact.
+	byAnalyzer map[string]map[string]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byAnalyzer: make(map[string]map[string]Fact)}
+}
+
+func (s *FactStore) export(analyzer, key string, f Fact) {
+	if key == "" || f == nil {
+		return
+	}
+	m := s.byAnalyzer[analyzer]
+	if m == nil {
+		m = make(map[string]Fact)
+		s.byAnalyzer[analyzer] = m
+	}
+	m[key] = f
+}
+
+func (s *FactStore) imp(analyzer, key string) (Fact, bool) {
+	f, ok := s.byAnalyzer[analyzer][key]
+	return f, ok
+}
+
+// keys returns the sorted object keys holding a fact for analyzer.
+// Analyzers that enumerate the store (lockorder's global graph) must
+// iterate in this order to keep diagnostics deterministic.
+func (s *FactStore) keys(analyzer string) []string {
+	m := s.byAnalyzer[analyzer]
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EncodeFacts serializes every fact in the store as JSON:
+// analyzer name -> object key -> fact value. In go vet mode the result
+// is written to the unit's .vetx output file; downstream units decode
+// it with DecodeFacts. Output is deterministic (sorted keys via
+// encoding/json's map ordering).
+func (s *FactStore) EncodeFacts() ([]byte, error) {
+	out := make(map[string]map[string]json.RawMessage, len(s.byAnalyzer))
+	for name, m := range s.byAnalyzer {
+		enc := make(map[string]json.RawMessage, len(m))
+		for key, f := range m {
+			b, err := json.Marshal(f)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: encode fact %s/%s: %w", name, key, err)
+			}
+			enc[key] = b
+		}
+		out[name] = enc
+	}
+	return json.Marshal(out)
+}
+
+// DecodeFacts merges a serialized fact file into the store. Each
+// analyzer's NewFact constructor gives the concrete type to decode
+// into; facts for analyzers absent from the suite (or analyzers that
+// declare no fact type) are skipped, and an empty or legacy
+// placeholder file decodes to nothing.
+func (s *FactStore) DecodeFacts(data []byte, analyzers []*Analyzer) error {
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" || !strings.HasPrefix(trimmed, "{") {
+		return nil // empty or pre-facts placeholder file
+	}
+	var raw map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("analysis: decode facts: %w", err)
+	}
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	for name, m := range raw {
+		a := byName[name]
+		if a == nil || a.NewFact == nil {
+			continue
+		}
+		for key, b := range m {
+			f := a.NewFact()
+			if err := json.Unmarshal(b, f); err != nil {
+				return fmt.Errorf("analysis: decode fact %s/%s: %w", name, key, err)
+			}
+			s.export(name, key, f)
+		}
+	}
+	return nil
+}
+
+// ExportObjectFact records a fact about obj for this pass's analyzer.
+// The fact becomes visible to the same analyzer running over any
+// package analyzed after this one (imports are analyzed first, so
+// "after" means "importers"). Exporting twice for one object
+// overwrites: the last call wins.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.export(p.Analyzer.Name, FactKey(obj), f)
+}
+
+// ImportObjectFact returns the fact previously exported for obj by this
+// pass's analyzer, whether from an earlier package in this run or from
+// a decoded .vetx file in go vet mode.
+func (p *Pass) ImportObjectFact(obj types.Object) (Fact, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.imp(p.Analyzer.Name, FactKey(obj))
+}
+
+// ImportObjectFactByKey is ImportObjectFact for callers that already
+// hold a canonical key (e.g. graph nodes rebuilt from other facts).
+func (p *Pass) ImportObjectFactByKey(key string) (Fact, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.imp(p.Analyzer.Name, key)
+}
+
+// AllObjectFactKeys returns the sorted keys of every fact visible to
+// this pass's analyzer, including facts it exported during this very
+// pass. Analyzers building whole-program structures (lockorder's
+// acquisition graph) enumerate the store through this to stay
+// deterministic.
+func (p *Pass) AllObjectFactKeys() []string {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.keys(p.Analyzer.Name)
+}
+
+// SortUnitsByDeps orders units so every unit appears after all units it
+// imports (directly or transitively), which is the order RunSuite needs
+// for facts to flow importee -> importer. Ties break on package path,
+// so the order is stable for a given unit set. Import edges outside the
+// unit set (stdlib, export data) are ignored.
+func SortUnitsByDeps(units []*Unit) []*Unit {
+	byPath := make(map[string]*Unit, len(units))
+	paths := make([]string, 0, len(units))
+	for _, u := range units {
+		byPath[u.PkgPath] = u
+		paths = append(paths, u.PkgPath)
+	}
+	sort.Strings(paths)
+
+	out := make([]*Unit, 0, len(units))
+	state := make(map[string]int, len(units)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		u := byPath[path]
+		if u == nil || state[path] != 0 {
+			return // external dep, or already placed (cycles cannot occur in Go imports)
+		}
+		state[path] = 1
+		imps := u.Pkg.Imports()
+		impPaths := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			impPaths = append(impPaths, basePkgPath(imp.Path()))
+		}
+		sort.Strings(impPaths)
+		for _, ip := range impPaths {
+			visit(ip)
+		}
+		state[path] = 2
+		out = append(out, u)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// factTestPkg type-checks a tiny package and returns its scope.
+func factTestPkg(t *testing.T) *types.Package {
+	t.Helper()
+	const src = `package p
+type T struct{}
+func (t *T) M() {}
+func (t T) N() {}
+func F() {}
+var V int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("example/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestFactKey(t *testing.T) {
+	pkg := factTestPkg(t)
+	scope := pkg.Scope()
+	named := scope.Lookup("T").Type().(*types.Named)
+	methods := map[string]types.Object{}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		methods[m.Name()] = m
+	}
+
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{scope.Lookup("F"), "example/p.F"},
+		{scope.Lookup("V"), "example/p.V"},
+		{scope.Lookup("T"), "example/p.T"},
+		// Pointer receivers strip: (*T).M and (T).N key the same way.
+		{methods["M"], "example/p.(T).M"},
+		{methods["N"], "example/p.(T).N"},
+		{nil, ""},
+		{types.Universe.Lookup("len"), ""}, // builtin: no package
+	}
+	for _, c := range cases {
+		if got := FactKey(c.obj); got != c.want {
+			t.Errorf("FactKey(%v) = %q, want %q", c.obj, got, c.want)
+		}
+	}
+}
+
+// TestFactsEncodeDecodeRoundTrip pins the .vetx payload contract: a
+// store survives JSON encode/decode with concrete fact types rebuilt
+// through each analyzer's NewFact constructor.
+func TestFactsEncodeDecodeRoundTrip(t *testing.T) {
+	src := NewFactStore()
+	src.export(Ctxleak.Name, "example/p.F", &ctxleakFact{DoesHTTP: true})
+	src.export(Lockorder.Name, "example/p.G", &lockorderFact{
+		Acquires: []string{"example/p.mu"},
+		Edges:    []lockorderEdge{{From: "example/p.mu", To: "example/q.mu", Fn: "example/p.G", File: "p.go", Line: 3}},
+	})
+	src.export(Verdictcheck.Name, "example/p.Audit", &verdictFact{ReturnsVerdict: true})
+	src.export(Bodyclose.Name, "example/p.Drain", &bodycloseFact{ClosesBody: true})
+	// Empty keys and nil facts must not land in the store.
+	src.export(Ctxleak.Name, "", &ctxleakFact{DoesHTTP: true})
+	src.export(Ctxleak.Name, "example/p.nil", nil)
+
+	data, err := src.EncodeFacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewFactStore()
+	if err := dst.DecodeFacts(data, All()); err != nil {
+		t.Fatal(err)
+	}
+
+	if f, ok := dst.imp(Ctxleak.Name, "example/p.F"); !ok {
+		t.Error("ctxleak fact lost in round trip")
+	} else if cf := f.(*ctxleakFact); !cf.DoesHTTP {
+		t.Error("ctxleak DoesHTTP flattened to false")
+	}
+	if f, ok := dst.imp(Lockorder.Name, "example/p.G"); !ok {
+		t.Error("lockorder fact lost in round trip")
+	} else {
+		lf := f.(*lockorderFact)
+		if len(lf.Acquires) != 1 || lf.Acquires[0] != "example/p.mu" {
+			t.Errorf("lockorder acquires = %v", lf.Acquires)
+		}
+		if len(lf.Edges) != 1 || lf.Edges[0].To != "example/q.mu" || lf.Edges[0].Line != 3 {
+			t.Errorf("lockorder edges = %v", lf.Edges)
+		}
+	}
+	if _, ok := dst.imp(Verdictcheck.Name, "example/p.Audit"); !ok {
+		t.Error("verdictcheck fact lost in round trip")
+	}
+	if _, ok := dst.imp(Bodyclose.Name, "example/p.Drain"); !ok {
+		t.Error("bodyclose fact lost in round trip")
+	}
+	if _, ok := dst.imp(Ctxleak.Name, ""); ok {
+		t.Error("empty key must not be stored")
+	}
+	if got, want := dst.keys(Lockorder.Name), 1; len(got) != want {
+		t.Errorf("lockorder keys = %v, want %d entry", got, want)
+	}
+}
+
+func TestDecodeFactsTolerance(t *testing.T) {
+	s := NewFactStore()
+	// Legacy placeholder and empty files decode to nothing.
+	for _, data := range []string{"", "   \n", "memlint facts placeholder"} {
+		if err := s.DecodeFacts([]byte(data), All()); err != nil {
+			t.Errorf("DecodeFacts(%q) = %v, want nil", data, err)
+		}
+	}
+	// Facts for analyzers outside the suite are skipped, not errors.
+	if err := s.DecodeFacts([]byte(`{"nosuch":{"p.F":{"X":1}}}`), All()); err != nil {
+		t.Errorf("unknown analyzer: %v", err)
+	}
+	// Facts for analyzers without a NewFact constructor are skipped.
+	if err := s.DecodeFacts([]byte(`{"detrand":{"p.F":{"X":1}}}`), All()); err != nil {
+		t.Errorf("factless analyzer: %v", err)
+	}
+	// Malformed JSON is an error once it looks like a fact file.
+	if err := s.DecodeFacts([]byte(`{"ctxleak":`), All()); err == nil {
+		t.Error("truncated fact file decoded without error")
+	}
+	if err := s.DecodeFacts([]byte(`{"ctxleak":{"p.F":[1,2]}}`), All()); err == nil {
+		t.Error("mistyped fact value decoded without error")
+	}
+}
+
+// TestPassFactAccessors exercises the Pass-level fact API against a nil
+// store (vet probes construct passes before any store exists) and a
+// live one.
+func TestPassFactAccessors(t *testing.T) {
+	pkg := factTestPkg(t)
+	obj := pkg.Scope().Lookup("F")
+
+	nilPass := &Pass{Analyzer: Ctxleak}
+	nilPass.ExportObjectFact(obj, &ctxleakFact{DoesHTTP: true})
+	if _, ok := nilPass.ImportObjectFact(obj); ok {
+		t.Error("nil-store pass returned a fact")
+	}
+	if _, ok := nilPass.ImportObjectFactByKey("example/p.F"); ok {
+		t.Error("nil-store pass returned a fact by key")
+	}
+	if keys := nilPass.AllObjectFactKeys(); keys != nil {
+		t.Errorf("nil-store pass keys = %v", keys)
+	}
+
+	pass := &Pass{Analyzer: Ctxleak, facts: NewFactStore()}
+	pass.ExportObjectFact(obj, &ctxleakFact{DoesHTTP: true})
+	if f, ok := pass.ImportObjectFact(obj); !ok || !f.(*ctxleakFact).DoesHTTP {
+		t.Error("exported fact not importable")
+	}
+	if _, ok := pass.ImportObjectFactByKey("example/p.F"); !ok {
+		t.Error("fact not importable by key")
+	}
+	if keys := pass.AllObjectFactKeys(); len(keys) != 1 || keys[0] != "example/p.F" {
+		t.Errorf("keys = %v", keys)
+	}
+}

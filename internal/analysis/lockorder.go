@@ -1,0 +1,495 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder proves the repository's mutex acquisition graph acyclic.
+// The service layers hold locks across package boundaries — the server
+// guards job tables while calling into the pool, the coordinator fans
+// out under tenant accounting, the metrics registry renders while
+// vectors lock their children — and a cycle in "acquire B while
+// holding A" edges is a deadlock waiting for the right interleaving.
+//
+// Each declared function gets a summary fact (lockorderFact): the set
+// of locks its static call graph may acquire, and the held->acquired
+// edges observed in its body (including edges through static calls,
+// using callees' acquire sets). Summaries flow downstream as facts, so
+// an edge like "server.Server.mu -> parallel.Pool.mu" materializes
+// when analyzing internal/server even though Pool.mu lives a package
+// away. Every pass then checks the accumulated global graph: an edge
+// that completes a cycle is reported at its acquisition site in the
+// current package — so the analyzer works identically standalone (one
+// dependency-ordered suite run) and under go vet (facts via .vetx).
+//
+// Lock identity is structural: "pkg.Type.field" for a mutex field
+// (receiver pointer-stripped), "pkg.var" for a package-level mutex,
+// "pkg.func.name" for a function-local one, and "pkg.Type.<embedded>"
+// when the Lock call goes through an embedded sync.Mutex. Read and
+// write locks of one RWMutex share an identity: RLock-vs-Lock cycles
+// deadlock just as hard. Function literals are summarized as separate
+// anonymous schedules — edges wholly inside a literal count, but a
+// literal's acquisitions do not extend the enclosing function's
+// held-set, because the literal runs at an unknown time.
+var Lockorder = &Analyzer{
+	Name:    "lockorder",
+	Doc:     "the cross-package mutex acquisition graph must stay acyclic",
+	Run:     runLockorder,
+	NewFact: func() Fact { return new(lockorderFact) },
+}
+
+// lockorderFact summarizes one function's locking behavior.
+type lockorderFact struct {
+	// Acquires is the sorted set of lock IDs the function (or its
+	// static callees) may take.
+	Acquires []string `json:",omitempty"`
+	// Edges are the held->acquired pairs observed in the function,
+	// including those inside its literals.
+	Edges []lockorderEdge `json:",omitempty"`
+}
+
+func (*lockorderFact) AFact() {}
+
+// lockorderEdge is one "acquired To while holding From" observation.
+// Fn and File/Line locate the acquisition for the diagnostic trail.
+type lockorderEdge struct {
+	From string
+	To   string
+	Fn   string
+	File string
+	Line int
+}
+
+const (
+	lockAcq = iota
+	lockRel
+	lockDeferRel
+	lockCall
+)
+
+// lockEvent is one lock-relevant action in source order.
+type lockEvent struct {
+	kind   int
+	id     string
+	callee types.Object
+	pos    token.Pos
+}
+
+// lockFn is one schedule: a declared function or a function literal.
+type lockFn struct {
+	obj    types.Object // enclosing declared function (fact anchor)
+	name   string
+	isLit  bool
+	events []lockEvent
+	lits   []*lockFn
+}
+
+func runLockorder(pass *Pass) error {
+	decls := lockorderCollect(pass)
+
+	// Flatten declarations plus nested literals into independent
+	// schedules, keeping a decl-only index for call resolution.
+	var all []*lockFn
+	declByObj := make(map[types.Object]*lockFn)
+	var flatten func(fn *lockFn)
+	flatten = func(fn *lockFn) {
+		all = append(all, fn)
+		for _, l := range fn.lits {
+			flatten(l)
+		}
+	}
+	for _, fn := range decls {
+		declByObj[fn.obj] = fn
+		flatten(fn)
+	}
+
+	// Fixpoint the acquire sets: a schedule acquires what it locks plus
+	// what its static callees acquire (in-package declarations by body,
+	// imported functions by fact). Literal acquisitions intentionally do
+	// not propagate to the enclosing declaration.
+	acquires := make(map[*lockFn]map[string]bool)
+	calleeAcquires := func(obj types.Object) map[string]bool {
+		if c, ok := declByObj[obj]; ok {
+			return acquires[c]
+		}
+		if fact, ok := lockorderImport(pass, obj); ok {
+			set := make(map[string]bool, len(fact.Acquires))
+			for _, id := range fact.Acquires {
+				set[id] = true
+			}
+			return set
+		}
+		return nil
+	}
+	for _, fn := range all {
+		set := make(map[string]bool)
+		for _, ev := range fn.events {
+			if ev.kind == lockAcq {
+				set[ev.id] = true
+			}
+		}
+		acquires[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range all {
+			set := acquires[fn]
+			for _, ev := range fn.events {
+				if ev.kind != lockCall || ev.callee == nil {
+					continue
+				}
+				for id := range calleeAcquires(ev.callee) {
+					if !set[id] {
+						set[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Replay each schedule's events against a held-set to derive edges.
+	edgesByFn := make(map[*lockFn][]lockorderEdge)
+	for _, fn := range all {
+		var held []string
+		seen := make(map[[2]string]bool)
+		emit := func(from, to string, pos token.Pos) {
+			if from == to || seen[[2]string{from, to}] {
+				return
+			}
+			seen[[2]string{from, to}] = true
+			p := pass.Fset.Position(pos)
+			edgesByFn[fn] = append(edgesByFn[fn], lockorderEdge{
+				From: from, To: to, Fn: fn.name, File: p.Filename, Line: p.Line,
+			})
+		}
+		for _, ev := range fn.events {
+			switch ev.kind {
+			case lockAcq:
+				for _, h := range held {
+					emit(h, ev.id, ev.pos)
+				}
+				held = append(held, ev.id)
+			case lockRel:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.id {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case lockDeferRel:
+				// Released only at return: the lock stays in the
+				// held-set for the rest of the schedule.
+			case lockCall:
+				if ev.callee == nil {
+					continue
+				}
+				callee := calleeAcquires(ev.callee)
+				if len(callee) == 0 {
+					continue
+				}
+				ids := make([]string, 0, len(callee))
+				for id := range callee {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, h := range held {
+					for _, id := range ids {
+						emit(h, id, ev.pos)
+					}
+				}
+			}
+		}
+	}
+
+	// Export one fact per declaration: its acquire set plus the edges
+	// of the declaration and all its literals.
+	for _, fn := range decls {
+		acqList := make([]string, 0, len(acquires[fn]))
+		for id := range acquires[fn] {
+			acqList = append(acqList, id)
+		}
+		sort.Strings(acqList)
+		var edges []lockorderEdge
+		var gather func(f *lockFn)
+		gather = func(f *lockFn) {
+			edges = append(edges, edgesByFn[f]...)
+			for _, l := range f.lits {
+				gather(l)
+			}
+		}
+		gather(fn)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		if len(acqList) > 0 || len(edges) > 0 {
+			pass.ExportObjectFact(fn.obj, &lockorderFact{Acquires: acqList, Edges: edges})
+		}
+	}
+
+	// Assemble the global graph from every fact visible so far (all
+	// dependency packages plus this one) and report any current-package
+	// edge that lies on a cycle.
+	adj := make(map[string][]string)
+	for _, key := range pass.AllObjectFactKeys() {
+		f, _ := pass.ImportObjectFactByKey(key)
+		lf, ok := f.(*lockorderFact)
+		if !ok {
+			continue
+		}
+		for _, e := range lf.Edges {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+
+	reported := make(map[[2]string]bool)
+	for _, fn := range all {
+		for _, e := range edgesByFn[fn] {
+			if reported[[2]string{e.From, e.To}] {
+				continue
+			}
+			if cycle := lockorderPath(adj, e.To, e.From); cycle != nil {
+				reported[[2]string{e.From, e.To}] = true
+				loop := append([]string{e.From}, cycle...)
+				pass.Reportf(lockorderEdgePos(pass, e), "lock order cycle: %s acquires %s while holding %s, closing the loop %s -> %s", e.Fn, e.To, e.From, strings.Join(loop, " -> "), e.From)
+			}
+		}
+	}
+	return nil
+}
+
+// lockorderEdgePos locates an in-package edge's acquisition line.
+func lockorderEdgePos(pass *Pass, e lockorderEdge) token.Pos {
+	var pos token.Pos = token.NoPos
+	pass.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == e.File {
+			if e.Line >= 1 && e.Line <= f.LineCount() {
+				pos = f.LineStart(e.Line)
+			}
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+// lockorderPath returns a node path from -> ... -> to over adj, or nil
+// if unreachable. Deterministic: neighbor lists are pre-sorted.
+func lockorderPath(adj map[string][]string, from, to string) []string {
+	type frame struct {
+		node string
+		path []string
+	}
+	visited := map[string]bool{from: true}
+	stack := []frame{{from, []string{from}}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fr.node == to {
+			return fr.path
+		}
+		next := adj[fr.node]
+		for i := len(next) - 1; i >= 0; i-- {
+			n := next[i]
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			stack = append(stack, frame{n, append(append([]string{}, fr.path...), n)})
+		}
+	}
+	return nil
+}
+
+func lockorderImport(pass *Pass, obj types.Object) (*lockorderFact, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	f, ok := pass.ImportObjectFact(obj)
+	if !ok {
+		return nil, false
+	}
+	lf, ok := f.(*lockorderFact)
+	return lf, ok
+}
+
+// lockorderCollect builds one schedule per function declaration, with
+// nested literals attached as sub-schedules.
+func lockorderCollect(pass *Pass) []*lockFn {
+	var fns []*lockFn
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				name = "(" + types.ExprString(fd.Recv.List[0].Type) + ")." + name
+			}
+			fn := &lockFn{obj: obj, name: name}
+			lockorderWalk(pass, fd.Body, fn)
+			fns = append(fns, fn)
+		}
+	}
+	return fns
+}
+
+// lockorderWalk appends lock events for one body in source order.
+// Function literals become sub-schedules; `defer mu.Unlock()` (bare or
+// wrapped in a literal) becomes a deferred release.
+func lockorderWalk(pass *Pass, body ast.Node, fn *lockFn) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sub := &lockFn{obj: fn.obj, name: fn.name + ".func", isLit: true}
+			lockorderWalk(pass, n.Body, sub)
+			fn.lits = append(fn.lits, sub)
+			return false
+		case *ast.DeferStmt:
+			if id, kind, ok := lockorderCallID(pass, n.Call, fn.name); ok && kind == lockRel {
+				fn.events = append(fn.events, lockEvent{kind: lockDeferRel, id: id, pos: n.Pos()})
+				return false
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// `defer func() { ...; mu.Unlock() }()`: count its
+				// unlocks as deferred releases; anything else inside is
+				// a sub-schedule like any literal.
+				sub := &lockFn{obj: fn.obj, name: fn.name + ".func", isLit: true}
+				lockorderWalk(pass, lit.Body, sub)
+				for _, ev := range sub.events {
+					if ev.kind == lockRel {
+						fn.events = append(fn.events, lockEvent{kind: lockDeferRel, id: ev.id, pos: ev.pos})
+					}
+				}
+				fn.lits = append(fn.lits, sub)
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if id, kind, ok := lockorderCallID(pass, n, fn.name); ok {
+				fn.events = append(fn.events, lockEvent{kind: kind, id: id, pos: n.Pos()})
+				return true
+			}
+			if callee := calleeObj(pass, n); callee != nil {
+				if _, isFunc := callee.(*types.Func); isFunc {
+					fn.events = append(fn.events, lockEvent{kind: lockCall, callee: callee, pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockorderCallID classifies call as a mutex acquisition or release and
+// derives the lock's structural identity. fnName scopes function-local
+// mutexes.
+func lockorderCallID(pass *Pass, call *ast.CallExpr, fnName string) (id string, kind int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock":
+		kind = lockAcq
+	case "Unlock", "RUnlock":
+		kind = lockRel
+	default:
+		return "", 0, false
+	}
+	// Only mutex methods: TryLock etc. excluded deliberately (a failed
+	// TryLock acquires nothing and the success path re-reports).
+	recv := pass.TypesInfo.Types[sel.X].Type
+	if recv == nil {
+		return "", 0, false
+	}
+	id = lockIdentity(pass, sel.X, recv, fnName)
+	if id == "" {
+		return "", 0, false
+	}
+	return id, kind, true
+}
+
+// lockIdentity names the lock behind expr: the declared home of the
+// mutex value, independent of which variable holds it right now.
+func lockIdentity(pass *Pass, expr ast.Expr, exprType types.Type, fnName string) string {
+	if t := deref(exprType); !isSyncMutex(t) {
+		// The Lock call resolved into sync but the receiver expression
+		// is a larger struct: an embedded sync.Mutex promoted method.
+		if named := namedOf(t); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".<embedded>"
+		}
+		return ""
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		// s.mu — a struct field: identify by declaring named type.
+		if selInfo, ok := pass.TypesInfo.Selections[e]; ok {
+			if field, isVar := selInfo.Obj().(*types.Var); isVar {
+				if named := namedOf(deref(selInfo.Recv())); named != nil && named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+				}
+			}
+		}
+		// pkg.muVar — a package-qualified variable.
+		if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil && obj.Pkg() != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if v, isVar := obj.(*types.Var); isVar {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name() // package-level var
+			}
+			return v.Pkg().Path() + "." + fnName + "." + v.Name() // function-local
+		}
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func namedOf(t types.Type) *types.Named {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}

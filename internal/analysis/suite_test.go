@@ -38,3 +38,24 @@ func TestHotpath(t *testing.T) {
 func TestNolintreason(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Nolintreason, "nolintfix")
 }
+
+func TestCtxleak(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Ctxleak,
+		"approxsort/internal/cluster",
+		// Out-of-scope package: facts flow out, diagnostics must not.
+		"httpwrap")
+}
+
+func TestLockorder(t *testing.T) {
+	// lockuser imports lockdep; the cycle closes through lockdep.Grab's
+	// exported acquire-set fact.
+	analysistest.Run(t, "testdata", analysis.Lockorder, "lockuser")
+}
+
+func TestVerdictcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Verdictcheck, "verdict")
+}
+
+func TestBodyclose(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Bodyclose, "bodyuser")
+}

@@ -1,0 +1,75 @@
+// Package cluster is a testdata stand-in at the real import path: an
+// in-scope service layer for the ctxleak analyzer, seeding one
+// violation per rule next to the sanctioned forms.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"httpwrap"
+)
+
+func fanOut(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // joined: WaitGroup Done
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { // joined: channel close signals completion
+		work(0)
+		close(done)
+	}()
+	<-done
+
+	go func() { // bound: observes the request context
+		<-ctx.Done()
+		work(1)
+	}()
+
+	go func() { // want `neither joined .* nor bound to a context`
+		work(2)
+	}()
+
+	go work(3) // want `takes no context.Context and is not visibly joined`
+	go tick(ctx)
+}
+
+func work(i int) {}
+
+func tick(ctx context.Context) { <-ctx.Done() }
+
+func fetch(ctx context.Context, c *http.Client, u string) error {
+	resp, err := http.Get(u) // want `http.Get carries no context`
+	if err == nil {
+		resp.Body.Close()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil) // want `http.NewRequest yields a context-less request`
+	if err != nil {
+		return err
+	}
+	_ = req
+
+	req2, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp2, err := c.Do(req2) // sanctioned: the request carries ctx
+	if err != nil {
+		return err
+	}
+	resp2.Body.Close()
+
+	return httpwrap.Fetch(context.Background(), u) // want `context.Background\(\) passed into Fetch`
+}
+
+func good(ctx context.Context, u string) error {
+	return httpwrap.Fetch(ctx, u)
+}

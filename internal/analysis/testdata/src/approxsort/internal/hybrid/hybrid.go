@@ -1,0 +1,10 @@
+// Package hybrid is a testdata stand-in at the real import path: its
+// Stats ledger's Check-prefixed reconciler is a by-name verdict source
+// for verdictcheck.
+package hybrid
+
+// Stats is the write-accounting ledger.
+type Stats struct{ Reads, Writes int }
+
+// Check reconciles the ledger.
+func (s Stats) Check() error { return nil }

@@ -1,0 +1,15 @@
+// Package bodyhelp is an out-of-package response closer: its exported
+// bodyclose fact marks Drain as a safe sink for importers' responses.
+package bodyhelp
+
+import (
+	"io"
+	"net/http"
+)
+
+// Drain consumes and closes a response.
+func Drain(resp *http.Response) error {
+	_, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return err
+}

@@ -1,0 +1,64 @@
+// Package bodyuser seeds response-leak violations next to every
+// sanctioned disposal: direct close, escape by return, hand-off to a
+// closer fact, and ownership transfer through an io.ReadCloser sink.
+package bodyuser
+
+import (
+	"io"
+	"net/http"
+
+	"bodyhelp"
+)
+
+func leaks(u string) error {
+	resp, err := http.Get(u) // want `response body of http\.Get is never closed`
+	if err != nil {
+		return err
+	}
+	_ = resp.Status
+	return nil
+}
+
+func closes(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func escapes(u string) (*http.Response, error) {
+	resp, err := http.Get(u)
+	return resp, err
+}
+
+func handsOff(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	return bodyhelp.Drain(resp)
+}
+
+// readAllOnly reads the body, but io.ReadAll's io.Reader parameter does
+// not take ownership: still a leak.
+func readAllOnly(u string) error {
+	resp, err := http.Get(u) // want `response body of http\.Get is never closed`
+	if err != nil {
+		return err
+	}
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+func ownership(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	return consume(resp.Body)
+}
+
+func consume(rc io.ReadCloser) error { return rc.Close() }

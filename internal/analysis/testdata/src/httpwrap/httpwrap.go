@@ -1,0 +1,35 @@
+// Package httpwrap is an out-of-scope helper: ctxleak computes DoesHTTP
+// facts here (they flow to in-scope importers) but must stay silent —
+// only the service layers are policed.
+package httpwrap
+
+import (
+	"context"
+	"net/http"
+)
+
+// Fetch performs an HTTP round-trip; its exported DoesHTTP fact lets an
+// in-scope caller's context.Background() misuse surface two packages
+// away.
+func Fetch(ctx context.Context, u string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Leaky would be two violations in scope (unjoined goroutine, context-
+// less sender); unflagged here, it proves the analyzer's path scoping.
+func Leaky(u string) {
+	go func() {
+		resp, err := http.Get(u)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+}

@@ -1,0 +1,18 @@
+// Package lockdep owns lock B: its acquire-set facts flow to importers,
+// so a caller holding another lock across lockdep.Grab picks up an
+// acquisition edge without lockorder ever seeing both bodies at once.
+package lockdep
+
+import "sync"
+
+// B guards the downstream table.
+type B struct{ Mu sync.Mutex }
+
+// GB is the process-wide instance.
+var GB B
+
+// Grab takes and releases the lock.
+func Grab() {
+	GB.Mu.Lock()
+	defer GB.Mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package lockuser seeds a cross-package lock-order cycle:
+// lockuser.mu -> lockdep.B.Mu through lockdep.Grab's exported fact,
+// lockdep.B.Mu -> lockuser.mu directly. Both closing edges are in this
+// package, so both acquisition sites report.
+package lockuser
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+var mu sync.Mutex
+
+func aThenB() {
+	mu.Lock()
+	defer mu.Unlock()
+	lockdep.Grab() // want `lock order cycle`
+}
+
+func bThenA() {
+	lockdep.GB.Mu.Lock()
+	mu.Lock() // want `lock order cycle`
+	mu.Unlock()
+	lockdep.GB.Mu.Unlock()
+}
+
+// onlyOne holds nothing across the call: release-before-call yields no
+// edge, so a one-directional pair stays silent.
+func onlyOne() {
+	mu.Lock()
+	mu.Unlock()
+	lockdep.Grab()
+}
+
+// local mutexes scope to the function: no cross-function identity, no
+// spurious edges against the package-level mu.
+func scratch() {
+	var local sync.Mutex
+	local.Lock()
+	defer local.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package verdict seeds discarded-verdict violations against the fake
+// verify package, a Stats ledger method, a cross-package wrapper and a
+// local wrapper, next to the sanctioned consuming forms.
+package verdict
+
+import (
+	"approxsort/internal/hybrid"
+	"approxsort/internal/verify"
+
+	"verdictwrap"
+)
+
+func discards(n int) {
+	verify.Check(n)        // want `result of verify\.Check carries a verify verdict`
+	_ = verify.Check(n)    // want `result of verify\.Check carries a verify verdict`
+	r := verify.Check(n)
+	_ = r.Err()            // want `result of \(Report\)\.Err carries a verify verdict`
+	hybrid.Stats{}.Check() // want `result of \(Stats\)\.Check carries a verify verdict`
+	verdictwrap.Audit(n)   // want `result of verdictwrap\.Audit carries a verify verdict`
+	audit(n)               // want `result of verdict\.audit carries a verify verdict`
+}
+
+func async(n int) {
+	go audit(n)                         // want `result of verdict\.audit carries a verify verdict`
+	defer verify.CheckRefineRun(n, nil) // want `result of verify\.CheckRefineRun carries a verify verdict`
+}
+
+func consumes(n int) error {
+	if err := verify.Check(n).Err(); err != nil {
+		return err
+	}
+	r := verify.CheckOutput(nil)
+	return r.Err()
+}
+
+// audit is a local wrapper: calling a source and returning error makes
+// it a source for its own callers through the fixpoint.
+func audit(n int) error { return verify.Check(n).Err() }

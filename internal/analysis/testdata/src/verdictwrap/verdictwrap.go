@@ -1,0 +1,9 @@
+// Package verdictwrap re-exports a verdict across a package boundary:
+// Audit's exported verdict fact lets an importer's discard surface two
+// packages away from the verify call.
+package verdictwrap
+
+import "approxsort/internal/verify"
+
+// Audit runs the checker and folds the verdict into an error.
+func Audit(n int) error { return verify.Check(n).Err() }

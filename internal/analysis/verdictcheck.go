@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Verdictcheck is errcheck narrowed to what this repository cannot
+// afford to drop: verification verdicts. A call whose result carries a
+// verify verdict — a *verify.Report, an error from the verify package,
+// or an error from a Check* accounting-ledger method like
+// hybrid.Stats.Check — silently discarded is a run whose paper
+// identities were audited and the answer thrown away; the golden gate
+// then certifies a number nobody actually checked.
+//
+// Sources are recognized three ways:
+//
+//   - by result type: any function returning *verify.Report;
+//   - by home: any function in internal/verify returning an error
+//     (Auditor.VerifyRun, StreamChecker.Finish, Report.Err, ...);
+//   - by name: any Check*-named function in this module returning an
+//     error (the Stats ledger reconcilers).
+//
+// Wrappers propagate: a function that calls a source and returns an
+// error or *verify.Report carries the verdict out, so it becomes a
+// source for its own callers via an exported fact — the discard is
+// caught two packages away from the verify call. Discarding means an
+// expression statement (including go/defer) or an assignment where
+// every left-hand side is blank. Test files are exempt: tests may
+// exercise failure paths without consuming every verdict.
+var Verdictcheck = &Analyzer{
+	Name:    "verdictcheck",
+	Doc:     "no call result carrying a verify verdict or Stats ledger may be discarded",
+	Run:     runVerdictcheck,
+	NewFact: func() Fact { return new(verdictFact) },
+}
+
+// verdictFact marks a function whose error or *verify.Report result
+// carries a verification verdict obtained from a source it called.
+type verdictFact struct {
+	ReturnsVerdict bool
+}
+
+func (*verdictFact) AFact() {}
+
+const (
+	verdictVerifyPkg = "approxsort/internal/verify"
+	verdictModule    = "approxsort/"
+)
+
+func runVerdictcheck(pass *Pass) error {
+	// The verify package itself plumbs reports internally and is
+	// audited by its own tests; checking it against itself only yields
+	// noise.
+	if pass.PkgPath == verdictVerifyPkg {
+		return nil
+	}
+
+	isSource := func(obj types.Object) bool {
+		return verdictSource(pass, obj)
+	}
+
+	// Compute wrapper facts to a fixpoint: a function returning error
+	// or *verify.Report whose body calls a source is itself a source.
+	type fnInfo struct {
+		obj     types.Object
+		body    *ast.BlockStmt
+		carries bool
+		callees []types.Object
+	}
+	var fns []*fnInfo
+	byObj := make(map[types.Object]*fnInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil || !verdictResultShape(obj) {
+				continue
+			}
+			info := &fnInfo{obj: obj, body: fd.Body}
+			fns = append(fns, info)
+			byObj[obj] = info
+		}
+	}
+	for _, info := range fns {
+		ast.Inspect(info.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObj(pass, call)
+			if callee == nil {
+				return true
+			}
+			if isSource(callee) {
+				info.carries = true
+			} else {
+				info.callees = append(info.callees, callee)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range fns {
+			if info.carries {
+				continue
+			}
+			for _, callee := range info.callees {
+				if c, ok := byObj[callee]; ok && c.carries {
+					info.carries = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	local := make(map[types.Object]bool)
+	for _, info := range fns {
+		if info.carries {
+			local[info.obj] = true
+			pass.ExportObjectFact(info.obj, &verdictFact{ReturnsVerdict: true})
+		}
+	}
+
+	sourceOrWrapper := func(obj types.Object) bool {
+		return isSource(obj) || local[obj]
+	}
+
+	// Flag the discards.
+	report := func(call *ast.CallExpr) {
+		callee := calleeObj(pass, call)
+		if callee == nil || pass.InTestFile(call.Pos()) {
+			return
+		}
+		if !sourceOrWrapper(callee) {
+			return
+		}
+		pass.Reportf(call.Pos(), "result of %s carries a verify verdict; check it instead of discarding it", verdictCallName(callee))
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call)
+				}
+			case *ast.GoStmt:
+				report(n.Call)
+			case *ast.DeferStmt:
+				report(n.Call)
+			case *ast.AssignStmt:
+				allBlank := true
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+						break
+					}
+				}
+				if !allBlank {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						report(call)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// verdictSource classifies obj as a primary verdict source (see the
+// analyzer doc) or a fact-carrying wrapper from an already-analyzed
+// package.
+func verdictSource(pass *Pass, obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	if verdictReturnsReport(fn) {
+		return true
+	}
+	returnsError := verdictReturnsError(fn)
+	if returnsError && obj.Pkg().Path() == verdictVerifyPkg {
+		return true
+	}
+	if returnsError && strings.HasPrefix(obj.Name(), "Check") && strings.HasPrefix(obj.Pkg().Path(), verdictModule) {
+		return true
+	}
+	if f, ok := pass.ImportObjectFact(obj); ok {
+		if vf, ok := f.(*verdictFact); ok && vf.ReturnsVerdict {
+			return true
+		}
+	}
+	return false
+}
+
+// verdictResultShape reports whether obj returns an error or a
+// *verify.Report — the only shapes that can carry a verdict out.
+func verdictResultShape(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return verdictReturnsError(fn) || verdictReturnsReport(fn)
+}
+
+func verdictReturnsError(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok {
+			if named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func verdictReturnsReport(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Report" && obj.Pkg() != nil && obj.Pkg().Path() == verdictVerifyPkg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// verdictCallName renders obj for diagnostics: "verify.Check",
+// "(Stats).Check". Callees are not always *types.Func — a builtin or a
+// func-typed var reaches here when bodyclose labels an arbitrary call.
+func verdictCallName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Name()
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return "(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

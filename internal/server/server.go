@@ -66,6 +66,13 @@ type Config struct {
 	// TenantMaxInflight caps concurrent sharded sorts per tenant
 	// (default 2); past it the endpoint rejects with 429 + Retry-After.
 	TenantMaxInflight int
+	// ShardSortTimeout bounds one sharded sort's whole fan-out — shard
+	// submission, polling, output merge and table relay — with a
+	// deadline-bearing context (default 10m). Without it a hung shard
+	// node would pin the job, its tenant slot and a worker forever;
+	// graceful drain still lets in-flight fan-outs run to completion,
+	// they just cannot outlive this budget.
+	ShardSortTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TenantMaxInflight <= 0 {
 		c.TenantMaxInflight = 2
+	}
+	if c.ShardSortTimeout <= 0 {
+		c.ShardSortTimeout = 10 * time.Minute
 	}
 	return c
 }

@@ -295,7 +295,12 @@ func (s *Server) executeSharded(job *Job) (*JobResult, error) {
 		return nil, err
 	}
 	qw := &quotaWriter{w: out, max: req.MaxDiskBytes}
-	stats, err := co.Sort(context.Background(), src, qw)
+	// The fan-out runs under a deadline, not under the request context:
+	// graceful drain promises accepted jobs completion, but a hung shard
+	// node must not pin the job, its tenant slot and a worker forever.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShardSortTimeout)
+	defer cancel()
+	stats, err := co.Sort(ctx, src, qw)
 	if err != nil {
 		out.Close()
 		return nil, err

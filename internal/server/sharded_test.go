@@ -353,6 +353,45 @@ func TestSortShardedShardDownFailsJob(t *testing.T) {
 	}
 }
 
+// TestSortShardedTimeoutFailsJob pins the ShardSortTimeout contract: a
+// shard node that accepts the connection and then hangs must fail the
+// job within the configured fan-out deadline instead of pinning the
+// worker and its tenant slot forever. Before the deadline existed, the
+// fan-out ran on context.Background() and this test hung.
+func TestSortShardedTimeoutFailsJob(t *testing.T) {
+	release := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The submit POST's body is never read here, which suppresses
+		// net/http's client-disconnect detection — r.Context() alone
+		// would pin the conn past hang.Close(). The release channel
+		// lets the handler return once the assertion is done.
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer hang.Close()
+	defer close(release)
+	_, ts := streamServer(t, Config{
+		Workers: 1, QueueDepth: 2,
+		ShardNodes:       []string{hang.URL},
+		ShardSortTimeout: 200 * time.Millisecond,
+	})
+
+	start := time.Now()
+	resp := postOctet(t, ts.URL+"/v1/sort/sharded?wait=1&t=0.07", encodeKeys(dataset.Uniform(1000, 1)))
+	job := decodeJob(t, resp)
+	if job.Status != StatusFailed {
+		t.Fatalf("job status = %q, want failed", job.Status)
+	}
+	if job.Error == "" {
+		t.Error("timed-out job carries no error")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("fan-out abandoned after %v, want the 200ms deadline to cut it", elapsed)
+	}
+}
+
 func TestTablesQueryParams(t *testing.T) {
 	_, ts := streamServer(t, Config{Workers: 1, QueueDepth: 2})
 

@@ -9,11 +9,26 @@
 #                          CI always installs it)
 #   3. memlint           — the repo's own analyzer suite (cmd/memlint):
 #                          detrand, memescape, floatord, verifygate,
-#                          hotpath, nolintreason. See DESIGN.md §11.
+#                          hotpath, nolintreason, ctxleak, lockorder,
+#                          verdictcheck, bodyclose. See DESIGN.md §11
+#                          and §16 (facts engine).
 #
-# Usage: scripts/lint.sh
+# Usage: scripts/lint.sh [--json FILE | --sarif FILE]
+#   --json FILE   also write memlint findings as JSON to FILE
+#   --sarif FILE  also write memlint findings as SARIF 2.1.0 to FILE
+#                 (CI uploads this for code-scanning annotations)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MEMLINT_FLAG=""
+MEMLINT_FILE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --json)  MEMLINT_FLAG=-json  MEMLINT_FILE="$2"; shift 2 ;;
+    --sarif) MEMLINT_FLAG=-sarif MEMLINT_FILE="$2"; shift 2 ;;
+    *) echo "lint.sh: unknown argument $1" >&2; exit 64 ;;
+  esac
+done
 
 echo "== go vet"
 go vet ./...
@@ -26,6 +41,13 @@ else
 fi
 
 echo "== memlint"
-go run ./cmd/memlint ./...
+if [ -n "$MEMLINT_FLAG" ]; then
+  # The machine-readable stream goes to the file. On findings memlint
+  # exits 2 after the artifact is fully written, so CI can upload the
+  # SARIF with `if: always()` and still fail the job.
+  go run ./cmd/memlint "$MEMLINT_FLAG" ./... > "$MEMLINT_FILE"
+else
+  go run ./cmd/memlint ./...
+fi
 
 echo "lint: OK"

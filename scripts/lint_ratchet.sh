@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Ratchet gate for memlint: compare the current per-analyzer finding
+# counts against the committed baseline (scripts/lint_baseline.json) and
+# fail only on regressions. The baseline is all-zero today; it exists so
+# a future justified exemption can land explicitly reviewed instead of
+# silently growing.
+#
+# When counts fall below the baseline, memlint suggests tightening:
+#
+#   go run ./cmd/memlint -baseline scripts/lint_baseline.json -update-baseline ./...
+#
+# Usage: scripts/lint_ratchet.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/memlint -baseline scripts/lint_baseline.json ./...
