@@ -50,8 +50,8 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	n := fs.Int("n", 1000000, "number of records")
 	t := fs.Float64("T", 0.055, "approximate-memory target half-width (0.025=precise .. 0.125=no guard band)")
-	algName := fs.String("alg", "msd", "quicksort|mergesort|lsd|msd|histlsd|histmsd")
-	bits := fs.Int("bits", 6, "radix digit width")
+	algName := fs.String("alg", "msd", "quicksort|mergesort|lsd|msd|onesweep-lsd|histlsd|histmsd")
+	bits := fs.Int("bits", 0, "radix digit width (0 = the algorithm's default: 6 for lsd/msd, 8 for onesweep-lsd)")
 	dist := fs.String("dist", "uniform", "key distribution: uniform|sorted|reverse|zipf|fewdistinct")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	exactLIS := fs.Bool("exactlis", false, "use the exact-LIS refine variant (ablation)")
@@ -70,22 +70,24 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-n must be positive, got %d", *n)
 	}
 
+	// The registry owns the algorithm roster; only the histogram
+	// variants — deliberately unregistered ablation tools — are resolved
+	// here by hand.
+	histBits := *bits
+	if histBits == 0 {
+		histBits = 6
+	}
 	var alg sorts.Algorithm
 	switch *algName {
-	case "quicksort":
-		alg = sorts.Quicksort{}
-	case "mergesort":
-		alg = sorts.Mergesort{}
-	case "lsd":
-		alg = sorts.LSD{Bits: *bits}
-	case "msd":
-		alg = sorts.MSD{Bits: *bits}
 	case "histlsd":
-		alg = histsort.HistLSD{Bits: *bits}
+		alg = histsort.HistLSD{Bits: histBits}
 	case "histmsd":
-		alg = histsort.HistMSD{Bits: *bits}
+		alg = histsort.HistMSD{Bits: histBits}
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algName)
+		var err error
+		if alg, err = sorts.New(*algName, *bits); err != nil {
+			return err
+		}
 	}
 
 	if *external {

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"approxsort/internal/experiments"
+	"approxsort/internal/memmodel"
 	"approxsort/internal/mlc"
 	"approxsort/internal/server"
 	"approxsort/internal/sorts"
@@ -71,6 +72,12 @@ func collect(seed uint64, workers int) ([]verify.Metric, error) {
 		return nil, err
 	}
 	if err := add(collectSpinFigs(seed, workers)); err != nil {
+		return nil, err
+	}
+	if err := add(collectOneSweep(seed, workers)); err != nil {
+		return nil, err
+	}
+	if err := add(collectMemristive(seed, workers)); err != nil {
 		return nil, err
 	}
 	if err := add(collectSortd(seed)); err != nil {
@@ -214,6 +221,57 @@ func collectSpinFigs(seed uint64, workers int) ([]verify.Metric, error) {
 	return ms, nil
 }
 
+// collectOneSweep gates the write-combining radix on the Figure 9 grid —
+// new golden rows beside (never replacing) the pre-registry fig9 set.
+// Every row passed verify.CheckAlgorithmWrites, so a golden match also
+// certifies the 2-writes-per-element-per-pass structural identity.
+func collectOneSweep(seed uint64, workers int) ([]verify.Metric, error) {
+	var ms []verify.Metric
+	rows, err := experiments.Fig9([]sorts.Algorithm{sorts.OneSweepLSD{Bits: 8}}, []float64{0.03, 0.055}, figN, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		ms = append(ms, refineMetrics(fmt.Sprintf("fig9/%s/T=%g", row.Algorithm, row.T), row)...)
+	}
+	return ms, nil
+}
+
+// collectMemristive gates the memristive backend: approx-refine and
+// sort-only rows at the two harsher presets, exercising the backend's
+// retain-old-value corruption, fixed write latency and half-latency
+// reads under the full identity checker.
+func collectMemristive(seed uint64, workers int) ([]verify.Metric, error) {
+	algs := []sorts.Algorithm{sorts.MSD{Bits: 6}, sorts.OneSweepLSD{Bits: 8}}
+	pts := memmodel.MemristivePresets()[1:] // scale 0.7/fail 1e-5 and scale 0.5/fail 1e-4
+	var ms []verify.Metric
+	rows, err := experiments.RefineGrid(algs, pts, figN, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	pointLabel := func(pt memmodel.Point) string {
+		scale, _ := pt.Param("current_scale")
+		fail, _ := pt.Param("switch_fail_prob")
+		return fmt.Sprintf("scale=%g,fail=%g", scale, fail)
+	}
+	for _, row := range rows {
+		ms = append(ms, refineMetrics(fmt.Sprintf("memristive/refine/%s/%s", row.Algorithm, pointLabel(row.Point)), row)...)
+	}
+	sortRows, err := experiments.SortOnlyGrid([]sorts.Algorithm{sorts.MSD{Bits: 6}}, pts, figN, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range sortRows {
+		p := fmt.Sprintf("memristive/sortonly/%s/%s", row.Algorithm, pointLabel(row.Point))
+		ms = append(ms,
+			verify.Rel(p+"/error_rate", row.ErrorRate, relEps),
+			verify.Rel(p+"/rem_ratio", row.RemRatio, relEps),
+			verify.Rel(p+"/write_reduction", row.WriteReduction, relEps),
+		)
+	}
+	return ms, nil
+}
+
 // sortdJobs is the pinned service-level grid: one job per execution mode
 // plus an auto-routed generated dataset, all served through the real HTTP
 // stack so admission, planner routing, execution, verification and the
@@ -232,6 +290,15 @@ func sortdJobs(seed uint64) []struct{ name, body string } {
 		{"precise-sorted", fmt.Sprintf(
 			`{"dataset":{"kind":"sorted","n":%d},"algorithm":"mergesort","mode":"precise","seed":%d}`,
 			sortdN, seed)},
+		{"hybrid-onesweep", fmt.Sprintf(
+			`{"dataset":{"kind":"zipf","n":%d,"seed":%d,"k":512,"s":1.2},"algorithm":"onesweep-lsd","mode":"hybrid","t":0.1,"seed":%d}`,
+			sortdN, seed, seed)},
+		{"memristive-hybrid-msd", fmt.Sprintf(
+			`{"dataset":{"kind":"uniform","n":%d,"seed":%d},"algorithm":"msd","mode":"hybrid","backend":"memristive","seed":%d}`,
+			sortdN, seed, seed)},
+		{"memristive-auto", fmt.Sprintf(
+			`{"dataset":{"kind":"uniform","n":%d,"seed":%d},"algorithm":"msd","mode":"auto","backend":"memristive","seed":%d}`,
+			sortdN, seed, seed)},
 	}
 }
 

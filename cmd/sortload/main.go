@@ -132,8 +132,8 @@ func run(args []string, stdout io.Writer) error {
 	jobs := fs.Int("jobs", 32, "jobs per concurrency level")
 	n := fs.Int("n", 100000, "keys per job (generated server-side)")
 	dist := fs.String("dist", "uniform", "dataset kind: uniform|sorted|reverse|nearlysorted|fewdistinct|zipf")
-	alg := fs.String("alg", "auto", "algorithm: auto|quicksort|mergesort|lsd|msd")
-	bits := fs.Int("bits", 6, "radix digit width")
+	alg := fs.String("alg", "auto", "algorithm: auto (registry-selected) or a registered name — see GET /v1/algorithms (quicksort|mergesort|lsd|msd|onesweep-lsd)")
+	bits := fs.Int("bits", 0, "radix digit width (0 = the algorithm's registered default)")
 	mode := fs.String("mode", "auto", "execution mode: auto|hybrid|precise")
 	backend := fs.String("backend", "", "memory backend (see GET /v1/backends; empty = server default pcm-mlc)")
 	tFlag := fs.Float64("t", 0.055, "target half-width T (pcm-mlc only; ignored for other backends)")

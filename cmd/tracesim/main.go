@@ -41,7 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	record := fs.String("record", "", "capture a sorting trace to this file")
 	replay := fs.String("replay", "", "replay a trace file through the memory system")
 	n := fs.Int("n", 100000, "number of records for -record")
-	algName := fs.String("alg", "quicksort", "algorithm for -record: quicksort|mergesort|lsd|msd")
+	algName := fs.String("alg", "quicksort", "algorithm for -record: quicksort|mergesort|lsd|msd|onesweep-lsd")
 	writeNanos := fs.Float64("writens", mlc.PreciseWriteNanos, "device write latency for -replay (ns)")
 	seqFactor := fs.Float64("seq", 0, "row-buffer discount for sequential writes in -replay (0=off)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
@@ -63,18 +63,10 @@ func doRecord(stdout io.Writer, path string, n int, algName string, seed uint64)
 	if n <= 0 {
 		return fmt.Errorf("-n must be positive, got %d", n)
 	}
-	var alg sorts.Algorithm
-	switch algName {
-	case "quicksort":
-		alg = sorts.Quicksort{}
-	case "mergesort":
-		alg = sorts.Mergesort{}
-	case "lsd":
-		alg = sorts.LSD{Bits: 6}
-	case "msd":
-		alg = sorts.MSD{Bits: 6}
-	default:
-		return fmt.Errorf("unknown algorithm %q", algName)
+	// 0 bits = each radix algorithm's registered default width.
+	alg, err := sorts.New(algName, 0)
+	if err != nil {
+		return err
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -80,3 +80,37 @@ func unauditedAt(pt point, n int) SpinRow { // want `unauditedAt returns SpinRow
 	_ = pt
 	return SpinRow{V: n}
 }
+
+// algorithm stands in for a registry entry (sorts.Algorithm): the
+// registry-era entry points take the dispatched algorithm itself.
+
+type algorithm struct{ name string }
+
+// profiled audits through the registry write-budget identity: the
+// declared-profile check is a verify.Check* call like any other, so a
+// leaf that only charges writes against its profile still satisfies the
+// gate.
+func profiled(alg algorithm, n int) SortRow {
+	verify.CheckAlgorithmWrites(alg, n)
+	return SortRow{V: n}
+}
+
+// rosterSweep fans one row out per registered algorithm: verified
+// transitively through profiled (the fixpoint must learn the
+// registry-dispatched leaves too).
+func rosterSweep(roster []algorithm, n int) []SortRow {
+	rows := make([]SortRow, 0, len(roster))
+	for _, alg := range roster {
+		rows = append(rows, profiled(alg, n))
+	}
+	return rows
+}
+
+func unprofiledSweep(roster []algorithm, n int) []SpinRow { // want `unprofiledSweep returns SpinRow`
+	rows := make([]SpinRow, 0, len(roster))
+	for _, alg := range roster {
+		_ = alg
+		rows = append(rows, SpinRow{V: n})
+	}
+	return rows
+}

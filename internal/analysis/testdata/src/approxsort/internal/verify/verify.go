@@ -21,6 +21,10 @@ func CheckRefineRun(n int, id any) *Report { return &Report{N: n} }
 // CheckOutput audits a raw output sequence.
 func CheckOutput(xs []uint32) *Report { return &Report{N: len(xs)} }
 
+// CheckAlgorithmWrites audits a run against the algorithm's declared
+// registry write profile — the registry-era write-budget identity.
+func CheckAlgorithmWrites(alg any, n int) *Report { return &Report{N: n} }
+
 // Snapshot peeks freely: verify is the sanctioned uncharged reader, so
 // none of these uses may be flagged.
 func Snapshot(w *mem.Words) []uint32 {

@@ -11,45 +11,28 @@ import (
 // algorithm issues to sort n elements (Section 4.3).
 type AlphaFunc func(n int) float64
 
-// AlphaQuicksort returns αquicksort(n) ≈ n·log2(n)/2.
-func AlphaQuicksort(n int) float64 {
-	if n < 2 {
-		return 0
-	}
-	return float64(n) * math.Log2(float64(n)) / 2
-}
+// AlphaQuicksort returns αquicksort(n) ≈ n·log2(n)/2. The formulas live
+// with the algorithms' declared profiles in internal/sorts; these
+// re-exports keep the cost-model vocabulary in one place for callers.
+func AlphaQuicksort(n int) float64 { return sorts.AlphaQuicksort(n) }
 
 // AlphaMergesort returns αmergesort(n) ≈ n·log2(n).
-func AlphaMergesort(n int) float64 {
-	if n < 2 {
-		return 0
-	}
-	return float64(n) * math.Log2(float64(n))
-}
+func AlphaMergesort(n int) float64 { return sorts.AlphaMergesort(n) }
 
 // AlphaRadix returns αLSD/MSD(n) for queue-bucket radix with b-bit digits:
-// two key writes per element per pass, ceil(32/b) passes. (MSD on uniform
-// keys recurses nearly to full depth, so the same count is the paper's
-// working approximation: αradix(n)/n is a constant.)
-func AlphaRadix(bits int) AlphaFunc {
-	passes := (32 + bits - 1) / bits
-	return func(n int) float64 { return float64(2 * passes * n) }
-}
+// two key writes per element per pass, ceil(32/b) passes.
+func AlphaRadix(bits int) AlphaFunc { return sorts.AlphaRadix(bits) }
 
-// AlphaFor returns the analytic α for one of the standard algorithms.
+// AlphaFor returns the analytic α an algorithm declares in its registry
+// profile (sorts.Profiled). Algorithms without a profile — or whose
+// profile declares no analytic write model — cannot be routed by the
+// planner and return an error.
 func AlphaFor(alg sorts.Algorithm) (AlphaFunc, error) {
-	switch a := alg.(type) {
-	case sorts.Quicksort:
-		return AlphaQuicksort, nil
-	case sorts.Mergesort:
-		return AlphaMergesort, nil
-	case sorts.LSD:
-		return AlphaRadix(a.Bits), nil
-	case sorts.MSD:
-		return AlphaRadix(a.Bits), nil
-	default:
+	prof, ok := sorts.ProfileOf(alg)
+	if !ok || prof.Alpha == nil {
 		return nil, fmt.Errorf("core: no analytic α for algorithm %q", alg.Name())
 	}
+	return prof.Alpha, nil
 }
 
 // CostModel is the Section 4.3 analysis of approx-refine. It predicts the

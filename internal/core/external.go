@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"approxsort/internal/sorts"
 )
 
 // This file extends the Equation 4 planner to out-of-core inputs with the
@@ -89,6 +91,13 @@ type ExternalPlan struct {
 	// RefineAtMerge is set when runs should spill as LIS~/REM part pairs
 	// (core.RunParts) and pay refine step 3 inside the external merge.
 	RefineAtMerge bool
+	// ExtraPass is set when refine-at-merge pays merge work beyond the
+	// plain one-cursor-per-run geometry: either a single parts run still
+	// needs one folding pass (MergePasses bumped from 0 to 1), or the part
+	// pairs exceed the fan-in and the fragment-collapse term is charged
+	// (CollapseWrites > 0). False means the LIS~/REM folds ride inside
+	// merge passes the geometry pays anyway.
+	ExtraPass bool
 
 	// RunSize is the chosen per-run memory allotment in records (≤ M).
 	RunSize int
@@ -253,10 +262,12 @@ func (pl Planner) PlanExternal(sample []uint32, ext ExtConfig) (Plan, error) {
 		}
 		for _, v := range variants {
 			runs, fanIn, passes := extGeometry(ext.N, runLength, 1, ext)
+			extraPass := false
 			if v.refineAtMerge && passes == 0 {
 				// A single parts run still needs one pass to fold its
 				// LIS~/REM pair.
 				passes = 1
+				extraPass = true
 			}
 			formation := formationPerRecord(runLength, v) * float64(ext.N)
 			merge := float64(passes) * float64(ext.N)
@@ -267,6 +278,7 @@ func (pl Planner) PlanExternal(sample []uint32, ext ExtConfig) (Plan, error) {
 				// instead of paying a full extra pass; the predicted
 				// collapse cost is the REM volume.
 				collapse = float64(remAt(runLength)) / float64(runLength) * float64(ext.N)
+				extraPass = true
 			}
 			total := formation + merge + collapse
 			if !v.hybrid && total < bestPrecise {
@@ -282,6 +294,7 @@ func (pl Planner) PlanExternal(sample []uint32, ext ExtConfig) (Plan, error) {
 					Replacement:     ext.Replacement,
 					UseHybrid:       v.hybrid,
 					RefineAtMerge:   v.refineAtMerge,
+					ExtraPass:       extraPass,
 					RunSize:         rs,
 					RunLength:       runLength,
 					Runs:            runs,
@@ -314,4 +327,31 @@ func (pl Planner) PlanExternal(sample []uint32, ext ExtConfig) (Plan, error) {
 		PilotSize:     m,
 		External:      &best,
 	}, nil
+}
+
+// PlanExternalAuto runs the external planner for every candidate algorithm
+// and returns the plan with the lowest predicted External.TotalWrites —
+// each candidate already chose its own best run size and formation
+// variant, so the contest compares whole geometries, not just α. Ties
+// break to the earlier candidate (sorted-name rosters are deterministic).
+func (pl Planner) PlanExternalAuto(sample []uint32, ext ExtConfig, candidates []sorts.Candidate) (Plan, error) {
+	if len(candidates) == 0 {
+		return Plan{}, errors.New("core: PlanExternalAuto needs at least one candidate algorithm")
+	}
+	var best Plan
+	bestCost := math.Inf(1)
+	for _, c := range candidates {
+		cpl := pl
+		cpl.Config.Algorithm = c.Alg
+		plan, err := cpl.PlanExternal(sample, ext)
+		if err != nil {
+			return Plan{}, fmt.Errorf("core: auto candidate %q: %w", c.Name, err)
+		}
+		if plan.External.TotalWrites < bestCost {
+			bestCost = plan.External.TotalWrites
+			plan.Algorithm = c.Name
+			best = plan
+		}
+	}
+	return best, nil
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/sorts"
+)
+
+// TestPlanExternalExtraPassSingleRun pins the single-run case: a
+// refine-at-merge plan whose data fits one run has no merge tree to ride
+// in, so the LIS~/REM fold costs a whole pass — MergePasses is bumped
+// 0 → 1 and the plan declares the extra pass explicitly.
+func TestPlanExternalExtraPassSingleRun(t *testing.T) {
+	plan := extPlan(t, sorts.MSD{Bits: 6}, 0.055, ExtConfig{
+		N: 10_000, MemBudget: 1 << 17, Replacement: true, AllowRefineAtMerge: true,
+	})
+	e := plan.External
+	if !e.RefineAtMerge {
+		t.Fatalf("refine-at-merge not selected for a single hybrid run: %+v", e)
+	}
+	if e.Runs != 1 || e.MergePasses != 1 {
+		t.Fatalf("single parts run needs exactly one folding pass: %+v", e)
+	}
+	if !e.ExtraPass {
+		t.Error("ExtraPass not set for the 0→1 pass bump")
+	}
+}
+
+// TestPlanExternalExtraPassFragmentCollapse pins the many-runs case: once
+// LIS~/REM part pairs exceed the fan-in, the fragment-collapse term is
+// charged and surfaced as an extra pass.
+func TestPlanExternalExtraPassFragmentCollapse(t *testing.T) {
+	plan := extPlan(t, sorts.MSD{Bits: 6}, 0.055, ExtConfig{
+		N: 50_000_000, MemBudget: 1 << 18, Replacement: true, AllowRefineAtMerge: true,
+	})
+	e := plan.External
+	if !e.RefineAtMerge {
+		t.Skipf("refine-at-merge not selected at this point: %+v", e)
+	}
+	if 2*e.Runs <= int64(e.FanIn) {
+		t.Fatalf("test point too small to overflow the fan-in: %+v", e)
+	}
+	if !e.ExtraPass || e.CollapseWrites <= 0 {
+		t.Errorf("fragment collapse not surfaced: ExtraPass=%v CollapseWrites=%g",
+			e.ExtraPass, e.CollapseWrites)
+	}
+}
+
+// TestPlanExternalExtraPassAbsent pins the negative: without
+// refine-at-merge there is no deferred fold, so no extra pass, and the
+// field serializes into plan JSON either way (sortd job payloads carry
+// ExternalPlan verbatim).
+func TestPlanExternalExtraPassAbsent(t *testing.T) {
+	plan := extPlan(t, sorts.MSD{Bits: 6}, 0.055, ExtConfig{
+		N: 10_000_000, MemBudget: 1 << 17, Replacement: true, AllowRefineAtMerge: false,
+	})
+	if plan.External.ExtraPass {
+		t.Errorf("ExtraPass set without refine-at-merge: %+v", plan.External)
+	}
+	raw, err := json.Marshal(plan.External)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"ExtraPass":false`) {
+		t.Errorf("plan JSON does not carry the ExtraPass verdict: %s", raw)
+	}
+}
+
+// TestPlanExternalAutoPicksCheapestGeometry pins PlanExternalAuto against
+// a hand-rolled argmin over the same candidates: the winner is the
+// lowest predicted TotalWrites (whole geometries, not just α), labelled
+// with its registry name.
+func TestPlanExternalAutoPicksCheapestGeometry(t *testing.T) {
+	sample := dataset.Uniform(8192, 13)
+	ext := ExtConfig{N: 20_000_000, MemBudget: 1 << 17, Replacement: true, AllowRefineAtMerge: true}
+	pl := Planner{Config: Config{T: 0.055, Seed: 99}}
+	cands := sorts.AutoCandidates()
+
+	plan, err := pl.PlanExternalAuto(sample, ext, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm == "" || plan.External == nil {
+		t.Fatalf("auto plan incomplete: %+v", plan)
+	}
+	wantName, wantCost := "", 0.0
+	for _, c := range cands {
+		cpl := pl
+		cpl.Config.Algorithm = c.Alg
+		p, err := cpl.PlanExternal(sample, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantName == "" || p.External.TotalWrites < wantCost {
+			wantName, wantCost = c.Name, p.External.TotalWrites
+		}
+	}
+	if plan.Algorithm != wantName || plan.External.TotalWrites != wantCost {
+		t.Errorf("auto picked %q at %g, want %q at %g",
+			plan.Algorithm, plan.External.TotalWrites, wantName, wantCost)
+	}
+}
+
+// TestPlanShardedAutoPicksShortestCriticalPath is the sharded analogue:
+// lowest predicted critical path wins and carries its registry name.
+func TestPlanShardedAutoPicksShortestCriticalPath(t *testing.T) {
+	sample := dataset.Uniform(8192, 13)
+	cfg := ShardConfig{
+		Ext:       ExtConfig{N: 100_000_000, MemBudget: 1 << 17, Replacement: true, AllowRefineAtMerge: true},
+		MaxShards: 4,
+	}
+	pl := Planner{Config: Config{T: 0.055, Seed: 99}}
+	cands := sorts.AutoCandidates()
+
+	plan, err := pl.PlanShardedAuto(sample, cfg, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm == "" || plan.Sharded == nil {
+		t.Fatalf("auto plan incomplete: %+v", plan)
+	}
+	for _, c := range cands {
+		cpl := pl
+		cpl.Config.Algorithm = c.Alg
+		p, err := cpl.PlanSharded(sample, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Sharded.CriticalPath < plan.Sharded.CriticalPath {
+			t.Errorf("candidate %q has shorter critical path %g than winner %q's %g",
+				c.Name, p.Sharded.CriticalPath, plan.Algorithm, plan.Sharded.CriticalPath)
+		}
+	}
+}
+
+// TestPlanAutoVariantsRejectEmptyRoster pins the error contract shared
+// by the three auto planners.
+func TestPlanAutoVariantsRejectEmptyRoster(t *testing.T) {
+	pl := Planner{Config: Config{T: 0.055, Seed: 1}}
+	if _, err := pl.PlanExternalAuto(nil, ExtConfig{N: 100, MemBudget: 1 << 16}, nil); err == nil {
+		t.Error("PlanExternalAuto accepted an empty roster")
+	}
+	if _, err := pl.PlanShardedAuto(nil, ShardConfig{Ext: ExtConfig{N: 100, MemBudget: 1 << 16}, MaxShards: 2}, nil); err == nil {
+		t.Error("PlanShardedAuto accepted an empty roster")
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"approxsort/internal/mlc"
+	"approxsort/internal/sorts"
 )
 
 // Planner implements the switch decision sketched at the end of
@@ -30,6 +32,11 @@ type Planner struct {
 
 // Plan is the planner's verdict for a concrete input.
 type Plan struct {
+	// Algorithm is the registry name of the algorithm the plan evaluates.
+	// Set only by the auto planners (PlanAuto and friends), which choose
+	// it; single-algorithm plans leave it empty because the caller already
+	// fixed the algorithm.
+	Algorithm string `json:",omitempty"`
 	// UseHybrid is true when approx-refine is predicted to beat the
 	// precise-only sort.
 	UseHybrid bool
@@ -119,6 +126,49 @@ func (pl Planner) Plan(keys []uint32) (Plan, error) {
 		PredictedRem:  predictedRem,
 		PilotSize:     m,
 	}, nil
+}
+
+// PlanAuto runs the Plan pilot for every candidate algorithm and returns
+// the plan of the one with the lowest predicted write cost on this
+// backend: min(HybridWrites, BaselineWrites) at the measured p and the
+// extrapolated remainder (the two arms of the Section 4.3 switch; Eq. 4's
+// WR is exactly 1 − Hybrid/Baseline, so the chosen plan's UseHybrid mode
+// already names the cheaper arm). Backend-awareness needs no extra
+// plumbing: fixed-latency backends measure p = 1, which zeroes the hybrid
+// advantage and reduces the contest to the smallest baseline 2·α(n), while
+// write-asymmetric backends weight each candidate's α by its measured
+// latency ratio. Ties break to the earlier candidate, so a sorted-name
+// roster (sorts.AutoCandidates) makes the choice deterministic.
+func (pl Planner) PlanAuto(keys []uint32, candidates []sorts.Candidate) (Plan, error) {
+	if len(candidates) == 0 {
+		return Plan{}, errors.New("core: PlanAuto needs at least one candidate algorithm")
+	}
+	n := len(keys)
+	var best Plan
+	bestCost := math.Inf(1)
+	for _, c := range candidates {
+		cpl := pl
+		cpl.Config.Algorithm = c.Alg
+		plan, err := cpl.Plan(keys)
+		if err != nil {
+			return Plan{}, fmt.Errorf("core: auto candidate %q: %w", c.Name, err)
+		}
+		alpha, err := AlphaFor(c.Alg)
+		if err != nil {
+			return Plan{}, fmt.Errorf("core: auto candidate %q: %w", c.Name, err)
+		}
+		model := CostModel{P: plan.P, Alpha: alpha}
+		cost := model.BaselineWrites(n)
+		if plan.UseHybrid {
+			cost = model.HybridWrites(n, plan.PredictedRem)
+		}
+		if cost < bestCost {
+			bestCost = cost
+			plan.Algorithm = c.Name
+			best = plan
+		}
+	}
+	return best, nil
 }
 
 // pilotSample draws an m-element even-spread sample: element i comes from

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"approxsort/internal/sorts"
 )
 
 // This file extends the (M, B, ω) external planner across machines: a
@@ -161,4 +163,30 @@ func (pl Planner) PlanSharded(sample []uint32, cfg ShardConfig) (Plan, error) {
 	}
 	bestPlan.Sharded = &best
 	return bestPlan, nil
+}
+
+// PlanShardedAuto runs the multi-node planner for every candidate
+// algorithm and returns the plan with the lowest predicted critical path —
+// each candidate chose its own shard count and per-shard geometry. Ties
+// break to the earlier candidate (sorted-name rosters are deterministic).
+func (pl Planner) PlanShardedAuto(sample []uint32, cfg ShardConfig, candidates []sorts.Candidate) (Plan, error) {
+	if len(candidates) == 0 {
+		return Plan{}, errors.New("core: PlanShardedAuto needs at least one candidate algorithm")
+	}
+	var best Plan
+	bestCost := math.Inf(1)
+	for _, c := range candidates {
+		cpl := pl
+		cpl.Config.Algorithm = c.Alg
+		plan, err := cpl.PlanSharded(sample, cfg)
+		if err != nil {
+			return Plan{}, fmt.Errorf("core: auto candidate %q: %w", c.Name, err)
+		}
+		if plan.Sharded.CriticalPath < bestCost {
+			bestCost = plan.Sharded.CriticalPath
+			plan.Algorithm = c.Name
+			best = plan
+		}
+	}
+	return best, nil
 }

@@ -156,6 +156,9 @@ func RefineAt(alg sorts.Algorithm, pt memmodel.Point, keys []uint32, seed uint64
 	if err := verify.CheckRefineRun(keys, res, b.Identities(pt)).Err(); err != nil {
 		return RefineRow{}, fmt.Errorf("experiments: %s %s n=%d: %w", alg.Name(), pt, len(keys), err)
 	}
+	if err := verify.CheckAlgorithmWrites(alg, res.Report).Err(); err != nil {
+		return RefineRow{}, fmt.Errorf("experiments: %s %s n=%d: %w", alg.Name(), pt, len(keys), err)
+	}
 	r := res.Report
 	row := RefineRow{
 		Algorithm:          r.Algorithm,

@@ -8,10 +8,12 @@
 // the sortd service all route through one code path — and a new device
 // model is a ~100-line registration instead of a pipeline fork.
 //
-// Two backends register at init: "pcm-mlc" (the Table 2 MLC PCM model,
-// internal/mem + internal/mlc) and "spintronic" (the Appendix A model,
-// internal/spintronic). DESIGN.md §12 walks through registering a third
-// using the stub in testdata/memristive.
+// Three backends register at init: "pcm-mlc" (the Table 2 MLC PCM model,
+// internal/mem + internal/mlc), "spintronic" (the Appendix A model,
+// internal/spintronic), and "memristive" (the reduced-current ReRAM
+// model, internal/memristive). DESIGN.md §12 walks through what a
+// registration owes the seam, with the memristive backend as the worked
+// example.
 package memmodel
 
 import (
@@ -108,6 +110,12 @@ type Identities struct {
 	// EnergyPerWrite, when positive, asserts WriteEnergy == Writes ×
 	// EnergyPerWrite (spintronic: 1 − Saving per write).
 	EnergyPerWrite float64
+	// ReadNanosPerRead, when positive, overrides the per-read latency the
+	// verifier asserts for the approximate region: ReadNanos == Reads ×
+	// ReadNanosPerRead. Zero keeps the default mlc.ReadNanos (the PCM
+	// array read every pre-existing backend charges); the memristive
+	// backend sets it to its faster ReRAM read.
+	ReadNanosPerRead float64
 }
 
 // Space is the contract the unified pipeline needs from a memory space:

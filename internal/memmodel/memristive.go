@@ -1,0 +1,135 @@
+package memmodel
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/memristive"
+	"approxsort/internal/mlc"
+	"approxsort/internal/rng"
+)
+
+// MemristiveName is the registry name of the reduced-current ReRAM
+// backend (internal/memristive).
+const MemristiveName = "memristive"
+
+// memristiveBackend adapts internal/memristive to the Backend seam. Its
+// approximate writes keep the precise write latency but cost a
+// current_scale fraction of the precise energy, with per-cell switching
+// failures that leave failed cells at their PREVIOUS value —
+// data-dependent corruption, unlike spintronic's independent XOR flips.
+// Reads are precise and charge the faster ReRAM read latency, which the
+// verifier pins through Identities.ReadNanosPerRead.
+type memristiveBackend struct{}
+
+func init() { Register(memristiveBackend{}) }
+
+func (memristiveBackend) Name() string { return MemristiveName }
+
+func (memristiveBackend) Params() []ParamSpec {
+	return []ParamSpec{
+		{
+			Name:         "current_scale",
+			Doc:          "programming current relative to the precise write (lower = cheaper, less reliable)",
+			Default:      0.7,
+			Min:          0,
+			Max:          1,
+			MinExclusive: true,
+			Seed:         true,
+		},
+		{
+			Name:    "switch_fail_prob",
+			Doc:     "per-cell probability that a reduced-current write fails to switch",
+			Default: 1e-5,
+			Min:     0,
+			Max:     0.5,
+			Seed:    true,
+		},
+	}
+}
+
+// Memristive returns the registry point at operating point cfg.
+func Memristive(cfg memristive.Config) Point {
+	return Point{Backend: MemristiveName, Params: map[string]float64{
+		"current_scale":    cfg.CurrentScale,
+		"switch_fail_prob": cfg.SwitchFailProb,
+	}}
+}
+
+// config converts a normalized point back to the concrete operating
+// point.
+func (memristiveBackend) config(pt Point) memristive.Config {
+	scale, ok1 := pt.Param("current_scale")
+	fail, ok2 := pt.Param("switch_fail_prob")
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("memmodel: %v is not normalized (missing current_scale/switch_fail_prob)", pt))
+	}
+	return memristive.Config{CurrentScale: scale, SwitchFailProb: fail}
+}
+
+func (b memristiveBackend) DefaultPoint() Point {
+	pt, err := b.Normalize(Point{Backend: MemristiveName})
+	if err != nil {
+		panic(err) // unreachable: the defaults are in range
+	}
+	return pt
+}
+
+func (b memristiveBackend) Normalize(pt Point) (Point, error) {
+	out, err := normalizeAgainst(b, pt)
+	if err != nil {
+		return Point{}, err
+	}
+	// Config.Validate is the authoritative range check; the schema bounds
+	// mirror it, so this is a belt-and-braces consistency guard.
+	if err := b.config(out).Validate(); err != nil {
+		return Point{}, err
+	}
+	return out, nil
+}
+
+func (b memristiveBackend) NewApprox(pt Point, seed uint64) Space {
+	return memristive.NewSpace(b.config(pt), seed)
+}
+
+func (memristiveBackend) NewPrecise() Space { return mem.NewPreciseSpace() }
+
+// SeedCoords returns exactly the Seed-flagged parameters in schema order;
+// this keys every grid cell's RNG stream and is pinned by the memristive
+// golden rows.
+func (b memristiveBackend) SeedCoords(pt Point) []any {
+	cfg := b.config(pt)
+	return []any{cfg.CurrentScale, cfg.SwitchFailProb}
+}
+
+// SortOnlySeeds derives the (space, sort) stream pair for sort-only runs
+// via labelled splits, the convention for post-pcm-mlc backends.
+func (memristiveBackend) SortOnlySeeds(pointSeed uint64) (uint64, uint64) {
+	return rng.Split(pointSeed, "space"), rng.Split(pointSeed, "sort")
+}
+
+func (b memristiveBackend) Identities(pt Point) Identities {
+	return Identities{
+		FixedWriteLatency: true,
+		EnergyPerWrite:    b.config(pt).CurrentScale,
+		ReadNanosPerRead:  memristive.ReadNanos,
+	}
+}
+
+// ApproxWriteNanos: reducing the programming current saves energy, not
+// time — the switching pulse keeps the precise write latency.
+func (memristiveBackend) ApproxWriteNanos(Point) float64 { return mlc.PreciseWriteNanos }
+
+// Compile-time seam check: the memristive space satisfies the contract.
+var _ Space = (*memristive.Space)(nil)
+
+// MemristivePresets returns the three internal/memristive operating
+// points as registry points, in increasing aggressiveness.
+func MemristivePresets() []Point {
+	cfgs := memristive.Presets()
+	pts := make([]Point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i] = Memristive(cfg)
+	}
+	return pts
+}

@@ -1,0 +1,279 @@
+package memristive
+
+import (
+	"testing"
+
+	"approxsort/internal/mem"
+	"approxsort/internal/mlc"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{CurrentScale: 0.7, SwitchFailProb: 1e-5}, true},
+		{Config{CurrentScale: 1, SwitchFailProb: 0}, true},
+		{Config{CurrentScale: 0.5, SwitchFailProb: 0.5}, true},
+		{Config{CurrentScale: 0, SwitchFailProb: 0}, false},
+		{Config{CurrentScale: -0.1, SwitchFailProb: 0}, false},
+		{Config{CurrentScale: 1.1, SwitchFailProb: 0}, false},
+		{Config{CurrentScale: 0.7, SwitchFailProb: -1e-9}, false},
+		{Config{CurrentScale: 0.7, SwitchFailProb: 0.6}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.cfg, err, tc.ok)
+		}
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("Presets() returned %d points, want 3", len(ps))
+	}
+	for _, cfg := range ps {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %+v invalid: %v", cfg, err)
+		}
+	}
+}
+
+func TestNewSpacePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSpace with CurrentScale 0 did not panic")
+		}
+	}()
+	NewSpace(Config{CurrentScale: 0}, 1)
+}
+
+// TestReadsArePrecise pins the model's defining asymmetry: corruption
+// happens at write time only, so reads return the stored value
+// faithfully no matter how aggressive the operating point is.
+func TestReadsArePrecise(t *testing.T) {
+	s := NewSpace(Config{CurrentScale: 0.5, SwitchFailProb: 0.5}, 7)
+	w := s.Alloc(64)
+	for i := 0; i < 64; i++ {
+		w.Set(i, uint32(i)*0x9e3779b9)
+	}
+	for i := 0; i < 64; i++ {
+		if got, peek := w.Get(i), peek(w, i); got != peek {
+			t.Fatalf("Get(%d) = %#x, Peek = %#x: read corrupted a stored value", i, got, peek)
+		}
+	}
+}
+
+// TestSwitchFailureRetainsPreviousValue pins the failure semantics: a
+// failed cell keeps its PREVIOUS value, so every corrupted bit of the
+// stored word must come from the word it is overwriting.
+func TestSwitchFailureRetainsPreviousValue(t *testing.T) {
+	s := NewSpace(Config{CurrentScale: 0.7, SwitchFailProb: 0.3}, 42)
+	w := s.Alloc(256)
+	for i := 0; i < 256; i++ {
+		w.Set(i, 0xAAAAAAAA)
+	}
+	s.ResetStats()
+	corruptions := 0
+	const next = uint32(0x55555555)
+	for i := 0; i < 256; i++ {
+		prev := peek(w, i)
+		w.Set(i, next)
+		got := peek(w, i)
+		// Every stored bit comes from the new value or the previous one.
+		if (got^next)&(got^prev) != 0 {
+			t.Fatalf("Set stored %#x: bits outside new %#x / previous %#x", got, next, prev)
+		}
+		if got != next {
+			corruptions++
+		}
+	}
+	if corruptions == 0 {
+		t.Fatal("SwitchFailProb 0.3 over 256 full-complement writes corrupted nothing")
+	}
+	if st := s.Stats(); st.Corrupted != corruptions {
+		t.Fatalf("Corrupted = %d, want %d observed corrupted stores", st.Corrupted, corruptions)
+	}
+}
+
+// TestRewritingSameValueNeverCorrupts: corruption is data-dependent —
+// a failed switch on a cell that already holds the target bit is
+// invisible, so writing a word over itself can never corrupt.
+func TestRewritingSameValueNeverCorrupts(t *testing.T) {
+	s := NewSpace(Config{CurrentScale: 0.5, SwitchFailProb: 0.5}, 3)
+	w := s.Alloc(128)
+	for i := 0; i < 128; i++ {
+		w.Set(i, 0xDEADBEEF)
+	}
+	s.ResetStats()
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 128; i++ {
+			w.Set(i, peek(w, i))
+		}
+	}
+	st := s.Stats()
+	if st.Corrupted != 0 {
+		t.Fatalf("rewriting stored values corrupted %d writes; retention failures must be value-invisible", st.Corrupted)
+	}
+	if st.Writes != 4*128 {
+		t.Fatalf("Writes = %d, want %d", st.Writes, 4*128)
+	}
+}
+
+// TestAccountingIdentities pins the fold recipe the verifier holds
+// memristive runs to: precise-latency writes, half-PCM-latency reads,
+// CurrentScale energy per write.
+func TestAccountingIdentities(t *testing.T) {
+	cfg := Config{CurrentScale: 0.7, SwitchFailProb: 1e-5}
+	s := NewSpace(cfg, 11)
+	w := s.Alloc(100)
+	for i := 0; i < 100; i++ {
+		w.Set(i, uint32(i))
+	}
+	for i := 0; i < 100; i++ {
+		w.Get(i)
+	}
+	st := s.Stats()
+	if st.Reads != 100 || st.Writes != 100 {
+		t.Fatalf("Stats = %d reads / %d writes, want 100/100", st.Reads, st.Writes)
+	}
+	if want := float64(st.Reads) * ReadNanos; st.ReadNanos != want {
+		t.Errorf("ReadNanos = %g, want reads × %g = %g", st.ReadNanos, ReadNanos, want)
+	}
+	if want := float64(st.Writes) * mlc.PreciseWriteNanos; st.WriteNanos != want {
+		t.Errorf("WriteNanos = %g, want writes × precise latency = %g", st.WriteNanos, want)
+	}
+	if want := float64(st.Writes) * cfg.CurrentScale; st.WriteEnergy != want {
+		t.Errorf("WriteEnergy = %g, want writes × CurrentScale = %g", st.WriteEnergy, want)
+	}
+	if ReadNanos != mlc.ReadNanos/2 {
+		t.Errorf("ReadNanos = %g, want half the PCM array read %g", ReadNanos, mlc.ReadNanos)
+	}
+}
+
+// TestBulkMatchesPerElement pins the bulk contract: SetSlice consumes
+// the noise stream exactly as per-element Sets would, so two spaces at
+// the same seed store identical values and charge identical counters.
+func TestBulkMatchesPerElement(t *testing.T) {
+	cfg := Config{CurrentScale: 0.7, SwitchFailProb: 0.05}
+	const n = 500
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(i) * 0x85ebca6b
+	}
+
+	bulk := NewSpace(cfg, 99)
+	wb := bulk.Alloc(n)
+	wb.(mem.BulkWords).SetSlice(0, src)
+
+	elem := NewSpace(cfg, 99)
+	we := elem.Alloc(n)
+	for i, v := range src {
+		we.Set(i, v)
+	}
+
+	for i := 0; i < n; i++ {
+		if a, b := peek(wb, i), peek(we, i); a != b {
+			t.Fatalf("stored[%d]: bulk %#x != per-element %#x", i, a, b)
+		}
+	}
+	if sb, se := bulk.Stats(), elem.Stats(); sb != se {
+		t.Fatalf("stats diverge: bulk %+v, per-element %+v", sb, se)
+	}
+
+	dst := make([]uint32, n)
+	wb.(mem.BulkWords).GetSlice(0, dst)
+	for i, v := range dst {
+		if v != peek(wb, i) {
+			t.Fatalf("GetSlice[%d] = %#x, want stored %#x", i, v, peek(wb, i))
+		}
+	}
+	if got := bulk.Stats().Reads; got != n {
+		t.Fatalf("GetSlice charged %d reads, want %d", got, n)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{CurrentScale: 0.5, SwitchFailProb: 0.1}
+	run := func() ([]uint32, mem.Stats) {
+		s := NewSpace(cfg, 1234)
+		w := s.Alloc(300)
+		for i := 0; i < 300; i++ {
+			w.Set(i, uint32(i)*2654435761)
+		}
+		return mem.PeekAll(w), s.Stats()
+	}
+	v1, s1 := run()
+	v2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverge across identical runs: %+v vs %+v", s1, s2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("stored[%d] diverges across identical runs", i)
+		}
+	}
+}
+
+// TestTracedPathsAndReorderable: attaching a sink retroactively rebinds
+// arrays, routes bulk calls through the per-element traced path, and
+// withdraws the reordering capability.
+func TestTracedPathsAndReorderable(t *testing.T) {
+	s := NewSpace(Config{CurrentScale: 0.9, SwitchFailProb: 0}, 5)
+	w := s.Alloc(8)
+	if !w.(mem.BulkWords).Reorderable() {
+		t.Fatal("untraced memristive array must be reorderable")
+	}
+	var trace []mem.Op
+	s.SetSink(sinkFunc(func(op mem.Op, addr uint64, size int) {
+		trace = append(trace, op)
+	}))
+	if w.(mem.BulkWords).Reorderable() {
+		t.Fatal("traced array must not be reorderable")
+	}
+	w.(mem.BulkWords).SetSlice(0, []uint32{1, 2, 3, 4})
+	dst := make([]uint32, 4)
+	w.(mem.BulkWords).GetSlice(0, dst)
+	if len(trace) != 8 {
+		t.Fatalf("traced bulk accesses emitted %d events, want 8", len(trace))
+	}
+	for i, op := range trace {
+		want := mem.OpWrite
+		if i >= 4 {
+			want = mem.OpRead
+		}
+		if op != want {
+			t.Fatalf("trace[%d] = %v, want %v", i, op, want)
+		}
+	}
+}
+
+func TestResetStatsFoldsOnce(t *testing.T) {
+	s := NewSpace(Config{CurrentScale: 0.7, SwitchFailProb: 0}, 2)
+	w := s.Alloc(10)
+	for i := 0; i < 10; i++ {
+		w.Set(i, 1)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Writes != 0 || st.Reads != 0 {
+		t.Fatalf("post-reset aggregate = %+v, want zero", st)
+	}
+	w.Get(0)
+	if st := s.Stats(); st.Reads != 1 {
+		t.Fatalf("post-reset Reads = %d, want 1", st.Reads)
+	}
+	if !s.Approximate() {
+		t.Fatal("memristive space must report Approximate")
+	}
+	if got := s.Config().CurrentScale; got != 0.7 {
+		t.Fatalf("Config().CurrentScale = %v, want 0.7", got)
+	}
+}
+
+func peek(w mem.Words, i int) uint32 { return w.(mem.Peeker).Peek(i) }
+
+type sinkFunc func(op mem.Op, addr uint64, size int)
+
+func (f sinkFunc) Access(op mem.Op, addr uint64, size int) { f(op, addr, size) }

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+
+	"approxsort/internal/sorts"
+)
+
+// AlgorithmView is one entry of GET /v1/algorithms: a registered sort
+// algorithm, its declared cost profile, and whether the mode=auto /
+// algorithm=auto planner considers it — everything a client needs to
+// pick a valid "algorithm" field for POST /v1/sort.
+type AlgorithmView struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+	// Radix marks digit sorts, whose per-element write count is set by
+	// the digit width (the request's "bits" field; 0 = DefaultBits).
+	Radix       bool `json:"radix"`
+	DefaultBits int  `json:"default_bits,omitempty"`
+	// Auto marks algorithms the registry nominates as mode=auto
+	// candidates.
+	Auto   bool `json:"auto"`
+	Passes int  `json:"passes,omitempty"`
+	// WritesPerElement is α(n)/n at the reference n below — the cost the
+	// planner compares across candidates (before the backend's hybrid
+	// rescaling). Zero when the algorithm declares no analytic α.
+	WritesPerElement float64 `json:"writes_per_element,omitempty"`
+	// ExactWrites marks algorithms whose approximate-stage write count
+	// is asserted to equal α(n) exactly on every served hybrid job.
+	ExactWrites bool `json:"exact_writes"`
+}
+
+// AlgorithmsResponse is the body of GET /v1/algorithms.
+type AlgorithmsResponse struct {
+	// Default names the algorithm an explicit-mode request gets when it
+	// names none ("auto" requests instead run the planner's selection).
+	Default string `json:"default"`
+	// ReferenceN is the element count at which writes_per_element is
+	// evaluated (α is size-dependent for the comparison sorts).
+	ReferenceN int             `json:"reference_n"`
+	Algorithms []AlgorithmView `json:"algorithms"`
+}
+
+// referenceN pins the writes_per_element column to one comparable size.
+const referenceN = 1 << 20
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	const route = "/v1/algorithms"
+	resp := AlgorithmsResponse{Default: "msd", ReferenceN: referenceN}
+	for _, in := range sorts.Infos() {
+		view := AlgorithmView{
+			Name:        in.Name,
+			Doc:         in.Doc,
+			Radix:       in.Radix,
+			DefaultBits: in.DefaultBits,
+			Auto:        in.Auto,
+		}
+		if alg, err := sorts.New(in.Name, 0); err == nil {
+			if prof, ok := sorts.ProfileOf(alg); ok {
+				view.Passes = prof.Passes
+				view.ExactWrites = prof.ExactWrites
+				view.WritesPerElement = prof.WritesPerElement(referenceN)
+			}
+		}
+		resp.Algorithms = append(resp.Algorithms, view)
+	}
+	s.writeJSON(w, route, http.StatusOK, resp)
+}

@@ -28,23 +28,29 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 			return nil, err
 		}
 	}
-	alg, err := req.algorithm()
-	if err != nil {
-		return nil, err
+	var alg sorts.Algorithm
+	if !req.autoAlgorithm() {
+		var err error
+		alg, err = req.algorithm()
+		if err != nil {
+			return nil, err
+		}
 	}
 	b, pt := req.backend, req.point
 
 	res := &JobResult{
-		Algorithm: alg.Name(),
-		Backend:   b.Name(),
-		Params:    pt.Params,
-		N:         len(keys),
-		T:         req.T,
+		Backend: b.Name(),
+		Params:  pt.Params,
+		N:       len(keys),
+		T:       req.T,
 	}
 
 	// seedParts keys a sub-stream by purpose + job coordinates. For
 	// pcm-mlc the coordinates are [t], reproducing the pre-seam
-	// derivation bit-for-bit.
+	// derivation bit-for-bit. alg is captured by reference: the run
+	// stream of an auto job that selected, say, msd is the run stream of
+	// an explicit msd job — resubmitting with the choice pinned
+	// reproduces the same numbers.
 	coords := b.SeedCoords(pt)
 	seedParts := func(kind string, extra ...any) []any {
 		parts := make([]any, 0, 3+len(coords)+len(extra))
@@ -52,13 +58,44 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 		parts = append(parts, coords...)
 		return append(parts, extra...)
 	}
+	newSpace := func(s uint64) core.Space { return b.NewApprox(pt, s) }
 
 	mode := req.Mode
-	if mode == ModeAuto {
+	switch {
+	case req.autoAlgorithm():
+		// Registry-driven selection: one Equation 4 pilot per registered
+		// candidate at its default digit width, cheapest predicted writes
+		// wins. No single algorithm owns the pilot stream, so it is keyed
+		// by the literal roster label instead of an algorithm name.
+		autoParts := append([]any{"sortd", "pilot", "auto"}, coords...)
+		plan, err := core.Planner{
+			Config:    core.Config{NewSpace: newSpace, Seed: rng.Split(req.Seed, autoParts...)},
+			PilotSize: pilotSize,
+		}.PlanAuto(keys, sorts.AutoCandidates())
+		if err != nil {
+			return nil, fmt.Errorf("planner: %w", err)
+		}
+		if err := verify.CheckPlan(len(keys), plan).Err(); err != nil {
+			return nil, fmt.Errorf("planner: %w", err)
+		}
+		alg, err = sorts.New(plan.Algorithm, 0)
+		if err != nil {
+			return nil, fmt.Errorf("planner: %w", err)
+		}
+		res.Plan = planView(plan)
+		res.PredictedWR = plan.PredictedWR
+		if mode == ModeAuto {
+			if plan.UseHybrid {
+				mode = ModeHybrid
+			} else {
+				mode = ModePrecise
+			}
+		}
+	case mode == ModeAuto:
 		plan, err := core.Planner{
 			Config: core.Config{
 				Algorithm: alg,
-				NewSpace:  func(s uint64) core.Space { return b.NewApprox(pt, s) },
+				NewSpace:  newSpace,
 				Seed:      rng.Split(req.Seed, seedParts("pilot")...),
 			},
 			PilotSize: pilotSize,
@@ -69,14 +106,7 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 		if err := verify.CheckPlan(len(keys), plan).Err(); err != nil {
 			return nil, fmt.Errorf("planner: %w", err)
 		}
-		res.Plan = &PlanView{
-			UseHybrid:     plan.UseHybrid,
-			PredictedWR:   plan.PredictedWR,
-			P:             plan.P,
-			PilotRemRatio: plan.PilotRemRatio,
-			PredictedRem:  plan.PredictedRem,
-			PilotSize:     plan.PilotSize,
-		}
+		res.Plan = planView(plan)
 		res.PredictedWR = plan.PredictedWR
 		if plan.UseHybrid {
 			mode = ModeHybrid
@@ -84,9 +114,11 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 			mode = ModePrecise
 		}
 	}
+	res.Algorithm = alg.Name()
 	res.Mode = mode
 
 	runSeed := rng.Split(req.Seed, seedParts("run", len(keys))...)
+	var err error
 	if mode == ModeHybrid {
 		err = executeHybrid(res, keys, alg, req, runSeed)
 	} else {
@@ -97,6 +129,21 @@ func execute(req *SortRequest, pilotSize int) (*JobResult, error) {
 	}
 	res.sanitize()
 	return res, nil
+}
+
+// planView projects a core plan into the response shape. Algorithm is
+// empty (and omitted from the JSON) for explicit-algorithm jobs, where
+// the planner only picked the mode.
+func planView(plan core.Plan) *PlanView {
+	return &PlanView{
+		Algorithm:     plan.Algorithm,
+		UseHybrid:     plan.UseHybrid,
+		PredictedWR:   plan.PredictedWR,
+		P:             plan.P,
+		PilotRemRatio: plan.PilotRemRatio,
+		PredictedRem:  plan.PredictedRem,
+		PilotSize:     plan.PilotSize,
+	}
 }
 
 // executeHybrid runs approx-refine with both spaces sinked into one
@@ -122,6 +169,9 @@ func executeHybrid(res *JobResult, keys []uint32, alg sorts.Algorithm, req *Sort
 	// regression fails the job loudly instead of returning a
 	// slightly-wrong payload.
 	if err := verify.CheckRefineRun(keys, out, b.Identities(pt)).Err(); err != nil {
+		return err
+	}
+	if err := verify.CheckAlgorithmWrites(alg, out.Report).Err(); err != nil {
 		return err
 	}
 	if err := sys.Stats().Check(); err != nil {

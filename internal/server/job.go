@@ -20,9 +20,14 @@ type SortRequest struct {
 	// don't pay to ship megabytes of keys over the wire.
 	Dataset *DatasetSpec `json:"dataset,omitempty"`
 
-	// Algorithm selects the sort: quicksort|mergesort|lsd|msd, or
-	// auto/empty for the paper's default (6-bit MSD, the Figure 9
-	// winner). Bits sets the radix digit width (default 6).
+	// Algorithm selects the sort by its registry name (GET /v1/algorithms
+	// lists them: quicksort, mergesort, lsd, msd, onesweep-lsd, …).
+	// "auto" (the default) lets the planner pick per backend and input:
+	// in-memory jobs run one Equation 4 pilot per registered candidate and
+	// keep the cheapest; streaming jobs resolve to the paper's default
+	// (6-bit MSD, the Figure 9 winner). Bits sets the radix digit width;
+	// 0 takes the algorithm's registry default (6 for lsd/msd, 8 for
+	// onesweep-lsd).
 	Algorithm string `json:"algorithm,omitempty"`
 	Bits      int    `json:"bits,omitempty"`
 
@@ -164,14 +169,11 @@ func (r *SortRequest) normalize(maxN int) error {
 	if r.Algorithm == "" {
 		r.Algorithm = "auto"
 	}
-	if r.Bits == 0 {
-		r.Bits = 6
-	}
-	if r.Bits < 1 || r.Bits > 16 {
+	if r.Bits != 0 && (r.Bits < 1 || r.Bits > 16) {
 		return fmt.Errorf("bits = %d out of range [1, 16]", r.Bits)
 	}
 	if _, err := r.algorithm(); err != nil {
-		return err
+		return err // *sorts.UnknownAlgorithmError → 400 with the roster
 	}
 	b, pt, t, err := resolveBackendPoint(r.Backend, r.Params, r.T)
 	if err != nil {
@@ -216,20 +218,22 @@ func resolveBackendPoint(name string, params map[string]float64, t float64) (mem
 	return b, pt, t, nil
 }
 
-// algorithm resolves the request's algorithm name.
+// autoAlgorithm reports whether the request delegates the algorithm
+// choice to the auto planner.
+func (r *SortRequest) autoAlgorithm() bool { return r.Algorithm == "auto" || r.Algorithm == "" }
+
+// algorithm resolves the request's algorithm through the sorts registry.
+// "auto" resolves to the paper's default (6-bit MSD, the Figure 9
+// winner) — the fallback every pre-registry job ran; the in-memory
+// executor overrides it with the auto planner's registry-driven choice.
+// Unknown names return *sorts.UnknownAlgorithmError, whose message
+// carries the registered roster.
 func (r *SortRequest) algorithm() (sorts.Algorithm, error) {
-	switch r.Algorithm {
-	case "auto", "msd", "":
-		return sorts.MSD{Bits: r.Bits}, nil
-	case "lsd":
-		return sorts.LSD{Bits: r.Bits}, nil
-	case "quicksort":
-		return sorts.Quicksort{}, nil
-	case "mergesort":
-		return sorts.Mergesort{}, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", r.Algorithm)
+	name := r.Algorithm
+	if r.autoAlgorithm() {
+		name = "msd"
 	}
+	return sorts.New(name, r.Bits)
 }
 
 // inputSize returns the job's n.
@@ -269,6 +273,9 @@ const (
 
 // PlanView is the planner verdict echoed in a job result.
 type PlanView struct {
+	// Algorithm is the registry name the auto planner chose; empty when
+	// the request fixed the algorithm and the planner only routed the mode.
+	Algorithm     string  `json:"algorithm,omitempty"`
 	UseHybrid     bool    `json:"use_hybrid"`
 	PredictedWR   float64 `json:"predicted_wr"`
 	P             float64 `json:"p"`

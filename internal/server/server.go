@@ -211,6 +211,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tables", s.handleTablesGet)
 	mux.HandleFunc("POST /v1/tables", s.handleTablesPost)
 	mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleJobOutput)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

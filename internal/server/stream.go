@@ -109,10 +109,7 @@ func (r *StreamRequest) normalize(cfg Config, hasBody bool) error {
 	if r.Algorithm == "" {
 		r.Algorithm = "auto"
 	}
-	if r.Bits == 0 {
-		r.Bits = 6
-	}
-	if r.Bits < 1 || r.Bits > 16 {
+	if r.Bits != 0 && (r.Bits < 1 || r.Bits > 16) {
 		return fmt.Errorf("bits = %d out of range [1, 16]", r.Bits)
 	}
 	if _, err := r.algorithm(); err != nil {

@@ -18,6 +18,12 @@ type Mergesort struct{}
 // Name implements Algorithm.
 func (Mergesort) Name() string { return "Mergesort" }
 
+// Profile implements Profiled: ≈ n·log2(n) key writes over a
+// size-dependent number of merge levels.
+func (Mergesort) Profile() Profile {
+	return Profile{Alpha: AlphaMergesort, SortsIDs: true}
+}
+
 // Sort implements Algorithm.
 func (Mergesort) Sort(p Pair, env Env) {
 	p.validate()

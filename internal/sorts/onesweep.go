@@ -1,0 +1,252 @@
+package sorts
+
+import (
+	"fmt"
+
+	"approxsort/internal/mem"
+)
+
+// OneSweepLSD is the write-combining radix variant after Wassenberg &
+// Sanders ("Faster Radix Sort via Virtual Memory and Write-Combining") and
+// the OneSweep idea (SNIPPETS.md §3): wide digits cut the pass count —
+// 8-bit digits need 4 passes over 32-bit keys where the paper's 6-bit
+// queue-bucket LSD needs 6 — and per-bucket software write-combining
+// buffers make the wide scatter practical by turning 2^Bits random
+// single-word writes into sequential burst flushes.
+//
+// Each digit pass is one fused read+count sweep followed by one buffered
+// permute pass: the sweep reads every key once (staging it host-side) and
+// builds the pass's histogram at zero extra charged cost; the permute
+// appends each record to its bucket's write-combining buffer (one charged
+// write in the key space) and flushes full buffers as one sequential burst
+// into the ping-pong destination (one charged read plus one charged write
+// per record). The classic OneSweep trick of counting every digit in a
+// single up-front pass is unsound on approximate memory — each scatter
+// rewrites, and may corrupt, the digits the next pass would have counted —
+// so the count fuses into each pass's own read sweep instead.
+//
+// Charged cost per element per pass: 2 reads + 2 writes, the same shape as
+// queue-bucket LSD — the write saving comes entirely from the wider digit
+// (α = 2·ceil(32/Bits)·n: 8n at 8 bits vs 12n at 6), which is exactly the
+// Wassenberg–Sanders argument for why write-combining pays. All buffers
+// (the ping-pong destination and the write-combining block) are allocated
+// from the Env's spaces, so their traffic is charged to — and corrupted
+// by — the correct memory kind: a key flushed through the buffer passes
+// the device's write noise twice.
+type OneSweepLSD struct {
+	// Bits is the digit width (bins per pass = 2^Bits). Must be 1..16;
+	// the registry default is 8 (4 passes, an even count, so the
+	// ping-pong ends in place).
+	Bits int
+}
+
+// wcWords is the write-combining buffer capacity per bucket, one 256-byte
+// burst of 32-bit words — the cache-line-multiple granularity the
+// technique flushes at.
+const wcWords = 64
+
+// Name implements Algorithm.
+func (o OneSweepLSD) Name() string { return fmt.Sprintf("%d-bit OneSweep", o.Bits) }
+
+// Profile implements Profiled. The write count is an exact structural
+// identity: 2 key writes per element per pass, plus the n-word copy home
+// when the pass count is odd.
+func (o OneSweepLSD) Profile() Profile {
+	passes, _ := digitWidth(o.Bits)
+	perElem := 2 * passes
+	if passes%2 == 1 {
+		perElem++
+	}
+	return Profile{
+		Alpha: func(n int) float64 {
+			if n < 2 {
+				return 0
+			}
+			return float64(perElem * n)
+		},
+		Passes:      passes,
+		ExactWrites: true,
+		Reorderable: true,
+		SortsIDs:    true,
+	}
+}
+
+// wcState is the per-sort write-combining machinery: the device-resident
+// buffer block (bins × wcWords words), the host-side fill levels and
+// output cursors, and the staging slice a flush reads back through.
+type wcState struct {
+	buf    mem.Words
+	fill   []int
+	cursor []int
+	burst  []uint32
+}
+
+func newWCState(space mem.Space, bins int) *wcState {
+	return &wcState{
+		buf:    space.Alloc(bins * wcWords),
+		fill:   make([]int, bins),
+		cursor: make([]int, bins),
+		burst:  make([]uint32, wcWords),
+	}
+}
+
+// append places v in bucket b's buffer (one charged write), flushing the
+// buffer to dst when it fills.
+func (w *wcState) append(dst mem.Words, b int, v uint32) {
+	w.buf.Set(b*wcWords+w.fill[b], v)
+	w.fill[b]++
+	if w.fill[b] == wcWords {
+		w.flush(dst, b)
+	}
+}
+
+// flush drains bucket b's buffer into dst as one sequential burst: the
+// buffered words are read back through the device (surfacing any
+// corruption the buffer write introduced) and written at the bucket's
+// output cursor.
+func (w *wcState) flush(dst mem.Words, b int) {
+	k := w.fill[b]
+	if k == 0 {
+		return
+	}
+	burst := w.burst[:k]
+	mem.GetSlice(w.buf, b*wcWords, burst)
+	mem.SetSlice(dst, w.cursor[b], burst)
+	w.cursor[b] += k
+	w.fill[b] = 0
+}
+
+// reset prepares the state for a pass with the given absolute bucket
+// starts.
+func (w *wcState) reset(starts []int) {
+	for b := range w.fill {
+		w.fill[b] = 0
+		w.cursor[b] = starts[b]
+	}
+}
+
+// Sort implements Algorithm.
+func (o OneSweepLSD) Sort(p Pair, env Env) {
+	p.validate()
+	n := p.Len()
+	passes, _ := digitWidth(o.Bits)
+	if n <= 1 {
+		return
+	}
+	bins := 1 << o.Bits
+	mask := uint32(bins - 1)
+	sc := env.scratch()
+	vals, idvals, _, _, counts := sc.buffers(n, bins)
+
+	tmp := Pair{Keys: env.KeySpace.Alloc(n)}
+	wcKeys := newWCState(env.KeySpace, bins)
+	var wcIDs *wcState
+	if p.IDs != nil {
+		tmp.IDs = env.IDSpace.Alloc(n)
+		wcIDs = newWCState(env.IDSpace, bins)
+	}
+	starts := make([]int, bins)
+
+	src, dst := p, tmp
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * o.Bits)
+		// Fused read+count sweep: one charged read per key; the
+		// histogram is host arithmetic on the staged values.
+		mem.GetSlice(src.Keys, 0, vals)
+		if src.IDs != nil {
+			mem.GetSlice(src.IDs, 0, idvals)
+		}
+		for b := range counts {
+			counts[b] = 0
+		}
+		for _, k := range vals {
+			counts[int(k>>shift&mask)]++
+		}
+		off := 0
+		for b := 0; b < bins; b++ {
+			starts[b] = off
+			off += counts[b]
+		}
+		wcKeys.reset(starts)
+		if wcIDs != nil {
+			wcIDs.reset(starts)
+		}
+		// Buffered permute: route by the staged digit, write through the
+		// bucket's write-combining buffer, burst-flush into dst.
+		for i, k := range vals {
+			b := int(k >> shift & mask)
+			wcKeys.append(dst.Keys, b, k)
+			if wcIDs != nil {
+				wcIDs.append(dst.IDs, b, idvals[i])
+			}
+		}
+		for b := 0; b < bins; b++ {
+			wcKeys.flush(dst.Keys, b)
+			if wcIDs != nil {
+				wcIDs.flush(dst.IDs, b)
+			}
+		}
+		src, dst = dst, src
+	}
+	if src.Keys != p.Keys {
+		// An odd pass count left the result in the ping-pong buffer;
+		// copy it home (n extra writes, as in mergesort).
+		mem.Copy(p.Keys, src.Keys)
+		if p.IDs != nil {
+			mem.Copy(p.IDs, src.IDs)
+		}
+	}
+}
+
+// SortIDs implements Algorithm: the same fused-sweep write-combining
+// passes over the bare ID array, bucketed through the key lookup. key is
+// called exactly once per element per pass — each lookup is a charged
+// read, matching the SortIDs contract of the queue-bucket radix sorts.
+func (o OneSweepLSD) SortIDs(ids mem.Words, count int, key func(uint32) uint32, env Env) {
+	passes, _ := digitWidth(o.Bits)
+	if count <= 1 {
+		return
+	}
+	bins := 1 << o.Bits
+	mask := uint32(bins - 1)
+	sc := env.scratch()
+	vals, _, _, pos, counts := sc.buffers(count, bins)
+
+	tmp := env.IDSpace.Alloc(count)
+	wc := newWCState(env.IDSpace, bins)
+	starts := make([]int, bins)
+
+	src, dst := ids, tmp
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * o.Bits)
+		mem.GetSlice(src, 0, vals)
+		for b := range counts {
+			counts[b] = 0
+		}
+		for i, id := range vals {
+			b := int(key(id) >> shift & mask)
+			pos[i] = b
+			counts[b]++
+		}
+		off := 0
+		for b := 0; b < bins; b++ {
+			starts[b] = off
+			off += counts[b]
+		}
+		wc.reset(starts)
+		for i, id := range vals {
+			wc.append(dst, pos[i], id)
+		}
+		for b := 0; b < bins; b++ {
+			wc.flush(dst, b)
+		}
+		src, dst = dst, src
+	}
+	if src != ids {
+		// Odd pass count: copy the sorted prefix home. ids may be longer
+		// than count (the SortIDs contract sorts a prefix), so this stages
+		// exactly the count window rather than mem.Copy-ing whole arrays.
+		mem.GetSlice(src, 0, vals)
+		mem.SetSlice(ids, 0, vals)
+	}
+}

@@ -1,0 +1,148 @@
+package sorts
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"approxsort/internal/dataset"
+	"approxsort/internal/mem"
+	"approxsort/internal/rng"
+	"approxsort/internal/sortedness"
+)
+
+// keyWrites sorts keys on precise memory in an isolated key space and
+// returns the charged key-write count (Load discounted).
+func keyWrites(alg Algorithm, keys []uint32, withIDs bool) int {
+	ks := mem.NewPreciseSpace()
+	shadow := mem.NewPreciseSpace()
+	p := Pair{Keys: ks.Alloc(len(keys))}
+	mem.Load(p.Keys, keys)
+	if withIDs {
+		p.IDs = shadow.Alloc(len(keys))
+		mem.Load(p.IDs, dataset.IDs(len(keys)))
+	}
+	base := ks.Stats().Writes
+	alg.Sort(p, Env{KeySpace: ks, IDSpace: shadow, R: rng.New(3)})
+	return ks.Stats().Writes - base
+}
+
+// TestOneSweepExactWrites pins the structural write identity the profile
+// declares ExactWrites for: 2 key writes per element per pass (one into
+// the write-combining buffer, one in the burst flush), plus the n-word
+// copy home when the pass count is odd. The count must hold at sizes
+// that leave buffers partially filled (n not a multiple of wcWords) and
+// be independent of whether IDs ride along.
+func TestOneSweepExactWrites(t *testing.T) {
+	cases := []struct {
+		bits, passes int
+		odd          bool
+	}{
+		{8, 4, false},
+		{6, 6, false},
+		{5, 7, true},
+		{16, 2, false},
+	}
+	for _, tc := range cases {
+		alg := OneSweepLSD{Bits: tc.bits}
+		prof, _ := ProfileOf(alg)
+		for _, n := range []int{2, 17, wcWords, wcWords + 1, 1000, 4096} {
+			keys := dataset.Uniform(n, uint64(n))
+			want := 2 * tc.passes * n
+			if tc.odd {
+				want += n
+			}
+			if got := int(prof.Alpha(n)); got != want {
+				t.Fatalf("%s: α(%d) = %d, want %d", alg.Name(), n, got, want)
+			}
+			for _, withIDs := range []bool{false, true} {
+				if got := keyWrites(alg, keys, withIDs); got != want {
+					t.Errorf("%s n=%d withIDs=%v: %d key writes, want exactly %d",
+						alg.Name(), n, withIDs, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOneSweepIsStable pins LSD stability through the write-combining
+// buffers: equal keys must keep their input order (the flush is a FIFO
+// per bucket).
+func TestOneSweepIsStable(t *testing.T) {
+	keys := dataset.FewDistinct(500, 4, 11)
+	gotKeys, gotIDs := runSort(OneSweepLSD{Bits: 8}, keys, true)
+	for i := 1; i < len(gotKeys); i++ {
+		if gotKeys[i] == gotKeys[i-1] && gotIDs[i] < gotIDs[i-1] {
+			t.Fatalf("equal keys reordered at %d: ids %d before %d", i, gotIDs[i-1], gotIDs[i])
+		}
+	}
+}
+
+// TestOneSweepSortIDs pins the refine-stage contract: SortIDs orders a
+// bare ID array by key lookup with exactly one lookup per element per
+// pass, and charges the same per-pass write shape as Sort.
+func TestOneSweepSortIDs(t *testing.T) {
+	const n = 700
+	keys := dataset.Uniform(n, 19)
+	alg := OneSweepLSD{Bits: 8}
+	space := mem.NewPreciseSpace()
+	ids := space.Alloc(n)
+	mem.Load(ids, dataset.IDs(n))
+	base := space.Stats().Writes
+	lookups := 0
+	alg.SortIDs(ids, n, func(id uint32) uint32 { lookups++; return keys[id] }, Env{IDSpace: space})
+	passes, _ := digitWidth(8)
+	if want := n * passes; lookups != want {
+		t.Errorf("%d key lookups, want exactly %d (one per element per pass)", lookups, want)
+	}
+	if got, want := space.Stats().Writes-base, 2*passes*n; got != want {
+		t.Errorf("%d ID writes, want exactly %d", got, want)
+	}
+	out := mem.ReadAll(ids)
+	for i := 1; i < n; i++ {
+		if keys[out[i-1]] > keys[out[i]] {
+			t.Fatalf("IDs not ordered by key at %d", i)
+		}
+	}
+}
+
+// FuzzOneSweep drives the write-combining permute with arbitrary key
+// material and checks the full contract on every input: sorted output,
+// multiset preservation, and the exact structural write count (the
+// invariant the hybrid planner and the alpha-exact verifier both lean
+// on). Buffer-boundary bugs — a flush that drops or double-writes a
+// tail — surface as either a multiset or a write-count violation.
+func FuzzOneSweep(f *testing.F) {
+	f.Add([]byte{}, uint8(8))
+	f.Add([]byte{1, 2, 3, 4, 255, 0, 0, 0}, uint8(8))
+	f.Add(make([]byte, 4*wcWords), uint8(6))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 9, 9, 9, 9}, uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, bitsSeed uint8) {
+		bits := int(bitsSeed)%16 + 1
+		if len(raw) > 4*4096 {
+			raw = raw[:4*4096]
+		}
+		n := len(raw) / 4
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		alg := OneSweepLSD{Bits: bits}
+		space := mem.NewPreciseSpace()
+		p := Pair{Keys: space.Alloc(n)}
+		mem.Load(p.Keys, keys)
+		base := space.Stats().Writes
+		alg.Sort(p, Env{KeySpace: space, IDSpace: space, R: rng.New(1)})
+		got := mem.ReadAll(p.Keys)
+		if !sortedness.IsSorted(got) {
+			t.Fatalf("bits=%d n=%d: output not sorted", bits, n)
+		}
+		if !sortedness.SameMultiset(got, keys) {
+			t.Fatalf("bits=%d n=%d: output not a permutation of the input", bits, n)
+		}
+		prof, _ := ProfileOf(alg)
+		if want := int(prof.Alpha(n)); space.Stats().Writes-base != want {
+			t.Fatalf("bits=%d n=%d: %d key writes, want exactly %d",
+				bits, n, space.Stats().Writes-base, want)
+		}
+	})
+}

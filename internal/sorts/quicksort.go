@@ -19,6 +19,12 @@ type Quicksort struct{}
 // Name implements Algorithm.
 func (Quicksort) Name() string { return "Quicksort" }
 
+// Profile implements Profiled: ≈ n·log2(n)/2 expected key writes, no
+// fixed pass structure, swap-based (no bulk path).
+func (Quicksort) Profile() Profile {
+	return Profile{Alpha: AlphaQuicksort, SortsIDs: true}
+}
+
 // Sort implements Algorithm.
 func (Quicksort) Sort(p Pair, env Env) {
 	p.validate()

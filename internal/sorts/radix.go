@@ -24,6 +24,21 @@ type LSD struct {
 // Name implements Algorithm.
 func (l LSD) Name() string { return fmt.Sprintf("%d-bit LSD", l.Bits) }
 
+// Profile implements Profiled. LSD's write count is an exact structural
+// identity for n ≥ 2: two key writes per element per pass (distribution
+// append plus concatenation write-back), identical on the queue and bulk
+// paths.
+func (l LSD) Profile() Profile {
+	passes, _ := digitWidth(l.Bits)
+	return Profile{
+		Alpha:       AlphaRadix(l.Bits),
+		Passes:      passes,
+		ExactWrites: true,
+		Reorderable: true,
+		SortsIDs:    true,
+	}
+}
+
 // radixPassBulk is one distribution + concatenation pass over p[lo:hi)
 // rewritten as four bulk slice transfers. It is access-equivalent to the
 // queue-bucket pass: the same 2(hi-lo) reads and 2(hi-lo) writes are
@@ -233,6 +248,18 @@ type MSD struct {
 
 // Name implements Algorithm.
 func (m MSD) Name() string { return fmt.Sprintf("%d-bit MSD", m.Bits) }
+
+// Profile implements Profiled. MSD shares LSD's analytic α (the paper's
+// working approximation) but its actual write count is data-dependent:
+// the recursion stops early on small buckets and hands them to insertion
+// sort, so ExactWrites stays false.
+func (m MSD) Profile() Profile {
+	return Profile{
+		Alpha:       AlphaRadix(m.Bits),
+		Reorderable: true,
+		SortsIDs:    true,
+	}
+}
 
 // Sort implements Algorithm.
 func (m MSD) Sort(p Pair, env Env) {

@@ -12,7 +12,11 @@ import (
 )
 
 func allAlgorithms() []Algorithm {
-	return Standard(3, 4, 5, 6)
+	algs := Standard(3, 4, 5, 6)
+	for _, b := range []int{3, 6, 8} {
+		algs = append(algs, OneSweepLSD{Bits: b})
+	}
+	return algs
 }
 
 func preciseEnv() (Env, *mem.PreciseSpace) {

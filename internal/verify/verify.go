@@ -37,6 +37,7 @@ import (
 	"approxsort/internal/memmodel"
 	"approxsort/internal/mlc"
 	"approxsort/internal/sortedness"
+	"approxsort/internal/sorts"
 )
 
 // Violation is one failed invariant. Code is a stable machine-readable
@@ -323,9 +324,13 @@ func checkApproxStats(rep *Report, stage string, s mem.Stats, id memmodel.Identi
 	rep.check(s.Corrupted <= s.Writes,
 		"approx-accounting", "%s approx Corrupted %d exceeds Writes %d",
 		stage, s.Corrupted, s.Writes)
-	rep.check(closeEnough(s.ReadNanos, float64(s.Reads)*mlc.ReadNanos),
+	readNanos := mlc.ReadNanos
+	if id.ReadNanosPerRead > 0 {
+		readNanos = id.ReadNanosPerRead
+	}
+	rep.check(closeEnough(s.ReadNanos, float64(s.Reads)*readNanos),
 		"approx-accounting", "%s approx ReadNanos %g != Reads %d × %g",
-		stage, s.ReadNanos, s.Reads, mlc.ReadNanos)
+		stage, s.ReadNanos, s.Reads, readNanos)
 	if id.EnergyTracksLatency {
 		rep.check(closeEnough(s.WriteEnergy*mlc.PreciseWriteNanos, s.WriteNanos),
 			"approx-accounting", "%s approx WriteEnergy %g does not track WriteNanos %g",
@@ -346,6 +351,33 @@ func checkApproxStats(rep *Report, stage string, s mem.Stats, id memmodel.Identi
 			"approx-accounting", "%s approx WriteEnergy %g != Writes %d × %g",
 			stage, s.WriteEnergy, s.Writes, id.EnergyPerWrite)
 	}
+}
+
+// CheckAlgorithmWrites audits the approx stage's write counter against
+// the algorithm's declared registry profile: when the profile marks Alpha
+// as an exact structural count (Profile.ExactWrites — the LSD family,
+// where every pass writes each element exactly twice), the approx-sort
+// stage must have charged exactly α(n) approximate writes. Profiles
+// without ExactWrites (comparison sorts' expectations, MSD's
+// data-dependent insertion leaves) and tiny inputs (the sorts return
+// before writing at n ≤ 1, where α still reports a full pass structure)
+// evaluate no checks. This is the registry-era write-budget identity:
+// it comes from the algorithm's declaration, not a hardcoded pass table.
+func CheckAlgorithmWrites(alg sorts.Algorithm, r *core.Report) *Report {
+	rep := &Report{}
+	if r == nil {
+		return rep
+	}
+	rep.N = r.N
+	prof, ok := sorts.ProfileOf(alg)
+	if !ok || !prof.ExactWrites || prof.Alpha == nil || r.N < 2 {
+		return rep
+	}
+	want := int(prof.Alpha(r.N))
+	rep.check(r.ApproxSort.Approx.Writes == want, "alpha-exact",
+		"approx stage charged %d approximate writes, want exactly α(%d) = %d for %s",
+		r.ApproxSort.Approx.Writes, r.N, want, alg.Name())
+	return rep
 }
 
 // CheckOutput audits a plain precise-path output (no Report): order,
